@@ -1,0 +1,72 @@
+"""Global wildlife surveillance: the sparse, init-dominated regime.
+
+The avian-flu dataset is the paper's pathological case: 31 K observations
+scattered over the whole planet.  The density volume dwarfs the kernel
+work, so runtime is dominated by *memory initialisation* (Figure 7) —
+replication-based parallelism actively hurts (Figure 8), and the memory
+budget kills domain replication outright at high resolution.  This
+example demonstrates all three effects and lets the Section 6.5 cost
+model pick a strategy that copes.
+
+Run:  python examples/bird_surveillance.py
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import pb_sym
+from repro.analysis import phase_breakdown, select_strategy, speedup
+from repro.data import get_instance
+from repro.parallel import MemoryBudgetExceeded, pb_sym_dd, pb_sym_dr
+
+P = 8
+
+
+def main() -> None:
+    inst = get_instance("Flu_Hr-Lb", scale="bench")
+    grid, points = inst.grid(), inst.points()
+    print(f"instance: {inst.describe()}")
+    print(f"memory budget (scaled from the paper's 128 GB): "
+          f"{inst.memory_budget_bytes / 1e6:.0f} MB "
+          f"= {inst.copies_allowed:.1f} volume copies")
+
+    base = pb_sym(points, grid)
+    frac = phase_breakdown(base)
+    print(f"\nsequential PB-SYM: {base.elapsed * 1e3:.0f} ms")
+    for phase, f in sorted(frac.items()):
+        print(f"  {phase:8s} {f:6.1%}")
+    print("-> the volume is so sparse that zeroing it outweighs the kernels.")
+
+    print(f"\ndomain replication at P={P} under the memory budget:")
+    try:
+        res = pb_sym_dr(points, grid, P=P,
+                        memory_budget_bytes=inst.memory_budget_bytes)
+        print(f"  unexpectedly fit: {res.meta['makespan'] * 1e3:.0f} ms")
+    except MemoryBudgetExceeded as exc:
+        print(f"  OOM, as in the paper's Figure 8: {exc}")
+
+    print(f"\ndomain replication at P=4 (fits -> but barely helps):")
+    res4 = pb_sym_dr(points, grid, P=4,
+                     memory_budget_bytes=inst.memory_budget_bytes)
+    print(f"  makespan {res4.meta['makespan'] * 1e3:.0f} ms, "
+          f"speedup {speedup(base.elapsed, res4):.2f}x "
+          f"(extra volume traffic eats the gain)")
+
+    res_dd = pb_sym_dd(points, grid, P=P, decomposition=(8, 8, 8))
+    print(f"\ndomain decomposition at P={P}: "
+          f"{res_dd.meta['makespan'] * 1e3:.0f} ms, "
+          f"speedup {speedup(base.elapsed, res_dd):.2f}x "
+          f"(bounded by the ~3x memory-bandwidth ceiling on init)")
+
+    best, ranked = select_strategy(
+        grid, points, P, memory_budget_bytes=inst.memory_budget_bytes
+    )
+    print(f"\ncost model's verdict for P={P}:")
+    for p in ranked[:4]:
+        print(f"  {p.describe()}")
+    print(f"\npicked: {best.algorithm} — on init-dominated instances every "
+          f"strategy converges to the memory wall; the model knows not to "
+          f"waste replicas on it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Epidemic surveillance: bandwidth choice on a dengue-like outbreak.
+
+Reproduces the workflow of the paper's Figure 1: the same dengue-like
+case data visualised at a wide bandwidth (city-scale seasonal pattern)
+versus a narrow bandwidth (neighbourhood-scale clusters).  Bandwidth is an
+*analysis* knob — this example shows why near-real-time STKDE matters:
+an analyst iterates over bandwidths interactively.
+
+Run:  python examples/epidemic_outbreak.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import STKDE
+from repro.data import dengue_like
+from repro.viz import hotspots, render_time_slice
+
+# A Cali-like city extent: 15 km x 20 km, two years of daily reports,
+# modelled at 100 m / 1 day resolution (in voxel units: 150 x 200 x 730).
+EXTENT = (150.0, 200.0, 730.0)
+N_CASES = 9606  # the 2010 Cali dengue epidemic's geocoded case count
+
+
+def analyse(events, hs: float, ht: float, label: str) -> None:
+    t0 = time.perf_counter()
+    est = STKDE(hs=hs, ht=ht, sres=1.0, tres=1.0, algorithm="pb-sym")
+    result = est.estimate(events)
+    dt = time.perf_counter() - t0
+    grid = result.volume.grid
+    print(f"\n=== {label}: hs={hs:.0f} (x100m), ht={ht:.0f} days "
+          f"[{dt * 1e3:.0f} ms, grid {grid.Gx}x{grid.Gy}x{grid.Gt}] ===")
+    _, _, T = result.volume.max_voxel()
+    print(render_time_slice(result.volume, T, width=60, height=22))
+    print("hotspots:")
+    for (X, Y, Tv), val in hotspots(result.volume, k=3):
+        print(f"  voxel ({X}, {Y}) around day {Tv}: {val:.2e}")
+
+
+def main() -> None:
+    events = dengue_like(N_CASES, EXTENT, seed=2010)
+    print(f"dengue-like surveillance set: {events.n} geocoded cases over two seasons")
+
+    # Figure 1a analogue: wide bandwidths smooth into city-wide waves.
+    analyse(events, hs=25.0, ht=14.0, label="wide bandwidth (city pattern)")
+    # Figure 1b analogue: narrow bandwidths isolate neighbourhood clusters.
+    analyse(events, hs=5.0, ht=7.0, label="narrow bandwidth (local clusters)")
+
+    print(
+        "\nNarrow bandwidths concentrate density into street-level clusters;"
+        "\nwide bandwidths reveal the seasonal wave.  Each re-estimate is a"
+        "\nfull STKDE pass - the reason the paper pushes it to near real-time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Near-real-time monitoring: sliding-window STKDE on a live feed.
+
+The paper's motivation is timely epidemic response: new case reports
+arrive daily and analysts watch a rolling window.  Recomputing the full
+volume per update is what the paper accelerates; this example shows the
+orthogonal trick the PB-SYM structure enables — *exact incremental
+maintenance*: each day only stamps the new events and un-stamps the
+expired ones (O(events x stamp), independent of history size).
+
+Run:  python examples/realtime_monitoring.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import GridSpec, IncrementalSTKDE, PointSet
+from repro.algorithms import pb_sym
+from repro.core import DomainSpec
+from repro.viz import hotspots
+
+EXTENT = (120, 100, 400)  # city grid, ~13 months of days
+WINDOW_DAYS = 30.0
+
+
+def daily_feed(day: int, rng) -> np.ndarray:
+    """Synthetic daily case reports: a drifting outbreak + noise."""
+    n = int(rng.poisson(40))
+    center = np.array([30.0 + 0.15 * day, 40.0 + 0.1 * day])
+    cases = np.column_stack([
+        rng.normal(center[0], 4.0, n),
+        rng.normal(center[1], 4.0, n),
+        np.full(n, float(day)) + rng.uniform(0, 1, n),
+    ])
+    noise = np.column_stack([
+        rng.uniform(0, EXTENT[0], 5),
+        rng.uniform(0, EXTENT[1], 5),
+        np.full(5, float(day)) + rng.uniform(0, 1, 5),
+    ])
+    return np.clip(np.vstack([cases, noise]), 0, [EXTENT[0] - 1e-9, EXTENT[1] - 1e-9, EXTENT[2] - 1e-9])
+
+
+def main() -> None:
+    grid = GridSpec(DomainSpec.from_voxels(*EXTENT), hs=6.0, ht=5.0)
+    inc = IncrementalSTKDE(grid)
+    rng = np.random.default_rng(99)
+
+    print(f"rolling {WINDOW_DAYS:.0f}-day STKDE window on a {EXTENT[0]}x{EXTENT[1]} city grid\n")
+    print(f"{'day':>4s} {'events':>7s} {'live':>6s} {'update':>9s} {'batch-equiv':>12s} {'hotspot (x,y)':>14s}")
+
+    window: list = []
+    for day in range(0, 90, 10):  # sample every 10th day of a season
+        batch = daily_feed(day, rng)
+        horizon = max(0.0, day - WINDOW_DAYS)
+
+        t0 = time.perf_counter()
+        inc.slide_window(batch, t_horizon=horizon)
+        t_update = time.perf_counter() - t0
+
+        window = [b[b[:, 2] >= horizon] for b in window]
+        window.append(batch)
+        live = np.vstack([b for b in window if len(b)])
+
+        t0 = time.perf_counter()
+        batch_res = pb_sym(PointSet(live), grid)
+        t_batch = time.perf_counter() - t0
+
+        vol = inc.volume()
+        (X, Y, _), _ = hotspots(vol, k=1)[0]
+        drift = np.max(np.abs(vol.data - batch_res.data))
+        assert drift < 1e-12, "incremental estimate drifted from batch"
+        print(f"{day:>4d} {len(batch):>7d} {inc.n:>6d} {t_update * 1e3:>8.1f}ms "
+              f"{t_batch * 1e3:>11.1f}ms {f'({X},{Y})':>14s}")
+
+    print("\nThe hotspot drifts with the outbreak; each update costs only "
+          "the changed events' stamps while matching the full "
+          "recomputation exactly (asserted above).")
+
+
+if __name__ == "__main__":
+    main()

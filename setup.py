@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but not `wheel`, so PEP 660 editable
+installs fail; this shim lets `pip install -e . --no-use-pep517` (and plain
+`pip install -e .` on older pips) take the legacy `setup.py develop` path.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — Parallel Space-Time Kernel Density Estimation.
+
+A from-scratch Python reproduction of Saule, Panchananam, Hohl, Tang &
+Delmelle, *Parallel Space-Time Kernel Density Estimation*, ICPP 2017
+(arXiv:1705.09366): the STKDE problem, the engineered sequential
+algorithms (VB, VB-DEC, PB, PB-DISK, PB-BAR, PB-SYM), the four parallel
+strategies (DR, DD, PD, PD-SCHED, PD-REP) with their colouring/scheduling
+substrate, the Section 6.5 cost model, and the full evaluation harness.
+
+Quickstart::
+
+    import numpy as np
+    from repro import STKDE, PointSet
+
+    events = PointSet(np.loadtxt("events.csv", delimiter=",", skiprows=1))
+    result = STKDE(hs=750.0, ht=7.0, sres=100.0, tres=1.0).estimate(events)
+    print(result.volume.max_voxel())
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+harness that regenerates every table and figure of the paper.
+"""
+
+from . import algorithms as _algorithms  # noqa: F401  (registers algorithms)
+from . import parallel as _parallel  # noqa: F401  (registers algorithms)
+from .algorithms.base import (
+    STKDEResult,
+    available_algorithms,
+    get_algorithm,
+    parallel_algorithms,
+    sequential_algorithms,
+)
+from .core import adaptive as _adaptive  # noqa: F401  (registers pb-sym-adaptive)
+from .core.grid import DomainSpec, GridSpec, PointSet, Volume
+from .core.incremental import IncrementalSTKDE
+from .core.instrument import PhaseTimer, WorkCounter
+from .core.kernels import KernelPair, available_kernels, get_kernel
+from .core.stkde import STKDE, infer_domain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "STKDE",
+    "STKDEResult",
+    "DomainSpec",
+    "GridSpec",
+    "IncrementalSTKDE",
+    "KernelPair",
+    "PhaseTimer",
+    "PointSet",
+    "Volume",
+    "WorkCounter",
+    "available_algorithms",
+    "available_kernels",
+    "get_algorithm",
+    "get_kernel",
+    "infer_domain",
+    "parallel_algorithms",
+    "sequential_algorithms",
+    "__version__",
+]

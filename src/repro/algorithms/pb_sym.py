@@ -1,0 +1,154 @@
+"""PB-SYM: the dual-invariant point-based algorithm (Algorithm 3).
+
+Per point, PB-SYM tabulates the spatial disk ``Ks`` *and* the temporal bar
+``Kt`` once, then accumulates their outer product over the cylinder —
+``(2Hs+1)^2`` spatial and ``(2Ht+1)`` temporal kernel evaluations instead of
+``(2Hs+1)^2 (2Ht+1)`` of each, leaving pure multiply-adds in the inner
+loops.  Same ``Theta(Gx*Gy*Gt + n*Hs^2*Ht)`` complexity as PB, but a flop
+count lower by roughly the ~40-flops-per-voxel factor the paper cites —
+Table 3 reports up to 6.97x over PB.
+
+:func:`stamp_point_sym` is the workhorse shared by every parallel strategy
+(DR, DD, PD, PD-SCHED, PD-REP): it supports an optional *clip window*, which
+is how PB-SYM-DD restricts a point's contribution to one subdomain.  When a
+cylinder is clipped, the invariants are tabulated over the clipped extents —
+so a temporally-split cylinder recomputes its full disk in every subdomain
+that holds a slice of it, reproducing the replication overhead of Figure 4
+without any special-casing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.grid import GridSpec, PointSet, Volume, VoxelWindow
+from ..core.instrument import PhaseTimer, WorkCounter
+from ..core.invariants import bar_table, disk_table
+from ..core.kernels import KernelPair, get_kernel
+from .base import STKDEResult, register_algorithm
+
+__all__ = ["pb_sym", "stamp_point_sym", "stamp_points_sym"]
+
+
+def stamp_point_sym(
+    vol: np.ndarray,
+    grid: GridSpec,
+    kernel: KernelPair,
+    x: float,
+    y: float,
+    t: float,
+    norm: float,
+    counter: WorkCounter,
+    clip: Optional[VoxelWindow] = None,
+    vol_origin: tuple[int, int, int] = (0, 0, 0),
+) -> None:
+    """Accumulate one point's cylinder as ``disk (x) bar``.
+
+    Parameters
+    ----------
+    vol:
+        Target array.  Either a full ``(Gx, Gy, Gt)`` volume or a subarray
+        whose voxel ``(0, 0, 0)`` corresponds to ``vol_origin`` in grid
+        coordinates (used by subdomain-local and replicated buffers).
+    clip:
+        Optional window to intersect the cylinder with (PB-SYM-DD's
+        subdomain restriction).  ``None`` stamps the full clipped-to-grid
+        cylinder.
+    """
+    win = grid.point_window(x, y, t)
+    if clip is not None:
+        win = win.intersect(clip)
+    if win.empty:
+        return
+    disk = disk_table(
+        grid, kernel, x, y, (win.x0, win.x1), (win.y0, win.y1), norm, counter
+    )
+    bar = bar_table(grid, kernel, t, (win.t0, win.t1), counter)
+    ox, oy, ot = vol_origin
+    target = vol[
+        win.x0 - ox : win.x1 - ox,
+        win.y0 - oy : win.y1 - oy,
+        win.t0 - ot : win.t1 - ot,
+    ]
+    # The inner loops of Algorithm 3: pure multiply-accumulate.
+    target += disk[:, :, None] * bar[None, None, :]
+    counter.madds += disk.size * bar.size
+
+
+def stamp_points_sym(
+    vol: np.ndarray,
+    grid: GridSpec,
+    kernel: KernelPair,
+    coords: np.ndarray,
+    norm: float,
+    counter: WorkCounter,
+    clip: Optional[VoxelWindow] = None,
+    vol_origin: tuple[int, int, int] = (0, 0, 0),
+) -> None:
+    """Stamp a batch of points (rows of ``(x, y, t)``) with PB-SYM.
+
+    Window bounds for the whole batch are derived with a handful of
+    vectorised operations up front; the per-point loop then only
+    tabulates invariants and accumulates.  This matters because the
+    parallel strategies (DD in particular) call this with many small
+    batches — per-point Python window math would otherwise dominate the
+    paper's overhead measurements.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.shape[0]
+    if n == 0:
+        return
+    vox = grid.voxels_of(coords)
+    X0 = np.maximum(vox[:, 0] - grid.Hs, 0)
+    X1 = np.minimum(vox[:, 0] + grid.Hs + 1, grid.Gx)
+    Y0 = np.maximum(vox[:, 1] - grid.Hs, 0)
+    Y1 = np.minimum(vox[:, 1] + grid.Hs + 1, grid.Gy)
+    T0 = np.maximum(vox[:, 2] - grid.Ht, 0)
+    T1 = np.minimum(vox[:, 2] + grid.Ht + 1, grid.Gt)
+    if clip is not None:
+        np.maximum(X0, clip.x0, out=X0)
+        np.minimum(X1, clip.x1, out=X1)
+        np.maximum(Y0, clip.y0, out=Y0)
+        np.minimum(Y1, clip.y1, out=Y1)
+        np.maximum(T0, clip.t0, out=T0)
+        np.minimum(T1, clip.t1, out=T1)
+    ox, oy, ot = vol_origin
+    xs, ys, ts = coords[:, 0], coords[:, 1], coords[:, 2]
+    for i in range(n):
+        x0, x1 = X0[i], X1[i]
+        y0, y1 = Y0[i], Y1[i]
+        t0, t1 = T0[i], T1[i]
+        if x0 >= x1 or y0 >= y1 or t0 >= t1:
+            continue
+        disk = disk_table(
+            grid, kernel, xs[i], ys[i], (x0, x1), (y0, y1), norm, counter
+        )
+        bar = bar_table(grid, kernel, ts[i], (t0, t1), counter)
+        target = vol[x0 - ox : x1 - ox, y0 - oy : y1 - oy, t0 - ot : t1 - ot]
+        target += disk[:, :, None] * bar[None, None, :]
+        counter.madds += disk.size * bar.size
+
+
+@register_algorithm("pb-sym")
+def pb_sym(
+    points: PointSet,
+    grid: GridSpec,
+    *,
+    kernel: str | KernelPair = "epanechnikov",
+    counter: Optional[WorkCounter] = None,
+    timer: Optional[PhaseTimer] = None,
+) -> STKDEResult:
+    """Point-based STKDE exploiting both invariants (Algorithm 3)."""
+    kern = get_kernel(kernel)
+    counter = counter if counter is not None else WorkCounter()
+    timer = timer if timer is not None else PhaseTimer()
+    with timer.phase("init"):
+        vol = grid.allocate()
+        counter.init_writes += vol.size
+    norm = grid.normalization(points.n)
+    with timer.phase("compute"):
+        stamp_points_sym(vol, grid, kern, points.coords, norm, counter)
+    counter.points_processed += points.n
+    return STKDEResult(Volume(vol, grid), "pb-sym", timer, counter)

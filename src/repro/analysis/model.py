@@ -1,0 +1,319 @@
+"""Parametric execution model and strategy selector (Section 6.5).
+
+The paper closes its evaluation with: *"What we need to do is to develop a
+parametric model for the problem that will take into account memory
+availability, cost of memory initialization, expected cost of computing
+the kernel density.  Using that model finding the best execution strategy
+becomes a combinatorial problem."*  This module implements that model.
+
+A :class:`MachineModel` holds a handful of calibrated unit costs (memory
+write rate, per-point dispatch overhead, per-cell stamping rate, the
+DRAM-saturation cap).  A :class:`CostModel` combines them with an
+instance's geometry to predict the runtime of every strategy and
+configuration — reusing the *same* scheduling machinery (binning,
+colouring, critical paths, list scheduling) the real algorithms use, only
+with analytic task weights instead of measured ones.  The selector then
+answers the combinatorial question: *which strategy, at which
+decomposition, for this instance, this machine, this P?* — subject to the
+memory budget, which is what rules DR out on sparse-huge instances.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.grid import GridSpec, PointSet
+from ..core.instrument import WorkCounter
+from ..core.invariants import stamp_extent
+from ..core.kernels import get_kernel
+from ..parallel.color import (
+    greedy_coloring,
+    load_order,
+    occupied_neighbor_map,
+    parity_coloring,
+)
+from ..parallel.partition import BlockDecomposition
+from ..parallel.schedule import (
+    BandwidthModel,
+    TaskGraph,
+    barrier_schedule,
+    build_task_graph,
+    critical_path,
+    list_schedule,
+)
+from ..parallel.rep import plan_replication
+
+__all__ = ["MachineModel", "CostModel", "Prediction", "select_strategy"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Calibrated unit costs of the executing machine.
+
+    Attributes
+    ----------
+    c_mem:
+        Seconds per voxel of streaming memory write (init / reduce).
+    c_point:
+        Fixed per-point dispatch cost (table setup, window clipping) —
+        dominant on small-bandwidth instances.
+    c_cell:
+        Seconds per stamped cell (disk cell, bar cell, or cylinder
+        multiply-add — one blended rate).
+    bandwidth_cap:
+        Effective parallelism of memory-bound phases (Section 6.3: ~3).
+    """
+
+    c_mem: float
+    c_point: float
+    c_cell: float
+    bandwidth_cap: float = 3.0
+
+    @classmethod
+    def calibrate(cls, seed: int = 0) -> "MachineModel":
+        """Measure unit costs with three micro-probes (~50 ms total)."""
+        rng = np.random.default_rng(seed)
+        # Memory write rate.
+        buf = np.empty(1 << 21, dtype=np.float64)
+        t0 = time.perf_counter()
+        buf.fill(0.0)
+        c_mem = (time.perf_counter() - t0) / buf.size
+
+        # Stamp cost at two bandwidths separates fixed vs per-cell cost.
+        from ..algorithms.pb_sym import stamp_points_sym
+        from ..core.grid import DomainSpec
+
+        def probe(H: int, n: int = 64) -> Tuple[float, int]:
+            g = GridSpec(DomainSpec.from_voxels(4 * H + 8, 4 * H + 8, 4 * H + 8),
+                         hs=float(H), ht=float(H))
+            pts = rng.uniform(2 * H, 2 * H + 8, size=(n, 3))
+            vol = np.zeros(g.shape)
+            c = WorkCounter()
+            t0 = time.perf_counter()
+            stamp_points_sym(vol, g, get_kernel("epanechnikov"), pts, 1.0, c)
+            dt = (time.perf_counter() - t0) / n
+            disk, bar = stamp_extent(g)
+            cells = disk * disk + bar + disk * disk * bar
+            return dt, cells
+
+        t_small, cells_small = probe(2)
+        t_large, cells_large = probe(10)
+        c_cell = max((t_large - t_small) / (cells_large - cells_small), 1e-12)
+        c_point = max(t_small - c_cell * cells_small, 1e-9)
+        return cls(c_mem=c_mem, c_point=c_point, c_cell=c_cell)
+
+
+@dataclass
+class Prediction:
+    """Predicted runtime of one (strategy, configuration) pair."""
+
+    algorithm: str
+    P: int
+    seconds: float
+    decomposition: Optional[Tuple[int, int, int]] = None
+    feasible: bool = True
+    reason: str = ""
+
+    def describe(self) -> str:
+        dec = f" dec={self.decomposition}" if self.decomposition else ""
+        feas = "" if self.feasible else f"  [infeasible: {self.reason}]"
+        return f"{self.algorithm:16s} P={self.P:<3d}{dec:18s} {self.seconds * 1e3:9.2f} ms{feas}"
+
+
+class CostModel:
+    """Analytic runtime predictions for every strategy on one instance."""
+
+    def __init__(
+        self,
+        grid: GridSpec,
+        points: PointSet,
+        machine: Optional[MachineModel] = None,
+        memory_budget_bytes: Optional[int] = None,
+    ) -> None:
+        self.grid = grid
+        self.points = points
+        self.machine = machine or MachineModel.calibrate()
+        self.memory_budget_bytes = memory_budget_bytes
+        self._bw = BandwidthModel(cap=self.machine.bandwidth_cap)
+        disk, bar = stamp_extent(grid)
+        #: Cells touched per interior point stamp: disk eval + bar eval +
+        #: cylinder multiply-add.
+        self.cells_per_point = disk * disk + bar + disk * disk * bar
+
+    # ------------------------------------------------------------------
+    # Primitive phase costs
+    # ------------------------------------------------------------------
+    def point_cost(self, clipped_fraction: float = 1.0) -> float:
+        """Predicted seconds to stamp one point (optionally clipped)."""
+        m = self.machine
+        return m.c_point + m.c_cell * self.cells_per_point * clipped_fraction
+
+    def init_seconds(self) -> float:
+        return self.machine.c_mem * self.grid.n_voxels
+
+    def init_parallel(self, P: int) -> float:
+        return self.init_seconds() / self._bw.effective_procs(P)
+
+    # ------------------------------------------------------------------
+    # Per-strategy predictions
+    # ------------------------------------------------------------------
+    def predict_pb_sym(self) -> float:
+        return self.init_seconds() + self.points.n * self.point_cost()
+
+    def predict_dr(self, P: int) -> Prediction:
+        need = (P + 1) * self.grid.grid_bytes
+        if self.memory_budget_bytes is not None and need > self.memory_budget_bytes:
+            return Prediction(
+                "pb-sym-dr", P, math.inf, feasible=False,
+                reason=f"needs {P + 1} volume copies",
+            )
+        init = P * self.init_seconds() / self._bw.effective_procs(P)
+        compute = self.points.n * self.point_cost() / P
+        reduce_ = P * self.init_seconds() / self._bw.effective_procs(P)
+        return Prediction("pb-sym-dr", P, init + compute + reduce_)
+
+    def _block_loads(
+        self, dec: BlockDecomposition, replicated: bool
+    ) -> Tuple[Dict[int, float], float]:
+        """Analytic per-block task weights (seconds) and the bin cost."""
+        if replicated:
+            binning = dec.bin_points_replicated(self.points)
+            # Clipped stamps still tabulate full invariants along the cut
+            # axis; approximate the per-replica cost with the unclipped
+            # point cost scaled by a 0.6 clipping discount.
+            per_pt = self.point_cost(clipped_fraction=0.6)
+        else:
+            binning = dec.bin_points_owner(self.points)
+            per_pt = self.point_cost()
+        counts = binning.counts()
+        loads = {
+            int(b): float(counts[b]) * per_pt for b in np.nonzero(counts)[0]
+        }
+        bin_cost = self.points.n * 2e-7 * (3.0 if replicated else 1.0)
+        return loads, bin_cost
+
+    def predict_dd(self, dec_shape: Tuple[int, int, int], P: int) -> Prediction:
+        A = min(dec_shape[0], self.grid.Gx)
+        B = min(dec_shape[1], self.grid.Gy)
+        C = min(dec_shape[2], self.grid.Gt)
+        dec = BlockDecomposition(self.grid, A, B, C)
+        loads, bin_cost = self._block_loads(dec, replicated=True)
+        ws = sorted(loads.values(), reverse=True)
+        compute = barrier_schedule([ws], P, lpt=True)
+        return Prediction(
+            "pb-sym-dd", P, self.init_parallel(P) + bin_cost + compute,
+            decomposition=(A, B, C),
+        )
+
+    def _pd_graph(
+        self, dec: BlockDecomposition, loads: Dict[int, float], scheduler: str
+    ) -> Tuple[TaskGraph, object]:
+        occupied = sorted(loads)
+        if scheduler == "parity":
+            coloring = parity_coloring(dec, occupied)
+        else:
+            coloring = greedy_coloring(
+                dec, occupied, load_order(occupied, loads), method="load-aware"
+            )
+        adjacency = occupied_neighbor_map(dec, occupied)
+        graph, _ = build_task_graph(coloring, adjacency, loads)
+        return graph, coloring
+
+    def predict_pd(
+        self, dec_shape: Tuple[int, int, int], P: int, scheduler: str = "parity"
+    ) -> Prediction:
+        dec = BlockDecomposition.adjusted_for_pd(self.grid, *dec_shape)
+        loads, bin_cost = self._block_loads(dec, replicated=False)
+        name = "pb-sym-pd" if scheduler == "parity" else "pb-sym-pd-sched"
+        if not loads:
+            return Prediction(name, P, self.init_parallel(P) + bin_cost,
+                              decomposition=dec.shape)
+        graph, coloring = self._pd_graph(dec, loads, scheduler)
+        if scheduler == "parity":
+            classes = coloring.classes()  # type: ignore[attr-defined]
+            class_w = [[loads[b] for b in cls] for cls in classes]
+            compute = barrier_schedule(class_w, P)
+        else:
+            compute = list_schedule(
+                graph, P, priority=lambda v: (-graph.weights[v], v)
+            ).makespan
+        return Prediction(
+            name, P, self.init_parallel(P) + bin_cost + compute,
+            decomposition=dec.shape,
+        )
+
+    def predict_pd_rep(
+        self, dec_shape: Tuple[int, int, int], P: int
+    ) -> Prediction:
+        dec = BlockDecomposition.adjusted_for_pd(self.grid, *dec_shape)
+        loads, bin_cost = self._block_loads(dec, replicated=False)
+        if not loads:
+            return Prediction("pb-sym-pd-rep", P,
+                              self.init_parallel(P) + bin_cost,
+                              decomposition=dec.shape)
+        graph, _ = self._pd_graph(dec, loads, "sched")
+        blocks = sorted(loads)
+        halos = [dec.halo_window(*dec.block_coords(b)).volume for b in blocks]
+        overheads = [2.0 * h * self.machine.c_mem for h in halos]
+        binning = dec.bin_points_owner(self.points)
+        max_reps = [max(1, len(binning.points_in(b))) for b in blocks]
+        replicas, _, _ = plan_replication(
+            list(graph.weights), overheads, graph.succs, graph.preds, P, max_reps
+        )
+        extra_bytes = sum(
+            replicas[k] * halos[k] * 8 for k in range(len(blocks)) if replicas[k] > 1
+        )
+        if (
+            self.memory_budget_bytes is not None
+            and self.grid.grid_bytes + extra_bytes > self.memory_budget_bytes
+        ):
+            return Prediction(
+                "pb-sym-pd-rep", P, math.inf, decomposition=dec.shape,
+                feasible=False, reason="replica buffers exceed memory budget",
+            )
+        eff_w = [
+            graph.weights[k] / replicas[k]
+            + (overheads[k] if replicas[k] > 1 else 0.0)
+            for k in range(len(blocks))
+        ]
+        # Effective-weight graph approximates the expanded replica graph.
+        g2 = TaskGraph(eff_w, graph.succs, graph.preds)
+        compute = list_schedule(
+            g2, P, priority=lambda v: (-g2.weights[v], v)
+        ).makespan
+        return Prediction(
+            "pb-sym-pd-rep", P, self.init_parallel(P) + bin_cost + compute,
+            decomposition=dec.shape,
+        )
+
+
+def select_strategy(
+    grid: GridSpec,
+    points: PointSet,
+    P: int,
+    *,
+    machine: Optional[MachineModel] = None,
+    memory_budget_bytes: Optional[int] = None,
+    decompositions: Sequence[Tuple[int, int, int]] = ((4, 4, 4), (8, 8, 8), (16, 16, 16)),
+) -> Tuple[Prediction, List[Prediction]]:
+    """Solve the Section 6.5 combinatorial problem: best strategy + config.
+
+    Returns the winning prediction and the full ranked candidate list.
+    """
+    model = CostModel(grid, points, machine, memory_budget_bytes)
+    candidates: List[Prediction] = [model.predict_dr(P)]
+    for dec in decompositions:
+        candidates.append(model.predict_dd(dec, P))
+        candidates.append(model.predict_pd(dec, P, scheduler="parity"))
+        candidates.append(model.predict_pd(dec, P, scheduler="sched"))
+        candidates.append(model.predict_pd_rep(dec, P))
+    ranked = sorted(candidates, key=lambda p: p.seconds)
+    feasible = [p for p in ranked if p.feasible]
+    if not feasible:
+        raise RuntimeError("no feasible strategy under the memory budget")
+    return feasible[0], ranked

@@ -1,0 +1,179 @@
+"""Summarise recorded benchmark results into the EXPERIMENTS verdicts.
+
+The benchmark harness writes one JSON file per experiment under
+``results/``; this module turns a directory of those into the compact
+paper-vs-measured summary used in EXPERIMENTS.md — and programmatically
+checks the *shape* claims (orderings, regime classifications, OOM
+patterns), so a regression that flips a conclusion fails loudly instead of
+hiding in a wall of numbers.
+
+Usage::
+
+    python -m repro.analysis.report results/
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["ShapeCheck", "load_experiment", "check_all", "main"]
+
+
+@dataclass
+class ShapeCheck:
+    """Outcome of one shape assertion against recorded results."""
+
+    experiment: str
+    claim: str
+    passed: Optional[bool]  # None = experiment not recorded
+
+    def describe(self) -> str:
+        mark = "??" if self.passed is None else ("ok" if self.passed else "FAIL")
+        return f"[{mark:>4s}] {self.experiment:24s} {self.claim}"
+
+
+def load_experiment(results_dir: Path, name: str) -> Optional[List[dict]]:
+    """Rows of one recorded experiment, or ``None`` if absent."""
+    path = results_dir / f"{name}.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())["rows"]
+
+
+def _rows_by_instance(rows: List[dict]) -> Dict[str, List[dict]]:
+    out: Dict[str, List[dict]] = {}
+    for r in rows:
+        out.setdefault(r.get("instance", "?"), []).append(r)
+    return out
+
+
+def check_all(results_dir: Path) -> List[ShapeCheck]:
+    """Evaluate every recorded experiment's headline shape claim."""
+    checks: List[ShapeCheck] = []
+
+    # Table 3: PB-SYM fastest point-based algorithm wherever reported.
+    rows = load_experiment(results_dir, "table3_sequential")
+    ok = None
+    if rows is not None:
+        ok = True
+        for r in rows:
+            pb, sym = r.get("pb"), r.get("pb-sym")
+            if pb is not None and sym is not None and sym > pb * 1.1:
+                ok = False
+    checks.append(ShapeCheck("table3_sequential",
+                             "PB-SYM never slower than PB", ok))
+
+    # Figure 7: Flu init-heavier than PollenUS by work fraction.
+    rows = load_experiment(results_dir, "fig7_breakdown")
+    ok = None
+    if rows is not None:
+        by = {r["instance"]: r for r in rows}
+        key = "init_work_fraction" if "init_work_fraction" in rows[0] else "init_fraction"
+        flu = [v[key] for k, v in by.items() if k.startswith("Flu")]
+        pol = [v[key] for k, v in by.items() if k.startswith("PollenUS")]
+        ok = bool(flu and pol and min(flu) > max(pol))
+    checks.append(ShapeCheck("fig7_breakdown",
+                             "every Flu instance more init-bound than any PollenUS", ok))
+
+    # Figure 8: Flu_Hr OOM at P>=8; eBird_Hr OOM at P>=2.
+    rows = load_experiment(results_dir, "fig8_dr_speedup")
+    ok = None
+    if rows is not None:
+        by = {r["instance"]: r for r in rows}
+
+        def is_oom(inst, p):
+            v = by[inst].get(f"P{p}")
+            return v is None or (isinstance(v, float) and math.isnan(v)) or v != v or str(v) == "nan"
+
+        ok = (
+            is_oom("Flu_Hr-Lb", 8) and is_oom("Flu_Hr-Lb", 16)
+            and not is_oom("Flu_Hr-Lb", 4)
+            and is_oom("eBird_Hr-Lb", 2)
+        )
+    checks.append(ShapeCheck("fig8_dr_speedup",
+                             "Flu-Hr OOM at P>=8 only; eBird-Hr at P>=2", ok))
+
+    # Figure 9: DD overhead trends upward over the decomposition sweep.
+    # (Trend, not stepwise monotonicity: individual cells carry wall-clock
+    # noise, and the paper itself reports occasional dips from cache
+    # effects at mild decompositions.)
+    rows = load_experiment(results_dir, "fig9_dd_overhead")
+    ok = None
+    if rows is not None:
+        ok = True
+        for inst, rs in _rows_by_instance(rows).items():
+            ks = sorted(
+                (r["k"], r["overhead_vs_pb_sym"]) for r in rs
+                if not r.get("skipped") and "overhead_vs_pb_sym" in r
+            )
+            vals = [v for _, v in ks]
+            if len(vals) >= 2 and vals[-1] < vals[0] * 0.9:
+                ok = False  # finest decomposition cheaper than 1^3: wrong
+    checks.append(ShapeCheck("fig9_dd_overhead",
+                             "DD overhead grows over the decomposition sweep", ok))
+
+    # Figure 12: PollenUS Hr-Hb is the critical-path outlier.
+    rows = load_experiment(results_dir, "fig12_critical_path")
+    ok = None
+    if rows is not None:
+        by = {r["instance"]: r for r in rows}
+        outlier = by.get("PollenUS_Hr-Hb", {}).get("pd", 0)
+        others = [r["pd"] for k, r in by.items() if k != "PollenUS_Hr-Hb"]
+        ok = bool(others) and outlier > max(others)
+    checks.append(ShapeCheck("fig12_critical_path",
+                             "PollenUS Hr-Hb has the longest critical path", ok))
+
+    # Figure 14: Flu_Hr-Hb OOMs at the coarsest decompositions.
+    rows = load_experiment(results_dir, "fig14_pd_rep_speedup")
+    ok = None
+    if rows is not None:
+        flu = [r for r in rows if r["instance"] == "Flu_Hr-Hb"]
+        coarse = [r for r in flu if r["k"] <= 2]
+        ok = bool(coarse) and all(r.get("oom") for r in coarse)
+    checks.append(ShapeCheck("fig14_pd_rep_speedup",
+                             "Flu-Hr-Hb OOMs at coarse decompositions", ok))
+
+    # Figure 15: Flu never won by DR; some REP/SCHED win on PollenUS.
+    rows = load_experiment(results_dir, "fig15_best")
+    ok = None
+    if rows is not None:
+        by = {r["instance"]: r for r in rows}
+        flu_ok = all(
+            by[k]["winner"] != "pb-sym-dr" for k in by if k.startswith("Flu")
+        )
+        pol_ok = any(
+            by[k]["winner"] in ("pb-sym-pd-rep", "pb-sym-pd-sched")
+            for k in by if k.startswith("PollenUS")
+        )
+        ok = flu_ok and pol_ok
+    checks.append(ShapeCheck("fig15_best",
+                             "DR never wins Flu; SCHED/REP wins some PollenUS", ok))
+
+    return checks
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    results_dir = Path(args[0]) if args else Path("results")
+    if not results_dir.is_dir():
+        print(f"no results directory at {results_dir}", file=sys.stderr)
+        return 2
+    checks = check_all(results_dir)
+    print(f"shape checks over {results_dir}:")
+    failed = 0
+    for c in checks:
+        print("  " + c.describe())
+        if c.passed is False:
+            failed += 1
+    recorded = sum(1 for c in checks if c.passed is not None)
+    print(f"{recorded}/{len(checks)} experiments recorded, {failed} shape failures")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

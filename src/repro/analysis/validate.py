@@ -1,0 +1,111 @@
+"""Cross-algorithm output validation.
+
+The point-based and parallel algorithms are algebraic rearrangements of
+the voxel-based definition; their volumes must agree to floating-point
+reassociation error.  These helpers make that check a first-class
+operation (used by the test-suite, the benchmark harness — which validates
+before it times — and end users sanity-checking a new configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..algorithms.base import STKDEResult
+from ..core.grid import Volume
+
+__all__ = ["ComparisonReport", "compare_volumes", "assert_equivalent", "check_density"]
+
+VolumeLike = Union[Volume, STKDEResult, np.ndarray]
+
+
+def _data_of(v: VolumeLike) -> np.ndarray:
+    if isinstance(v, STKDEResult):
+        return v.volume.data
+    if isinstance(v, Volume):
+        return v.data
+    return np.asarray(v)
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Element-wise agreement statistics between two density volumes."""
+
+    max_abs_diff: float
+    max_rel_diff: float
+    rms_diff: float
+    allclose: bool
+
+    def describe(self) -> str:
+        status = "MATCH" if self.allclose else "MISMATCH"
+        return (
+            f"{status}: max|d|={self.max_abs_diff:.3e} "
+            f"max rel={self.max_rel_diff:.3e} rms={self.rms_diff:.3e}"
+        )
+
+
+def compare_volumes(
+    a: VolumeLike,
+    b: VolumeLike,
+    *,
+    rtol: float = 1e-10,
+    atol: float = 1e-14,
+) -> ComparisonReport:
+    """Compare two volumes; raises on shape mismatch."""
+    da, db = _data_of(a), _data_of(b)
+    if da.shape != db.shape:
+        raise ValueError(f"shape mismatch: {da.shape} vs {db.shape}")
+    diff = np.abs(da - db)
+    max_abs = float(diff.max()) if diff.size else 0.0
+    scale = np.maximum(np.abs(da), np.abs(db))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rel = np.where(scale > 0, diff / scale, 0.0)
+    max_rel = float(rel.max()) if rel.size else 0.0
+    rms = float(np.sqrt(np.mean(diff**2))) if diff.size else 0.0
+    ok = bool(np.allclose(da, db, rtol=rtol, atol=atol))
+    return ComparisonReport(max_abs, max_rel, rms, ok)
+
+
+def assert_equivalent(
+    a: VolumeLike,
+    b: VolumeLike,
+    *,
+    rtol: float = 1e-10,
+    atol: float = 1e-14,
+    context: str = "",
+) -> ComparisonReport:
+    """Raise ``AssertionError`` (with diagnostics) unless volumes agree."""
+    report = compare_volumes(a, b, rtol=rtol, atol=atol)
+    if not report.allclose:
+        prefix = f"{context}: " if context else ""
+        raise AssertionError(prefix + report.describe())
+    return report
+
+
+def check_density(v: VolumeLike, *, expect_mass: Optional[float] = None,
+                  mass_rel_tol: float = 0.5) -> None:
+    """Sanity checks every density volume must pass.
+
+    * all values finite and non-negative;
+    * optionally, total mass within ``mass_rel_tol`` of ``expect_mass``
+      (interior-heavy instances integrate to ~1; boundary truncation only
+      loses mass).
+    """
+    data = _data_of(v)
+    if not np.isfinite(data).all():
+        raise AssertionError("density volume contains non-finite values")
+    if (data < 0).any():
+        raise AssertionError("density volume contains negative values")
+    if expect_mass is not None:
+        if not isinstance(v, (Volume, STKDEResult)):
+            raise ValueError("mass check requires a Volume or STKDEResult")
+        vol = v.volume if isinstance(v, STKDEResult) else v
+        mass = vol.total_mass
+        if abs(mass - expect_mass) > mass_rel_tol * abs(expect_mass):
+            raise AssertionError(
+                f"total mass {mass:.4f} outside {mass_rel_tol:.0%} of "
+                f"{expect_mass:.4f}"
+            )

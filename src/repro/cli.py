@@ -1,0 +1,186 @@
+"""Command-line interface: ``stkde`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``instances``
+    Print the Table 2 registry at any scale.
+``run``
+    Run one algorithm on one instance; print timing, phases, and stats.
+``estimate``
+    Compute a density volume from a CSV of events and save it.
+``render``
+    ASCII-render a time slice of a saved volume.
+``select``
+    Ask the Section 6.5 cost model for the best strategy on an instance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import algorithms  # noqa: F401  (registers sequential algorithms)
+from . import parallel  # noqa: F401  (registers parallel algorithms)
+from .algorithms.base import available_algorithms, get_algorithm
+from .analysis.metrics import phase_breakdown
+from .analysis.model import select_strategy
+from .core.stkde import STKDE
+from .data.datasets import SCALES, get_instance, instance_names, iter_instances
+from .data.io import load_points_csv, load_volume, save_volume
+from .viz.render import hotspots, render_time_slice
+
+__all__ = ["main"]
+
+
+def _parse_decomposition(s: str):
+    parts = s.lower().split("x")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError("decomposition must look like 8x8x8")
+    try:
+        return tuple(int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError("decomposition must be integers AxBxC")
+
+
+def _cmd_instances(args: argparse.Namespace) -> int:
+    for inst in iter_instances(args.scale):
+        print(inst.describe())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    inst = get_instance(args.instance, args.scale)
+    grid = inst.grid()
+    pts = inst.points()
+    fn = get_algorithm(args.algorithm)
+    kwargs = {}
+    if getattr(fn, "is_parallel", False):
+        kwargs["P"] = args.threads
+        kwargs["backend"] = args.backend
+        if args.decomposition and args.algorithm != "pb-sym-dr":
+            kwargs["decomposition"] = args.decomposition
+        if args.algorithm in ("pb-sym-dr", "pb-sym-pd-rep") and args.memory_budget:
+            kwargs["memory_budget_bytes"] = inst.memory_budget_bytes
+    print(f"instance : {inst.describe()}")
+    print(f"algorithm: {args.algorithm}  {kwargs}")
+    res = fn(pts, grid, kernel=args.kernel, **kwargs)
+    print(f"elapsed  : {res.elapsed:.4f} s (measured wall)")
+    if "makespan" in res.meta:
+        print(f"makespan : {res.meta['makespan']:.4f} s (P={res.meta['P']}, {res.meta['backend']})")
+    for phase, frac in sorted(phase_breakdown(res).items()):
+        print(f"  {phase:10s} {frac:6.1%}")
+    print(f"max density: {res.data.max():.4e} at voxel {res.volume.max_voxel()}")
+    print(f"total mass : {res.volume.total_mass:.4f}")
+    if args.out:
+        save_volume(res.volume, args.out)
+        print(f"volume written to {args.out}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    pts = load_points_csv(args.points)
+    est = STKDE(
+        hs=args.hs, ht=args.ht, sres=args.sres, tres=args.tres,
+        kernel=args.kernel, algorithm=args.algorithm,
+        P=args.threads, backend=args.backend,
+    )
+    res = est.estimate(pts)
+    g = res.volume.grid
+    print(f"n={pts.n} grid={g.Gx}x{g.Gy}x{g.Gt} Hs={g.Hs} Ht={g.Ht}")
+    print(f"algorithm={res.algorithm} elapsed={res.elapsed:.4f}s")
+    save_volume(res.volume, args.out)
+    print(f"volume written to {args.out}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    vol = load_volume(args.volume)
+    T = args.time if args.time is not None else vol.max_voxel()[2]
+    print(render_time_slice(vol, T, width=args.width, height=args.height))
+    print("\ntop hotspots:")
+    for (X, Y, Tv), val in hotspots(vol, k=5):
+        print(f"  voxel ({X:4d},{Y:4d},{Tv:4d})  density {val:.4e}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    inst = get_instance(args.instance, args.scale)
+    best, ranked = select_strategy(
+        inst.grid(), inst.points(), args.threads,
+        memory_budget_bytes=inst.memory_budget_bytes if args.memory_budget else None,
+    )
+    print(f"instance: {inst.describe()}")
+    print(f"model's pick for P={args.threads}:\n  {best.describe()}\n")
+    print("full ranking:")
+    for p in ranked:
+        print(f"  {p.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stkde",
+        description="Parallel space-time kernel density estimation "
+        "(reproduction of Saule et al., ICPP 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("instances", help="list the Table 2 instances")
+    p.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    p.set_defaults(fn=_cmd_instances)
+
+    p = sub.add_parser("run", help="run an algorithm on an instance")
+    p.add_argument("--instance", required=True, choices=instance_names(), metavar="NAME")
+    p.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    p.add_argument("--algorithm", default="pb-sym", choices=available_algorithms(), metavar="ALGO")
+    p.add_argument("--kernel", default="epanechnikov")
+    p.add_argument("-P", "--threads", type=int, default=4)
+    p.add_argument("--backend", default="simulated", choices=("serial", "threads", "simulated"))
+    p.add_argument("--decomposition", type=_parse_decomposition, default=None, metavar="AxBxC")
+    p.add_argument("--memory-budget", action="store_true",
+                   help="enforce the instance's paper-proportional memory budget")
+    p.add_argument("--out", default=None, help="save the volume as .npy")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("estimate", help="estimate density from a CSV of events")
+    p.add_argument("--points", required=True)
+    p.add_argument("--hs", type=float, required=True)
+    p.add_argument("--ht", type=float, required=True)
+    p.add_argument("--sres", type=float, default=1.0)
+    p.add_argument("--tres", type=float, default=1.0)
+    p.add_argument("--kernel", default="epanechnikov")
+    p.add_argument("--algorithm", default="auto")
+    p.add_argument("-P", "--threads", type=int, default=1)
+    p.add_argument("--backend", default="simulated", choices=("serial", "threads", "simulated"))
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_estimate)
+
+    p = sub.add_parser("render", help="ASCII-render a saved volume")
+    p.add_argument("--volume", required=True)
+    p.add_argument("--time", type=int, default=None, help="voxel time index (default: densest)")
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--height", type=int, default=28)
+    p.set_defaults(fn=_cmd_render)
+
+    p = sub.add_parser("select", help="cost-model strategy selection (Section 6.5)")
+    p.add_argument("--instance", required=True, choices=instance_names(), metavar="NAME")
+    p.add_argument("--scale", choices=sorted(SCALES), default="bench")
+    p.add_argument("-P", "--threads", type=int, default=4)
+    p.add_argument("--memory-budget", action="store_true")
+    p.set_defaults(fn=_cmd_select)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

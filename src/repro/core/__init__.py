@@ -1,0 +1,23 @@
+"""Core substrate: kernels, domain/grid model, invariants, instrumentation."""
+
+from .grid import DomainSpec, GridSpec, PointSet, Volume, VoxelWindow
+from .instrument import PhaseTimer, WorkCounter
+from .invariants import bar_table, disk_table, stamp_extent
+from .kernels import KernelPair, available_kernels, get_kernel, register_kernel
+
+__all__ = [
+    "DomainSpec",
+    "GridSpec",
+    "PointSet",
+    "Volume",
+    "VoxelWindow",
+    "PhaseTimer",
+    "WorkCounter",
+    "KernelPair",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "bar_table",
+    "disk_table",
+    "stamp_extent",
+]

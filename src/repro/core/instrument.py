@@ -1,0 +1,206 @@
+"""Work accounting and phase timing instrumentation.
+
+The paper's evaluation reasons about three kinds of cost:
+
+* **initialisation** — zeroing (and first-touching) the density volume,
+  ``Theta(Gx * Gy * Gt)`` writes (Figure 7 shows instances where this
+  dominates);
+* **compute** — kernel evaluations and multiply-adds inside the point
+  cylinders, ``Theta(n * Hs^2 * Ht)``;
+* **reduction** — summing replicated volumes (PB-SYM-DR, PB-SYM-PD-REP).
+
+Every algorithm in this package accepts an optional :class:`WorkCounter`
+and reports its operations into it; the parallel schedulers additionally
+use per-task :class:`WorkCounter` snapshots as task weights.  A
+:class:`PhaseTimer` records wall-clock per phase and is what the Figure 7
+benchmark prints.
+
+Counters are plain objects passed explicitly (no globals, no thread-local
+magic) so that parallel tasks can own private counters that are merged at
+the end — the same pattern the algorithms themselves use for density
+volumes.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = ["WorkCounter", "PhaseTimer", "null_counter"]
+
+
+@dataclass
+class WorkCounter:
+    """Operation counters for one algorithm execution (or one task).
+
+    Attributes count *logical* operations, independent of vectorisation:
+
+    ``spatial_evals``
+        Evaluations of the spatial kernel ``k_s`` (one per voxel for VB/PB/
+        PB-BAR, one per disk cell for PB-DISK/PB-SYM).
+    ``temporal_evals``
+        Evaluations of the temporal kernel ``k_t``.
+    ``distance_tests``
+        Point-to-voxel distance tests (the dominant cost of VB).
+    ``madds``
+        Multiply-accumulate operations into a density volume.
+    ``init_writes``
+        Voxels zero-initialised (counts every volume allocation, including
+        replicas — this is DR's overhead).
+    ``reduce_adds``
+        Voxel additions performed when merging replicated volumes.
+    ``points_processed``
+        Number of point cylinders stamped.
+    """
+
+    spatial_evals: int = 0
+    temporal_evals: int = 0
+    distance_tests: int = 0
+    madds: int = 0
+    init_writes: int = 0
+    reduce_adds: int = 0
+    points_processed: int = 0
+
+    def merge(self, other: "WorkCounter") -> "WorkCounter":
+        """Accumulate another counter into this one (returns self)."""
+        self.spatial_evals += other.spatial_evals
+        self.temporal_evals += other.temporal_evals
+        self.distance_tests += other.distance_tests
+        self.madds += other.madds
+        self.init_writes += other.init_writes
+        self.reduce_adds += other.reduce_adds
+        self.points_processed += other.points_processed
+        return self
+
+    def total_ops(self) -> int:
+        """Aggregate logical operation count (used as a task weight)."""
+        return (
+            self.spatial_evals
+            + self.temporal_evals
+            + self.distance_tests
+            + self.madds
+            + self.init_writes
+            + self.reduce_adds
+        )
+
+    def flop_estimate(self, spatial_flops: int = 6, temporal_flops: int = 3) -> int:
+        """Rough flop count given per-kernel-evaluation costs."""
+        return (
+            self.spatial_evals * spatial_flops
+            + self.temporal_evals * temporal_flops
+            + self.distance_tests * 5
+            + self.madds * 2
+            + self.reduce_adds
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (stable key order) for serialisation."""
+        return {
+            "spatial_evals": self.spatial_evals,
+            "temporal_evals": self.temporal_evals,
+            "distance_tests": self.distance_tests,
+            "madds": self.madds,
+            "init_writes": self.init_writes,
+            "reduce_adds": self.reduce_adds,
+            "points_processed": self.points_processed,
+        }
+
+    def copy(self) -> "WorkCounter":
+        return WorkCounter(**self.as_dict())
+
+
+class _NullCounter(WorkCounter):
+    """A counter that ignores all accumulation (zero-overhead default)."""
+
+    def merge(self, other: WorkCounter) -> WorkCounter:  # pragma: no cover
+        return self
+
+    def __setattr__(self, name: str, value) -> None:
+        # Freeze at zero: attribute writes are dropped.  dataclass __init__
+        # also routes through here, which is fine (fields stay unset and the
+        # class-level defaults of 0 from WorkCounter's fields apply).
+        pass
+
+    def __getattribute__(self, name: str):
+        if name in (
+            "spatial_evals",
+            "temporal_evals",
+            "distance_tests",
+            "madds",
+            "init_writes",
+            "reduce_adds",
+            "points_processed",
+        ):
+            return 0
+        return object.__getattribute__(self, name)
+
+
+_NULL = _NullCounter()
+
+
+def null_counter() -> WorkCounter:
+    """Shared do-nothing counter used when callers pass ``counter=None``."""
+    return _NULL
+
+
+class PhaseTimer:
+    """Wall-clock accumulation per named phase.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("init"):
+            volume = grid.allocate()
+        with timer.phase("compute"):
+            ...
+
+    ``timer.seconds`` maps phase name to accumulated seconds;
+    ``timer.total`` is their sum.  Phases may be entered repeatedly; nesting
+    different phases is allowed (each measures its own span), re-entering
+    the *same* phase recursively is rejected because the accounting would
+    double-count.
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self._open: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        if name in self._open:
+            raise RuntimeError(f"phase {name!r} is already open")
+        self._open[name] = time.perf_counter()
+        try:
+            yield
+        finally:
+            start = self._open.pop(name)
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured span (e.g. from a worker)."""
+        if seconds < 0:
+            raise ValueError("cannot add negative time")
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase durations."""
+        return sum(self.seconds.values())
+
+    def fraction(self, name: str) -> float:
+        """Share of total time spent in ``name`` (0.0 if nothing recorded)."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.seconds.get(name, 0.0) / total
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self.seconds.items()))
+        return f"PhaseTimer({parts})"

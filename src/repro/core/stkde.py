@@ -1,0 +1,163 @@
+"""High-level STKDE estimator facade — the library's front door.
+
+Wraps algorithm selection, domain inference, and execution behind one
+object::
+
+    from repro import STKDE, PointSet
+
+    est = STKDE(hs=750.0, ht=7.0, sres=100.0, tres=1.0)
+    result = est.estimate(points)          # auto-picks an algorithm
+    volume = result.volume                 # (Gx, Gy, Gt) density + geometry
+
+``algorithm="auto"`` consults the Section 6.5 cost model: sequential
+PB-SYM for small work, otherwise the predicted-fastest parallel strategy
+under the machine's memory budget.  Any registered algorithm name can be
+forced explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import STKDEResult, get_algorithm
+from .grid import DomainSpec, GridSpec, PointSet
+from .instrument import PhaseTimer, WorkCounter
+from .kernels import KernelPair, get_kernel
+
+__all__ = ["STKDE", "infer_domain"]
+
+
+def infer_domain(
+    points: PointSet,
+    *,
+    sres: float,
+    tres: float,
+    hs: float,
+    ht: float,
+    pad_bandwidth: bool = True,
+) -> DomainSpec:
+    """Bounding-box domain for a point set.
+
+    Pads by one bandwidth on every side (unless ``pad_bandwidth=False``)
+    so no density cylinder is clipped by an artificial boundary.
+    """
+    if points.n == 0:
+        raise ValueError("cannot infer a domain from zero points")
+    pad_s = hs if pad_bandwidth else 0.0
+    pad_t = ht if pad_bandwidth else 0.0
+    x0 = float(points.xs.min()) - pad_s
+    y0 = float(points.ys.min()) - pad_s
+    t0 = float(points.ts.min()) - pad_t
+    gx = float(points.xs.max()) + pad_s - x0
+    gy = float(points.ys.max()) + pad_s - y0
+    gt = float(points.ts.max()) + pad_t - t0
+    # Degenerate extents (all points on a line/instant) still need >= one
+    # voxel of domain.
+    gx = max(gx, sres)
+    gy = max(gy, sres)
+    gt = max(gt, tres)
+    return DomainSpec(gx=gx, gy=gy, gt=gt, sres=sres, tres=tres, x0=x0, y0=y0, t0=t0)
+
+
+@dataclass
+class STKDE:
+    """Space-time kernel density estimator.
+
+    Parameters
+    ----------
+    hs, ht:
+        Spatial / temporal bandwidths in domain units.
+    sres, tres:
+        Grid resolutions (used when the domain is inferred; ignored when
+        an explicit :class:`DomainSpec` is passed to :meth:`estimate`).
+    kernel:
+        Kernel pair name (``"epanechnikov"`` default) or a
+        :class:`KernelPair`.
+    algorithm:
+        Registered algorithm name, or ``"auto"`` to let the cost model
+        choose.
+    P, backend, decomposition:
+        Parallel execution parameters, forwarded to parallel algorithms.
+    memory_budget_bytes:
+        Optional memory ceiling for strategy selection and execution.
+    """
+
+    hs: float
+    ht: float
+    sres: float = 1.0
+    tres: float = 1.0
+    kernel: str | KernelPair = "epanechnikov"
+    algorithm: str = "auto"
+    P: int = 1
+    backend: str = "simulated"
+    decomposition: Optional[Tuple[int, int, int]] = None
+    memory_budget_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.hs <= 0 or self.ht <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.sres <= 0 or self.tres <= 0:
+            raise ValueError("resolutions must be positive")
+        get_kernel(self.kernel)  # fail fast on unknown kernels
+
+    # ------------------------------------------------------------------
+    def grid_for(self, points: PointSet, domain: Optional[DomainSpec] = None) -> GridSpec:
+        """The grid this estimator would use for the given points."""
+        dom = domain or infer_domain(
+            points, sres=self.sres, tres=self.tres, hs=self.hs, ht=self.ht
+        )
+        return GridSpec(dom, hs=self.hs, ht=self.ht)
+
+    def _choose_algorithm(self, points: PointSet, grid: GridSpec) -> Tuple[str, dict]:
+        if self.algorithm != "auto":
+            name = self.algorithm
+            fn = get_algorithm(name)  # raises on unknown
+            kwargs = {}
+            if getattr(fn, "is_parallel", False):
+                kwargs["P"] = self.P
+                kwargs["backend"] = self.backend
+                if self.decomposition is not None and name != "pb-sym-dr":
+                    kwargs["decomposition"] = self.decomposition
+                if name in ("pb-sym-dr", "pb-sym-pd-rep"):
+                    kwargs["memory_budget_bytes"] = self.memory_budget_bytes
+            return name, kwargs
+        if self.P <= 1:
+            return "pb-sym", {}
+        from ..analysis.model import select_strategy
+
+        best, _ = select_strategy(
+            grid, points, self.P, memory_budget_bytes=self.memory_budget_bytes
+        )
+        kwargs = {"P": self.P, "backend": self.backend}
+        if best.decomposition is not None:
+            kwargs["decomposition"] = best.decomposition
+        if best.algorithm in ("pb-sym-dr", "pb-sym-pd-rep"):
+            kwargs["memory_budget_bytes"] = self.memory_budget_bytes
+        return best.algorithm, kwargs
+
+    def estimate(
+        self,
+        points: PointSet | np.ndarray,
+        domain: Optional[DomainSpec] = None,
+        *,
+        counter: Optional[WorkCounter] = None,
+        timer: Optional[PhaseTimer] = None,
+    ) -> STKDEResult:
+        """Compute the density volume for a point set.
+
+        ``points`` may be a :class:`PointSet` or a raw ``(n, 3)`` array of
+        ``(x, y, t)`` rows.  Without an explicit ``domain`` the bounding
+        box (padded by one bandwidth) is used.
+        """
+        pts = points if isinstance(points, PointSet) else PointSet(points)
+        grid = self.grid_for(pts, domain)
+        name, kwargs = self._choose_algorithm(pts, grid)
+        fn = get_algorithm(name)
+        result = fn(
+            pts, grid, kernel=self.kernel, counter=counter, timer=timer, **kwargs
+        )
+        result.meta.setdefault("selected_by", "user" if self.algorithm != "auto" else "model")
+        return result

@@ -1,0 +1,42 @@
+"""Datasets: synthetic generators, the Table 2 instance registry, and I/O."""
+
+from .datasets import (
+    Instance,
+    PaperInstance,
+    SCALES,
+    get_instance,
+    instance_names,
+    iter_instances,
+    paper_table2,
+)
+from .io import load_points_csv, load_volume, save_points_csv, save_volume
+from .synthetic import (
+    cluster_process,
+    dengue_like,
+    ebird_like,
+    flu_like,
+    generator_for,
+    pollen_like,
+    uniform_process,
+)
+
+__all__ = [
+    "Instance",
+    "PaperInstance",
+    "SCALES",
+    "get_instance",
+    "instance_names",
+    "iter_instances",
+    "paper_table2",
+    "load_points_csv",
+    "load_volume",
+    "save_points_csv",
+    "save_volume",
+    "cluster_process",
+    "dengue_like",
+    "ebird_like",
+    "flu_like",
+    "generator_for",
+    "pollen_like",
+    "uniform_process",
+]

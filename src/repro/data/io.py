@@ -1,0 +1,112 @@
+"""Point and volume I/O.
+
+Events travel as CSV (``x,y,t`` columns, header line) — the universal
+interchange format for the GIS tooling this library sits next to.  Density
+volumes travel as ``.npy`` with a JSON sidecar capturing the full
+:class:`~repro.core.grid.DomainSpec` and bandwidths, so a saved volume can
+be reloaded into a correctly georeferenced :class:`~repro.core.grid.Volume`
+without guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from ..core.grid import DomainSpec, GridSpec, PointSet, Volume
+
+__all__ = [
+    "save_points_csv",
+    "load_points_csv",
+    "save_volume",
+    "load_volume",
+]
+
+PathLike = Union[str, Path]
+
+
+def save_points_csv(points: PointSet, path: PathLike) -> None:
+    """Write events as ``x,y,t`` CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savetxt(
+        path,
+        points.coords,
+        delimiter=",",
+        header="x,y,t",
+        comments="",
+        fmt="%.17g",
+    )
+
+
+def load_points_csv(path: PathLike) -> PointSet:
+    """Read events from ``x,y,t`` CSV (header row optional)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such point file: {path}")
+    with open(path, "r", encoding="utf-8") as fh:
+        first = fh.readline()
+    skip = 1 if any(c.isalpha() for c in first) else 0
+    arr = np.loadtxt(path, delimiter=",", skiprows=skip, ndmin=2)
+    if arr.shape[1] != 3:
+        raise ValueError(
+            f"{path}: expected 3 columns (x, y, t), found {arr.shape[1]}"
+        )
+    return PointSet(arr)
+
+
+def _sidecar(path: Path) -> Path:
+    return path.with_suffix(path.suffix + ".json")
+
+
+def save_volume(volume: Volume, path: PathLike) -> None:
+    """Write a density volume as ``.npy`` plus a JSON geometry sidecar."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.save(path, volume.data)
+    d = volume.grid.domain
+    meta = {
+        "format": "repro-stkde-volume",
+        "version": 1,
+        "domain": {
+            "gx": d.gx, "gy": d.gy, "gt": d.gt,
+            "sres": d.sres, "tres": d.tres,
+            "x0": d.x0, "y0": d.y0, "t0": d.t0,
+        },
+        "hs": volume.grid.hs,
+        "ht": volume.grid.ht,
+        "shape": list(volume.data.shape),
+    }
+    # np.save may have appended ".npy"; mirror that for the sidecar.
+    target = path if path.suffix == ".npy" else path.with_suffix(path.suffix + ".npy")
+    with open(_sidecar(target), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2)
+
+
+def load_volume(path: PathLike) -> Volume:
+    """Reload a volume saved by :func:`save_volume`."""
+    path = Path(path)
+    if path.suffix != ".npy":
+        path = path.with_suffix(path.suffix + ".npy")
+    if not path.exists():
+        raise FileNotFoundError(f"no such volume file: {path}")
+    side = _sidecar(path)
+    if not side.exists():
+        raise FileNotFoundError(
+            f"volume sidecar missing: {side} (was the volume saved with save_volume?)"
+        )
+    with open(side, "r", encoding="utf-8") as fh:
+        meta = json.load(fh)
+    if meta.get("format") != "repro-stkde-volume":
+        raise ValueError(f"{side}: not a repro STKDE volume sidecar")
+    data = np.load(path)
+    if list(data.shape) != meta["shape"]:
+        raise ValueError(
+            f"{path}: array shape {data.shape} disagrees with sidecar {meta['shape']}"
+        )
+    dom = DomainSpec(**meta["domain"])
+    grid = GridSpec(dom, hs=meta["hs"], ht=meta["ht"])
+    return Volume(data, grid)

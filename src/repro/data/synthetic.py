@@ -1,0 +1,255 @@
+"""Synthetic space-time point processes emulating the paper's datasets.
+
+The paper evaluates on four proprietary/large corpora (Section 6.1):
+Dengue surveillance (Cali, Colombia), PollenUS tweets, avian Flu
+observations, and eBird sightings.  None are redistributable, so this
+module provides generators that reproduce the *structural* properties that
+drive the paper's performance results:
+
+* **clustering** — points concentrate in hot spots, which is what creates
+  the load imbalance that breaks PB-SYM-DD/PD (Sections 4.2, 5.1);
+* **density regime** — the ratio of points to domain volume determines
+  whether an instance is initialisation- or compute-dominated (Figure 7):
+  Flu is ~31K points over the whole planet (init-dominated), eBird is
+  hundreds of millions (compute-dominated);
+* **temporal structure** — epidemic waves, seasonal ramps, migration.
+
+All generators work in *voxel-unit* domain coordinates: points live in
+``[0, Gx) x [0, Gy) x [0, Gt)`` with ``sres = tres = 1``, matching how
+Table 2 specifies the instances.  Generators are deterministic given a
+seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.grid import PointSet
+
+__all__ = [
+    "uniform_process",
+    "cluster_process",
+    "dengue_like",
+    "pollen_like",
+    "flu_like",
+    "ebird_like",
+    "generator_for",
+]
+
+Extent = Tuple[float, float, float]
+
+
+def _clip_to_extent(pts: np.ndarray, extent: Extent) -> np.ndarray:
+    """Clip coordinates into the half-open domain box."""
+    hi = np.asarray(extent) * (1.0 - 1e-9)
+    return np.clip(pts, 0.0, hi)
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+
+
+def uniform_process(n: int, extent: Extent, seed: int = 0) -> PointSet:
+    """Homogeneous Poisson-like process: ``n`` uniform points in the box."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform([0.0, 0.0, 0.0], extent, size=(n, 3))
+    return PointSet(_clip_to_extent(pts, extent))
+
+
+def cluster_process(
+    n: int,
+    extent: Extent,
+    *,
+    n_clusters: int,
+    spatial_sigma: float,
+    temporal_sigma: float,
+    cluster_weights: Optional[np.ndarray] = None,
+    centers: Optional[np.ndarray] = None,
+    background_fraction: float = 0.05,
+    seed: int = 0,
+) -> PointSet:
+    """Generic space-time cluster mixture (Neyman-Scott style).
+
+    ``n_clusters`` parents are placed uniformly (or given via ``centers``,
+    an ``(k, 3)`` array); each of the ``n`` offspring picks a parent
+    according to ``cluster_weights`` (uniform by default) and scatters
+    around it with the given spatial/temporal Gaussian sigmas.  A
+    ``background_fraction`` of points is uniform noise — real surveillance
+    data always has stragglers.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    if not 0.0 <= background_fraction <= 1.0:
+        raise ValueError("background_fraction must be within [0, 1]")
+    rng = np.random.default_rng(seed)
+    ext = np.asarray(extent, dtype=np.float64)
+    if centers is None:
+        centers = rng.uniform(0.1 * ext, 0.9 * ext, size=(n_clusters, 3))
+    else:
+        centers = np.asarray(centers, dtype=np.float64)
+        if centers.shape != (n_clusters, 3):
+            raise ValueError("centers must have shape (n_clusters, 3)")
+    if cluster_weights is None:
+        weights = np.full(n_clusters, 1.0 / n_clusters)
+    else:
+        weights = np.asarray(cluster_weights, dtype=np.float64)
+        if weights.shape != (n_clusters,) or weights.min() < 0:
+            raise ValueError("cluster_weights must be k non-negative values")
+        weights = weights / weights.sum()
+
+    n_bg = int(round(n * background_fraction))
+    n_cl = n - n_bg
+    which = rng.choice(n_clusters, size=n_cl, p=weights)
+    scatter = rng.normal(0.0, 1.0, size=(n_cl, 3)) * np.array(
+        [spatial_sigma, spatial_sigma, temporal_sigma]
+    )
+    clustered = centers[which] + scatter
+    background = rng.uniform(0.0, ext, size=(n_bg, 3))
+    pts = np.vstack([clustered, background]) if n_bg else clustered
+    return PointSet(_clip_to_extent(pts, extent))
+
+
+def dengue_like(n: int, extent: Extent, seed: int = 0) -> PointSet:
+    """Urban epidemic: a dozen neighbourhood clusters, two seasonal waves.
+
+    Mimics the Cali dengue-surveillance structure: cases concentrate in a
+    handful of neighbourhoods and arrive in two epidemic waves over the two
+    recorded years (the 2010 wave being much larger, cf. 9,606 vs 1,562
+    geocoded cases).
+    """
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    ext = np.asarray(extent, dtype=np.float64)
+    k = 12
+    centers_xy = rng.uniform(0.15 * ext[:2], 0.85 * ext[:2], size=(k, 2))
+    weights = rng.dirichlet(np.full(k, 0.7))
+    # Two epidemic waves; the first carries ~85% of the mass.
+    wave_centers = np.array([0.22, 0.70]) * ext[2]
+    wave_sigmas = np.array([0.08, 0.06]) * ext[2]
+    wave_probs = np.array([0.85, 0.15])
+
+    which = rng.choice(k, size=n, p=weights)
+    sigma = 0.03 * float(min(ext[0], ext[1]))
+    xy = centers_xy[which] + rng.normal(0.0, sigma, size=(n, 2))
+    wave = rng.choice(2, size=n, p=wave_probs)
+    t = rng.normal(wave_centers[wave], wave_sigmas[wave])
+    pts = np.column_stack([xy, t])
+    return PointSet(_clip_to_extent(pts, extent))
+
+
+def pollen_like(n: int, extent: Extent, seed: int = 0) -> PointSet:
+    """Continental social-media burst: Zipf-weighted metro clusters.
+
+    Mimics the PollenUS tweet corpus: hundreds of thousands of messages
+    concentrated in metropolitan areas (population ~ Zipf), rising and
+    falling over a three-month allergy season.  The extreme weight of the
+    top metros is what gives PollenUS the worst DD overhead and the longest
+    PD critical path in Figures 9-12.
+    """
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    ext = np.asarray(extent, dtype=np.float64)
+    k = 40
+    centers_xy = rng.uniform(0.05 * ext[:2], 0.95 * ext[:2], size=(k, 2))
+    ranks = np.arange(1, k + 1, dtype=np.float64)
+    weights = (1.0 / ranks) / (1.0 / ranks).sum()  # Zipf s=1
+    which = rng.choice(k, size=n, p=weights)
+    sigma = 0.012 * float(min(ext[0], ext[1]))
+    xy = centers_xy[which] + rng.normal(0.0, sigma, size=(n, 2))
+    # Season ramp: Beta(2.2, 2.8) rises to a peak ~40% in, then decays.
+    t = rng.beta(2.2, 2.8, size=n) * ext[2]
+    pts = np.column_stack([xy, t])
+    return PointSet(_clip_to_extent(pts, extent))
+
+
+def flu_like(n: int, extent: Extent, seed: int = 0) -> PointSet:
+    """Sparse global surveillance along migratory flyways.
+
+    Mimics the avian-flu observations: few points spread along a handful
+    of long flyway corridors spanning the whole domain, with yearly
+    periodicity in time.  The defining property is *sparsity*: the domain
+    is enormous relative to n, so initialisation dominates (Figure 7) and
+    every parallel strategy is memory-bound on these instances.
+    """
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    ext = np.asarray(extent, dtype=np.float64)
+    n_flyways = 4
+    waypoints_per_flyway = 5
+    flyways = []
+    for _ in range(n_flyways):
+        w = rng.uniform(0.05 * ext[:2], 0.95 * ext[:2], size=(waypoints_per_flyway, 2))
+        # Sort by x so each flyway sweeps across the domain.
+        flyways.append(w[np.argsort(w[:, 0])])
+    seg_choice = rng.integers(0, n_flyways, size=n)
+    pos = rng.uniform(0.0, 1.0, size=n)  # position along the flyway
+    xy = np.empty((n, 2))
+    for i in range(n):
+        w = flyways[seg_choice[i]]
+        s = pos[i] * (len(w) - 1)
+        j = min(int(s), len(w) - 2)
+        frac = s - j
+        xy[i] = (1 - frac) * w[j] + frac * w[j + 1]
+    xy += rng.normal(0.0, 0.02 * float(min(ext[0], ext[1])), size=(n, 2))
+    # Migration: time correlates with position along the flyway, repeating
+    # over ~yearly cycles.
+    n_cycles = max(1, int(round(ext[2] / max(ext[2] / 4.0, 1.0))))
+    cycle = rng.integers(0, n_cycles, size=n)
+    t = (cycle + pos) / n_cycles * ext[2] + rng.normal(0, 0.01 * ext[2], size=n)
+    pts = np.column_stack([xy, t])
+    return PointSet(_clip_to_extent(pts, extent))
+
+
+def ebird_like(n: int, extent: Extent, seed: int = 0) -> PointSet:
+    """Dense crowdsourced sightings: heavy-tailed hotspot process.
+
+    Mimics eBird: a very large number of observations concentrated at
+    birding hotspots whose popularity is heavy-tailed, active year-round.
+    The defining property is *density*: compute dwarfs initialisation,
+    which is why replication-based parallel strategies shine on eBird-Lr
+    (Figure 15) until memory runs out at high resolution.
+    """
+    _check_n(n)
+    rng = np.random.default_rng(seed)
+    ext = np.asarray(extent, dtype=np.float64)
+    k = 150
+    centers_xy = rng.uniform(0.02 * ext[:2], 0.98 * ext[:2], size=(k, 2))
+    ranks = np.arange(1, k + 1, dtype=np.float64)
+    weights = ranks ** (-1.3)
+    weights /= weights.sum()
+    which = rng.choice(k, size=n, p=weights)
+    sigma = 0.008 * float(min(ext[0], ext[1]))
+    xy = centers_xy[which] + rng.normal(0.0, sigma, size=(n, 2))
+    # Year-round activity with mild seasonality.
+    t = rng.uniform(0.0, ext[2], size=n)
+    season = 0.1 * ext[2] * np.sin(2 * math.pi * t / max(ext[2] / 3.0, 1.0))
+    t = np.clip(t + 0.2 * season, 0.0, ext[2])
+    pts = np.column_stack([xy, t])
+    return PointSet(_clip_to_extent(pts, extent))
+
+
+_GENERATORS = {
+    "dengue": dengue_like,
+    "pollen": pollen_like,
+    "flu": flu_like,
+    "ebird": ebird_like,
+    "uniform": uniform_process,
+}
+
+
+def generator_for(dataset: str):
+    """Generator callable for a dataset kind (``dengue``/``pollen``/...)."""
+    try:
+        return _GENERATORS[dataset]
+    except KeyError:
+        known = ", ".join(sorted(_GENERATORS))
+        raise KeyError(f"unknown dataset {dataset!r}; available: {known}") from None

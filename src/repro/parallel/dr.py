@@ -1,0 +1,195 @@
+"""PB-SYM-DR: domain replication (Section 4.1, Algorithm 4).
+
+The simplest parallelisation: split the points evenly over ``P`` workers,
+give each worker a *private copy of the whole volume* (so concurrent
+cylinder stamps can never race), then sum the ``P`` copies.  Three
+pleasingly-parallel phases:
+
+1. **init** — each worker zeroes its private volume (memory-bound);
+2. **compute** — each worker stamps its point chunk with PB-SYM;
+3. **reduce** — the ``P`` copies are summed slab-by-slab (memory-bound).
+
+The price is work inflation: ``Theta(P * Gx*Gy*Gt + n*Hs^2*Ht)`` and
+``Theta(P * Gx*Gy*Gt)`` memory.  On init-dominated instances the extra
+volume traffic *exceeds* the parallel gain (speedups below 1 in Figure 8),
+and on large grids the replicas simply do not fit — Flu-Hr dies at 8
+threads, eBird-Hr cannot run at all.  Both behaviours reproduce here via
+the memory-budget check and the bandwidth-saturated phase model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..algorithms.base import STKDEResult, register_algorithm
+from ..algorithms.pb_sym import stamp_points_sym
+from ..core.grid import GridSpec, PointSet, Volume
+from ..core.instrument import PhaseTimer, WorkCounter
+from ..core.kernels import KernelPair, get_kernel
+from .executors import ExecTask, check_memory_budget, run_serial, run_threaded
+from .schedule import BandwidthModel, TaskGraph, list_schedule, saturated_makespan
+
+__all__ = ["pb_sym_dr"]
+
+
+def _point_chunks(n: int, P: int) -> List[slice]:
+    """Split ``range(n)`` into ``P`` near-equal contiguous slices."""
+    bounds = [(n * p) // P for p in range(P + 1)]
+    return [slice(bounds[p], bounds[p + 1]) for p in range(P)]
+
+
+def _slab_slices(Gx: int, P: int) -> List[slice]:
+    """Split the leading axis into ``P`` near-equal slabs."""
+    bounds = [(Gx * p) // P for p in range(P + 1)]
+    return [slice(bounds[p], bounds[p + 1]) for p in range(P)]
+
+
+@register_algorithm("pb-sym-dr", parallel=True)
+def pb_sym_dr(
+    points: PointSet,
+    grid: GridSpec,
+    *,
+    P: int = 4,
+    backend: str = "simulated",
+    kernel: str | KernelPair = "epanechnikov",
+    counter: Optional[WorkCounter] = None,
+    timer: Optional[PhaseTimer] = None,
+    memory_budget_bytes: Optional[int] = None,
+    bandwidth: Optional[BandwidthModel] = None,
+) -> STKDEResult:
+    """Domain-replication parallel STKDE (PB-SYM-DR).
+
+    Parameters
+    ----------
+    P:
+        Worker count (virtual processors under the ``simulated`` backend).
+    backend:
+        ``"serial"``, ``"threads"`` or ``"simulated"`` (see
+        :mod:`repro.parallel.executors`).
+    memory_budget_bytes:
+        Emulated machine memory; DR needs ``P + 1`` volume copies and
+        raises :class:`~repro.parallel.executors.MemoryBudgetExceeded`
+        when they do not fit (the paper's Figure 8 OOMs).
+
+    Returns a result whose ``meta`` carries the (simulated or real)
+    parallel makespan under ``meta["makespan"]`` and the per-phase
+    breakdown under ``meta["phase_makespans"]``.
+    """
+    if P < 1:
+        raise ValueError("P must be >= 1")
+    kern = get_kernel(kernel)
+    counter = counter if counter is not None else WorkCounter()
+    timer = timer if timer is not None else PhaseTimer()
+    bw = bandwidth or BandwidthModel()
+
+    check_memory_budget(
+        (P + 1) * grid.grid_bytes, memory_budget_bytes, f"PB-SYM-DR with P={P}"
+    )
+
+    norm = grid.normalization(points.n)
+    locals_: List[Optional[np.ndarray]] = [None] * P
+    # The output volume is one of the P+1 copies; it is *not* zeroed here —
+    # the reduce phase overwrites it (as Algorithm 4's final loop does), so
+    # its first touch is accounted to the reduce tasks.
+    out = np.empty(grid.shape, dtype=np.float64)
+    chunks = _point_chunks(points.n, P)
+    slabs = _slab_slices(grid.Gx, P)
+    counters = [WorkCounter() for _ in range(P)]
+
+    def make_init(p: int):
+        def fn() -> None:
+            locals_[p] = grid.allocate()
+            counters[p].init_writes += grid.n_voxels
+
+        return fn
+
+    def make_compute(p: int):
+        def fn() -> None:
+            assert locals_[p] is not None
+            stamp_points_sym(
+                locals_[p], grid, kern, points.coords[chunks[p]], norm, counters[p]
+            )
+            counters[p].points_processed += chunks[p].stop - chunks[p].start
+
+        return fn
+
+    def make_reduce(p: int):
+        def fn() -> None:
+            sl = slabs[p]
+            acc = out[sl]
+            np.copyto(acc, locals_[0][sl])  # type: ignore[index]
+            for q in range(1, P):
+                acc += locals_[q][sl]  # type: ignore[index]
+            counters[p].reduce_adds += P * acc.size
+
+        return fn
+
+    init_tasks = [ExecTask(make_init(p), color=0, label=("init", p)) for p in range(P)]
+    comp_tasks = [
+        ExecTask(make_compute(p), color=1, label=("compute", p)) for p in range(P)
+    ]
+    red_tasks = [
+        ExecTask(make_reduce(p), color=2, label=("reduce", p)) for p in range(P)
+    ]
+
+    # Dependency DAG: compute[p] after init[p]; every reduce after every
+    # compute (the reduction reads all local copies).
+    tasks = init_tasks + comp_tasks + red_tasks
+    n_t = len(tasks)
+    succs: List[List[int]] = [[] for _ in range(n_t)]
+    preds: List[List[int]] = [[] for _ in range(n_t)]
+    for p in range(P):
+        succs[p].append(P + p)
+        preds[P + p].append(p)
+        for r in range(P):
+            succs[P + p].append(2 * P + r)
+            preds[2 * P + r].append(P + p)
+    graph = TaskGraph([t.weight_hint for t in tasks], succs, preds)
+
+    if backend == "threads":
+        with timer.phase("parallel"):
+            wall = run_threaded(tasks, graph, P)
+        makespan = wall
+        phase_ms = {
+            "init": sum(t.measured for t in init_tasks) / P,
+            "compute": max(t.measured for t in comp_tasks),
+            "reduce": sum(t.measured for t in red_tasks) / P,
+        }
+    elif backend in ("serial", "simulated"):
+        with timer.phase("init"):
+            run_serial(init_tasks)
+        with timer.phase("compute"):
+            run_serial(comp_tasks)
+        with timer.phase("reduce"):
+            run_serial(red_tasks)
+        init_ms = saturated_makespan([t.measured for t in init_tasks], P, bw)
+        comp_sched = list_schedule(
+            TaskGraph([t.measured for t in comp_tasks], [[] for _ in range(P)], [[] for _ in range(P)]),
+            P,
+        )
+        red_ms = saturated_makespan([t.measured for t in red_tasks], P, bw)
+        phase_ms = {"init": init_ms, "compute": comp_sched.makespan, "reduce": red_ms}
+        makespan = init_ms + comp_sched.makespan + red_ms
+        if backend == "serial":
+            makespan = sum(t.measured for t in tasks)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+
+    for c in counters:
+        counter.merge(c)
+
+    return STKDEResult(
+        Volume(out, grid),
+        "pb-sym-dr",
+        timer,
+        counter,
+        meta={
+            "P": P,
+            "backend": backend,
+            "makespan": makespan,
+            "phase_makespans": phase_ms,
+            "memory_bytes": (P + 1) * grid.grid_bytes,
+        },
+    )

@@ -1,0 +1,376 @@
+"""PB-SYM-PD-REP: critical-path replication / moldable tasks (Section 5.2).
+
+PD-SCHED's parallelism is still capped by Graham's bound: a chain of heavy
+neighbouring subdomains forces ``T_P >= T_infty``.  PB-SYM-PD-REP attacks
+``T_infty`` directly: subdomains on the critical path are made **moldable**
+— their points are split across ``r`` replica tasks that stamp into
+*private halo buffers*, merged by a reduction task.  Replication buys
+parallelism inside a block at the price of extra volume initialisation and
+reduction (the DR trade-off, but paid *only where the critical path needs
+it*).
+
+The driving loop follows the paper: *"as long as the critical path is
+longer than* ``T1 / (2P)`` *, the tasks on the path are replicated an
+additional time and the critical path is recomputed."*  Costs are
+estimated from two micro-calibrations (per-point stamp time, per-voxel
+memory time) so the replica overhead — ``2 x halo_volume`` memory
+operations per extra replica — is weighed in the same units as the
+stamping work.
+
+Memory behaviour reproduces Figure 14: with a coarse decomposition the
+"blocks" are nearly the whole domain, replication degenerates to DR, and
+large instances exceed the memory budget (Flu-Hr dies at small
+decompositions).
+
+Note on naming: the paper's text calls this algorithm PB-SYM-PD-REP while
+Figure 15's legend calls it PB-SYM-PD-SCHED-REP (it builds on the SCHED
+colouring); we register it as ``"pb-sym-pd-rep"``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..algorithms.base import STKDEResult, register_algorithm
+from ..algorithms.pb_sym import stamp_points_sym
+from ..core.grid import GridSpec, PointSet, Volume
+from ..core.instrument import PhaseTimer, WorkCounter
+from ..core.kernels import KernelPair, get_kernel
+from .color import greedy_coloring, load_order, occupied_neighbor_map
+from .executors import ExecTask, check_memory_budget, run_serial, run_threaded
+from .partition import BlockDecomposition
+from .schedule import (
+    BandwidthModel,
+    TaskGraph,
+    build_task_graph,
+    critical_path,
+    list_schedule,
+    saturated_makespan,
+)
+
+__all__ = ["pb_sym_pd_rep", "plan_replication"]
+
+#: Hard cap on replication-refinement iterations (each iteration increments
+#: every critical-path task once; progress stalls long before this).
+_MAX_REP_ITERATIONS = 64
+
+
+def plan_replication(
+    weights: List[float],
+    overheads: List[float],
+    succs: List[List[int]],
+    preds: List[List[int]],
+    P: int,
+    max_replicas: List[int],
+) -> Tuple[List[int], float, float]:
+    """Choose per-task replication factors by critical-path refinement.
+
+    ``weights[v]`` is task v's estimated cost, ``overheads[v]`` the *extra*
+    cost each replica adds (halo init + reduce share), ``max_replicas[v]``
+    the point count (a task cannot split finer than one point per
+    replica).  Implements the paper's loop: while the critical path
+    exceeds ``T1 / (2P)``, replicate every task on it once more.
+
+    Returns ``(replicas, Tinf_before, Tinf_after)`` where the effective
+    weight of a task with ``r`` replicas is ``w/r + overhead`` (its
+    replicas run in parallel; the reduction is folded into the overhead).
+    """
+    n = len(weights)
+    if not (len(overheads) == len(succs) == len(preds) == len(max_replicas) == n):
+        raise ValueError("mismatched plan inputs")
+    T1 = sum(weights)
+    replicas = [1] * n
+
+    def eff(v: int) -> float:
+        r = replicas[v]
+        return weights[v] / r + (overheads[v] if r > 1 else 0.0)
+
+    def current_cp() -> Tuple[float, List[int]]:
+        g = TaskGraph([eff(v) for v in range(n)], succs, preds)
+        return critical_path(g)
+
+    tinf0, _ = current_cp()
+    tinf = tinf0
+    threshold = T1 / (2 * P) if P > 0 else 0.0
+    for _ in range(_MAX_REP_ITERATIONS):
+        if tinf <= threshold:
+            break
+        length, path = current_cp()
+        progressed = False
+        for v in path:
+            if replicas[v] < max_replicas[v]:
+                # Only replicate if splitting further actually shrinks the
+                # effective weight (overhead can make it a net loss).
+                r_new = replicas[v] + 1
+                new_eff = weights[v] / r_new + overheads[v]
+                if new_eff < eff(v):
+                    replicas[v] = r_new
+                    progressed = True
+        if not progressed:
+            break
+        tinf, _ = current_cp()
+    return replicas, tinf0, tinf
+
+
+def _slab_slices(Gx: int, P: int) -> List[slice]:
+    bounds = [(Gx * p) // P for p in range(P + 1)]
+    return [slice(bounds[p], bounds[p + 1]) for p in range(P)]
+
+
+def _calibrate(
+    grid: GridSpec, points: PointSet, kern: KernelPair, norm: float
+) -> Tuple[float, float]:
+    """Measure (seconds per stamped point, seconds per voxel of memory op).
+
+    Tiny throwaway runs; the ratio weighs replica overhead against stamping
+    work in :func:`plan_replication`.
+    """
+    sample = points.coords[: min(32, points.n)]
+    scratch = np.zeros(grid.shape, dtype=np.float64)
+    c = WorkCounter()
+    t0 = time.perf_counter()
+    stamp_points_sym(scratch, grid, kern, sample, norm, c)
+    c_pt = (time.perf_counter() - t0) / max(1, len(sample))
+    m = np.empty(1 << 20, dtype=np.float64)
+    t0 = time.perf_counter()
+    m.fill(0.0)
+    m += 1.0
+    c_vox = (time.perf_counter() - t0) / (2 * m.size)
+    return max(c_pt, 1e-9), max(c_vox, 1e-12)
+
+
+@register_algorithm("pb-sym-pd-rep", parallel=True)
+def pb_sym_pd_rep(
+    points: PointSet,
+    grid: GridSpec,
+    *,
+    decomposition: Tuple[int, int, int] = (8, 8, 8),
+    P: int = 4,
+    backend: str = "simulated",
+    kernel: str | KernelPair = "epanechnikov",
+    counter: Optional[WorkCounter] = None,
+    timer: Optional[PhaseTimer] = None,
+    memory_budget_bytes: Optional[int] = None,
+    bandwidth: Optional[BandwidthModel] = None,
+) -> STKDEResult:
+    """Point decomposition with critical-path replication (PB-SYM-PD-REP)."""
+    if P < 1:
+        raise ValueError("P must be >= 1")
+    kern = get_kernel(kernel)
+    counter = counter if counter is not None else WorkCounter()
+    timer = timer if timer is not None else PhaseTimer()
+    bw = bandwidth or BandwidthModel()
+
+    dec = BlockDecomposition.adjusted_for_pd(grid, *decomposition)
+    norm = grid.normalization(points.n)
+
+    with timer.phase("bin"):
+        binning = dec.bin_points_owner(points)
+        occupied = [int(b) for b in binning.occupied()]
+        loads: Dict[int, float] = {
+            bid: float(len(binning.points_in(bid))) for bid in occupied
+        }
+
+    with timer.phase("plan"):
+        order = load_order(occupied, loads)
+        coloring = greedy_coloring(dec, occupied, order, method="load-aware")
+        adjacency = occupied_neighbor_map(dec, occupied)
+        base_graph, id_map = build_task_graph(coloring, adjacency, loads)
+        blocks_sorted = sorted(id_map, key=id_map.get)
+
+        c_pt, c_vox = _calibrate(grid, points, kern, norm)
+        weights = [loads[bid] * c_pt for bid in blocks_sorted]
+        halos = [
+            dec.halo_window(*dec.block_coords(bid)).volume for bid in blocks_sorted
+        ]
+        overheads = [2.0 * h * c_vox for h in halos]
+        max_reps = [max(1, int(loads[bid])) for bid in blocks_sorted]
+        replicas, tinf_before, tinf_after = plan_replication(
+            weights, overheads, base_graph.succs, base_graph.preds, P, max_reps
+        )
+
+    # Memory: every replicated block holds r private halo buffers.
+    extra_bytes = sum(
+        replicas[k] * halos[k] * 8 for k in range(len(blocks_sorted)) if replicas[k] > 1
+    )
+    check_memory_budget(
+        grid.grid_bytes + extra_bytes,
+        memory_budget_bytes,
+        f"PB-SYM-PD-REP {dec.shape} with P={P}",
+    )
+
+    # ------------------------------------------------------------------
+    # Build the expanded task list + graph.
+    # ------------------------------------------------------------------
+    vol = np.empty(grid.shape, dtype=np.float64)
+    slabs = _slab_slices(grid.Gx, P)
+    init_counters = [WorkCounter() for _ in range(P)]
+
+    def make_init(p: int):
+        def fn() -> None:
+            vol[slabs[p]].fill(0.0)
+            init_counters[p].init_writes += vol[slabs[p]].size
+
+        return fn
+
+    init_tasks = [ExecTask(make_init(p), label=("init", p)) for p in range(P)]
+
+    tasks: List[ExecTask] = []
+    succs: List[List[int]] = []
+    preds: List[List[int]] = []
+    entry_nodes: Dict[int, List[int]] = {}  # base task -> expanded entries
+    exit_node: Dict[int, int] = {}  # base task -> expanded exit
+    task_counters: List[WorkCounter] = []
+
+    def add_task(t: ExecTask) -> int:
+        tasks.append(t)
+        succs.append([])
+        preds.append([])
+        task_counters.append(WorkCounter())
+        return len(tasks) - 1
+
+    for k, bid in enumerate(blocks_sorted):
+        a, b, c = dec.block_coords(bid)
+        idx = binning.points_in(bid)
+        coords = points.coords[idx]
+        r = replicas[k]
+        if r == 1:
+            tid = add_task(ExecTask(lambda: None, weight_hint=weights[k],
+                                    color=coloring.colors[bid], label=("block", bid)))
+
+            def direct_fn(coords=coords, tid=tid):
+                stamp_points_sym(vol, grid, kern, coords, norm, task_counters[tid])
+                task_counters[tid].points_processed += len(coords)
+
+            tasks[tid].fn = direct_fn
+            entry_nodes[k] = [tid]
+            exit_node[k] = tid
+        else:
+            halo = dec.halo_window(a, b, c)
+            buffers: List[Optional[np.ndarray]] = [None] * r
+            bounds = [(len(coords) * j) // r for j in range(r + 1)]
+            rep_ids = []
+            for j in range(r):
+                chunk = coords[bounds[j] : bounds[j + 1]]
+
+                tid = add_task(
+                    ExecTask(
+                        lambda: None,
+                        weight_hint=weights[k] / r + overheads[k],
+                        color=coloring.colors[bid],
+                        label=("replica", bid, j),
+                    )
+                )
+
+                def rep_fn(chunk=chunk, j=j, halo=halo, tid=tid, buffers=buffers):
+                    buf = np.empty(halo.shape, dtype=np.float64)
+                    buf.fill(0.0)
+                    task_counters[tid].init_writes += buf.size
+                    stamp_points_sym(
+                        buf, grid, kern, chunk, norm, task_counters[tid],
+                        clip=halo, vol_origin=(halo.x0, halo.y0, halo.t0),
+                    )
+                    task_counters[tid].points_processed += len(chunk)
+                    buffers[j] = buf
+
+                tasks[tid].fn = rep_fn
+                rep_ids.append(tid)
+
+            red_id = add_task(
+                ExecTask(
+                    lambda: None,
+                    weight_hint=overheads[k],
+                    color=coloring.colors[bid],
+                    label=("reduce", bid),
+                )
+            )
+
+            def red_fn(halo=halo, buffers=buffers, red_id=red_id, r=r):
+                target = vol[halo.slices()]
+                for j in range(r):
+                    target += buffers[j]  # type: ignore[operator]
+                    buffers[j] = None  # free replica memory promptly
+                task_counters[red_id].reduce_adds += r * target.size
+
+            tasks[red_id].fn = red_fn
+            for tid in rep_ids:
+                succs[tid].append(red_id)
+                preds[red_id].append(tid)
+            entry_nodes[k] = rep_ids
+            exit_node[k] = red_id
+
+    # Wire base-graph dependencies through entry/exit nodes.
+    for k in range(len(blocks_sorted)):
+        for s in base_graph.succs[k]:
+            src = exit_node[k]
+            for dst in entry_nodes[s]:
+                succs[src].append(dst)
+                preds[dst].append(src)
+
+    graph = TaskGraph([t.weight_hint for t in tasks], succs, preds,
+                      labels=[t.label for t in tasks])
+
+    if backend == "threads":
+        with timer.phase("init"):
+            run_serial(init_tasks)
+        with timer.phase("compute"):
+            wall = run_threaded(
+                tasks, graph, P, priority=lambda v: (-tasks[v].weight_hint, v)
+            )
+        makespan = (
+            timer.seconds["bin"] + timer.seconds["plan"]
+            + timer.seconds["init"] + wall
+        )
+        phase_ms = {"init": timer.seconds["init"], "compute": wall}
+    elif backend in ("serial", "simulated"):
+        with timer.phase("init"):
+            run_serial(init_tasks)
+        with timer.phase("compute"):
+            run_serial(tasks, graph)
+        init_ms = saturated_makespan([t.measured for t in init_tasks], P, bw)
+        measured = [t.measured for t in tasks]
+        mgraph = TaskGraph(measured, graph.succs, graph.preds)
+        sched = list_schedule(mgraph, P, priority=lambda v: (-measured[v], v))
+        overhead_s = timer.seconds["bin"] + timer.seconds["plan"]
+        if backend == "serial":
+            makespan = overhead_s + sum(t.measured for t in init_tasks) + sum(measured)
+            phase_ms = {
+                "init": sum(t.measured for t in init_tasks),
+                "compute": sum(measured),
+            }
+        else:
+            makespan = overhead_s + init_ms + sched.makespan
+            phase_ms = {"init": init_ms, "compute": sched.makespan}
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+
+    for c in init_counters:
+        counter.merge(c)
+    for c in task_counters:
+        counter.merge(c)
+
+    n_replicated = sum(1 for r in replicas if r > 1)
+    return STKDEResult(
+        Volume(vol, grid),
+        "pb-sym-pd-rep",
+        timer,
+        counter,
+        meta={
+            "P": P,
+            "backend": backend,
+            "decomposition": dec.shape,
+            "requested_decomposition": tuple(decomposition),
+            "makespan": makespan,
+            "phase_makespans": phase_ms,
+            "replicas": dict(zip(blocks_sorted, replicas)),
+            "blocks_replicated": n_replicated,
+            "max_replication": max(replicas) if replicas else 1,
+            "tinf_planned_before": tinf_before,
+            "tinf_planned_after": tinf_after,
+            "extra_bytes": extra_bytes,
+            "occupied_blocks": len(blocks_sorted),
+        },
+    )

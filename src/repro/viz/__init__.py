@@ -1,0 +1,6 @@
+"""Text-mode rendering and export of density volumes."""
+
+from .export import save_vtk
+from .render import ascii_heatmap, hotspots, render_time_slice, series_csv
+
+__all__ = ["ascii_heatmap", "hotspots", "render_time_slice", "save_vtk", "series_csv"]

@@ -1,0 +1,69 @@
+"""Export density volumes to the legacy VTK structured-points format.
+
+The space-time cube is normally explored in 3-D viewers (ParaView, VisIt,
+VoxLens-style GIS tools); legacy-ASCII VTK ``STRUCTURED_POINTS`` is the
+lowest common denominator they all read.  The voxel spacing and origin
+carry the domain georeferencing, with time as the third axis — exactly
+the space-time-cube rendering of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core.grid import Volume
+
+__all__ = ["save_vtk"]
+
+
+def save_vtk(
+    volume: Volume,
+    path: Union[str, Path],
+    *,
+    name: str = "stkde_density",
+    binary_threshold: int = 0,
+) -> Path:
+    """Write a volume as legacy-ASCII VTK ``STRUCTURED_POINTS``.
+
+    Parameters
+    ----------
+    name:
+        The scalar field name shown by viewers.
+    binary_threshold:
+        Unused placeholder for API stability (ASCII only; offline
+        environments lack the binary-VTK tooling to verify round-trips).
+
+    Returns the path written (``.vtk`` appended if missing).
+    """
+    path = Path(path)
+    if path.suffix != ".vtk":
+        path = path.with_suffix(path.suffix + ".vtk")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    g = volume.grid
+    d = g.domain
+    data = volume.data
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("# vtk DataFile Version 3.0\n")
+        fh.write(f"STKDE density volume ({g.Gx}x{g.Gy}x{g.Gt}, hs={g.hs}, ht={g.ht})\n")
+        fh.write("ASCII\n")
+        fh.write("DATASET STRUCTURED_POINTS\n")
+        fh.write(f"DIMENSIONS {g.Gx} {g.Gy} {g.Gt}\n")
+        # Voxel-center sampling: origin is the first center.
+        fh.write(
+            f"ORIGIN {d.x0 + 0.5 * d.sres:.10g} {d.y0 + 0.5 * d.sres:.10g} "
+            f"{d.t0 + 0.5 * d.tres:.10g}\n"
+        )
+        fh.write(f"SPACING {d.sres:.10g} {d.sres:.10g} {d.tres:.10g}\n")
+        fh.write(f"POINT_DATA {g.n_voxels}\n")
+        fh.write(f"SCALARS {name} double 1\n")
+        fh.write("LOOKUP_TABLE default\n")
+        # VTK expects x fastest, then y, then z: transpose to (T, Y, X) and
+        # ravel in C order so x varies fastest.
+        flat = np.ascontiguousarray(data.transpose(2, 1, 0)).ravel()
+        # Chunked writes: one value per line is enormous; 6 per line.
+        for start in range(0, flat.size, 6):
+            fh.write(" ".join(f"{v:.8g}" for v in flat[start : start + 6]) + "\n")
+    return path

@@ -1,0 +1,96 @@
+"""Text/CSV rendering of density volumes.
+
+The paper's Figure 1 shows bandwidth-dependent density maps; this offline
+environment has no plotting stack, so the examples render time slices as
+ASCII heatmaps and export CSV series that any plotting tool can consume.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..core.grid import Volume
+
+__all__ = ["ascii_heatmap", "render_time_slice", "hotspots", "series_csv"]
+
+#: Density ramp from blank to saturated.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    slice2d: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 28,
+    vmax: Optional[float] = None,
+) -> str:
+    """Render a 2-D array as an ASCII heatmap (rows = y descending)."""
+    arr = np.asarray(slice2d, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    # Downsample by block-averaging to the character budget.
+    nx = min(width, arr.shape[0])
+    ny = min(height, arr.shape[1])
+    xb = np.linspace(0, arr.shape[0], nx + 1).astype(int)
+    yb = np.linspace(0, arr.shape[1], ny + 1).astype(int)
+    cells = np.empty((nx, ny))
+    for i in range(nx):
+        for j in range(ny):
+            block = arr[xb[i] : max(xb[i] + 1, xb[i + 1]), yb[j] : max(yb[j] + 1, yb[j + 1])]
+            cells[i, j] = block.mean() if block.size else 0.0
+    top = vmax if vmax is not None else (cells.max() or 1.0)
+    if top <= 0:
+        top = 1.0
+    levels = np.clip(cells / top * (len(_RAMP) - 1), 0, len(_RAMP) - 1).astype(int)
+    # y as rows (descending so north is up), x as columns.
+    lines = []
+    for j in range(ny - 1, -1, -1):
+        lines.append("".join(_RAMP[levels[i, j]] for i in range(nx)))
+    return "\n".join(lines)
+
+
+def render_time_slice(
+    volume: Volume, T: int, *, width: int = 72, height: int = 28
+) -> str:
+    """ASCII heatmap of the spatial slice at voxel time ``T``, with a
+    caption giving the domain time it corresponds to."""
+    if not 0 <= T < volume.grid.Gt:
+        raise ValueError(f"time index {T} outside [0, {volume.grid.Gt})")
+    sl = volume.time_slice(T)
+    t_domain = volume.grid.t_centers(T, T + 1)[0]
+    head = (
+        f"t = {t_domain:.2f}  (voxel T={T}/{volume.grid.Gt})  "
+        f"max={sl.max():.3e}  mean={sl.mean():.3e}"
+    )
+    return head + "\n" + ascii_heatmap(sl, width=width, height=height)
+
+
+def hotspots(volume: Volume, k: int = 5) -> List[Tuple[Tuple[int, int, int], float]]:
+    """The ``k`` highest-density voxels as ``((X, Y, T), value)`` pairs."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    data = volume.data
+    flat = np.argpartition(data.ravel(), -min(k, data.size))[-min(k, data.size):]
+    flat = flat[np.argsort(data.ravel()[flat])[::-1]]
+    out = []
+    for f in flat:
+        idx = np.unravel_index(int(f), data.shape)
+        out.append(((int(idx[0]), int(idx[1]), int(idx[2])), float(data[idx])))
+    return out
+
+
+def series_csv(
+    path: Union[str, Path],
+    header: Sequence[str],
+    rows: Sequence[Sequence],
+) -> None:
+    """Write a simple CSV series (used by the benchmark harness)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(",".join(str(h) for h in header) + "\n")
+        for row in rows:
+            fh.write(",".join(str(v) for v in row) + "\n")

@@ -1,0 +1,145 @@
+"""Tests for the Section 6.5 parametric model and strategy selector."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pb_sym
+from repro.analysis.model import CostModel, MachineModel, select_strategy
+from repro.core import DomainSpec, GridSpec
+
+from ..conftest import make_clustered_points, make_points
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineModel.calibrate()
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(DomainSpec.from_voxels(40, 40, 44), hs=3.0, ht=2.5)
+
+
+class TestMachineModel:
+    def test_calibration_positive(self, machine):
+        assert machine.c_mem > 0
+        assert machine.c_point > 0
+        assert machine.c_cell > 0
+
+    def test_sane_magnitudes(self, machine):
+        # Memory writes are ns-scale per voxel; dispatch is us-scale.
+        assert machine.c_mem < 1e-6
+        assert 1e-7 < machine.c_point < 1e-2
+        assert machine.c_cell < 1e-6
+
+
+class TestCostModelPredictions:
+    def test_pb_sym_prediction_within_factor(self, grid, machine):
+        """The model predicts the sequential runtime within ~4x — enough
+        to rank strategies, which is all Section 6.5 asks of it."""
+        pts = make_points(grid, 600, seed=0)
+        model = CostModel(grid, pts, machine)
+        predicted = model.predict_pb_sym()
+        measured = pb_sym(pts, grid).elapsed
+        assert predicted == pytest.approx(measured, rel=3.0)
+
+    def test_dr_infeasible_without_memory(self, grid, machine):
+        pts = make_points(grid, 50, seed=1)
+        model = CostModel(grid, pts, machine,
+                          memory_budget_bytes=2 * grid.grid_bytes)
+        p = model.predict_dr(P=8)
+        assert not p.feasible
+        assert math.isinf(p.seconds)
+
+    def test_dr_feasible_with_memory(self, grid, machine):
+        pts = make_points(grid, 50, seed=1)
+        model = CostModel(grid, pts, machine)
+        p = model.predict_dr(P=4)
+        assert p.feasible and p.seconds > 0
+
+    def test_dd_reports_clamped_decomposition(self, grid, machine):
+        pts = make_points(grid, 50, seed=2)
+        model = CostModel(grid, pts, machine)
+        p = model.predict_dd((64, 64, 64), P=4)
+        assert p.decomposition == (40, 40, 44)
+
+    def test_pd_respects_bandwidth_constraint(self, grid, machine):
+        pts = make_points(grid, 50, seed=3)
+        model = CostModel(grid, pts, machine)
+        p = model.predict_pd((16, 16, 16), P=4)
+        A, B, C = p.decomposition
+        assert A <= grid.Gx // (2 * grid.Hs + 1)
+
+    def test_sched_not_slower_than_parity(self, grid, machine):
+        pts = make_clustered_points(grid, 800, k=2, seed=4)
+        model = CostModel(grid, pts, machine)
+        parity = model.predict_pd((8, 8, 8), P=8, scheduler="parity")
+        sched = model.predict_pd((8, 8, 8), P=8, scheduler="sched")
+        assert sched.seconds <= parity.seconds * 1.05
+
+    def test_rep_not_slower_than_sched_on_hot_cluster(self, grid, machine):
+        """REP exists to beat SCHED exactly when one cluster dominates."""
+        pts = make_clustered_points(grid, 900, k=1, seed=5)
+        model = CostModel(grid, pts, machine)
+        sched = model.predict_pd((8, 8, 8), P=8, scheduler="sched")
+        rep = model.predict_pd_rep((8, 8, 8), P=8)
+        assert rep.seconds <= sched.seconds * 1.05
+
+    def test_rep_infeasible_under_tight_budget_coarse(self, grid, machine):
+        pts = make_clustered_points(grid, 500, k=1, seed=6)
+        model = CostModel(grid, pts, machine,
+                          memory_budget_bytes=int(1.05 * grid.grid_bytes))
+        p = model.predict_pd_rep((1, 1, 1), P=8)
+        assert not p.feasible
+
+
+class TestSelectStrategy:
+    def test_returns_feasible_best(self, grid, machine):
+        pts = make_clustered_points(grid, 400, seed=7)
+        best, ranked = select_strategy(grid, pts, 8, machine=machine)
+        assert best.feasible
+        assert best.seconds == min(p.seconds for p in ranked if p.feasible)
+
+    def test_memory_budget_rules_out_dr(self, grid, machine):
+        pts = make_points(grid, 100, seed=8)
+        best, ranked = select_strategy(
+            grid, pts, 8, machine=machine,
+            memory_budget_bytes=3 * grid.grid_bytes,
+        )
+        dr = [p for p in ranked if p.algorithm == "pb-sym-dr"]
+        assert dr and not dr[0].feasible
+        assert best.algorithm != "pb-sym-dr"
+
+    def test_ranking_sorted(self, grid, machine):
+        pts = make_points(grid, 100, seed=9)
+        _, ranked = select_strategy(grid, pts, 4, machine=machine)
+        secs = [p.seconds for p in ranked]
+        assert secs == sorted(secs)
+
+    def test_selector_regret_small(self, grid, machine):
+        """The model's pick should be close to the oracle best when the
+        candidates are actually run (simulated, P=4)."""
+        from repro.parallel import pb_sym_dd, pb_sym_dr, pb_sym_pd_sched
+
+        pts = make_clustered_points(grid, 700, seed=10)
+        best, _ = select_strategy(grid, pts, 4, machine=machine)
+
+        runs = {
+            "pb-sym-dr": pb_sym_dr(pts, grid, P=4).meta["makespan"],
+            "pb-sym-dd": pb_sym_dd(pts, grid, P=4, decomposition=(8, 8, 8)).meta["makespan"],
+            "pb-sym-pd-sched": pb_sym_pd_sched(pts, grid, P=4, decomposition=(8, 8, 8)).meta["makespan"],
+        }
+        oracle = min(runs.values())
+        picked = runs.get(best.algorithm)
+        if picked is not None:
+            assert picked <= oracle * 3.0  # generous: ranking, not regression
+
+    def test_describe_mentions_infeasibility(self, grid, machine):
+        pts = make_points(grid, 30, seed=11)
+        model = CostModel(grid, pts, machine, memory_budget_bytes=grid.grid_bytes)
+        p = model.predict_dr(P=8)
+        assert "infeasible" in p.describe()

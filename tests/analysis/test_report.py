@@ -1,0 +1,115 @@
+"""Tests for the shape-check report generator."""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import ShapeCheck, check_all, load_experiment, main
+
+
+def write_exp(d: Path, name: str, rows) -> None:
+    (d / f"{name}.json").write_text(json.dumps({"experiment": name, "rows": rows}))
+
+
+@pytest.fixture
+def results(tmp_path) -> Path:
+    """A results directory encoding all the expected shapes."""
+    write_exp(tmp_path, "table3_sequential", [
+        {"instance": "A", "pb": 1.0, "pb-sym": 0.4},
+        {"instance": "B", "pb": 2.0, "pb-sym": 1.9},
+    ])
+    write_exp(tmp_path, "fig7_breakdown", [
+        {"instance": "Flu_Lr-Lb", "init_work_fraction": 0.9},
+        {"instance": "PollenUS_Lr-Lb", "init_work_fraction": 0.05},
+    ])
+    write_exp(tmp_path, "fig8_dr_speedup", [
+        {"instance": "Flu_Hr-Lb", "P4": 0.5, "P8": math.nan, "P16": math.nan},
+        {"instance": "eBird_Hr-Lb", "P2": math.nan, "P4": math.nan,
+         "P8": math.nan, "P16": math.nan},
+    ])
+    write_exp(tmp_path, "fig9_dd_overhead", [
+        {"instance": "A", "k": 1, "overhead_vs_pb_sym": 1.0},
+        {"instance": "A", "k": 8, "overhead_vs_pb_sym": 2.5},
+    ])
+    write_exp(tmp_path, "fig12_critical_path", [
+        {"instance": "PollenUS_Hr-Hb", "pd": 0.55},
+        {"instance": "Flu_Lr-Lb", "pd": 0.02},
+    ])
+    write_exp(tmp_path, "fig14_pd_rep_speedup", [
+        {"instance": "Flu_Hr-Hb", "k": 1, "oom": True},
+        {"instance": "Flu_Hr-Hb", "k": 2, "oom": True},
+        {"instance": "Flu_Hr-Hb", "k": 16, "oom": False, "speedup_p16": 1.0},
+    ])
+    write_exp(tmp_path, "fig15_best", [
+        {"instance": "Flu_Lr-Lb", "winner": "pb-sym-pd"},
+        {"instance": "PollenUS_Hr-Mb", "winner": "pb-sym-pd-rep"},
+    ])
+    return tmp_path
+
+
+class TestLoadExperiment:
+    def test_loads_rows(self, results):
+        rows = load_experiment(results, "fig15_best")
+        assert rows and rows[0]["winner"] == "pb-sym-pd"
+
+    def test_absent_returns_none(self, tmp_path):
+        assert load_experiment(tmp_path, "nope") is None
+
+
+class TestCheckAll:
+    def test_all_pass_on_expected_shapes(self, results):
+        checks = check_all(results)
+        assert all(c.passed for c in checks if c.passed is not None)
+        assert sum(1 for c in checks if c.passed is not None) == 7
+
+    def test_unrecorded_marked_unknown(self, tmp_path):
+        checks = check_all(tmp_path)
+        assert all(c.passed is None for c in checks)
+
+    def test_detects_table3_violation(self, results):
+        write_exp(results, "table3_sequential", [
+            {"instance": "A", "pb": 1.0, "pb-sym": 5.0},  # sym slower!
+        ])
+        checks = {c.experiment: c for c in check_all(results)}
+        assert checks["table3_sequential"].passed is False
+
+    def test_detects_missing_oom(self, results):
+        write_exp(results, "fig8_dr_speedup", [
+            {"instance": "Flu_Hr-Lb", "P4": 0.5, "P8": 0.4, "P16": 0.3},
+            {"instance": "eBird_Hr-Lb", "P2": 1.0},
+        ])
+        checks = {c.experiment: c for c in check_all(results)}
+        assert checks["fig8_dr_speedup"].passed is False
+
+    def test_detects_wrong_outlier(self, results):
+        write_exp(results, "fig12_critical_path", [
+            {"instance": "PollenUS_Hr-Hb", "pd": 0.05},
+            {"instance": "Flu_Lr-Lb", "pd": 0.30},
+        ])
+        checks = {c.experiment: c for c in check_all(results)}
+        assert checks["fig12_critical_path"].passed is False
+
+
+class TestMain:
+    def test_exit_zero_on_pass(self, results, capsys):
+        assert main([str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "shape checks" in out
+        assert "0 shape failures" in out
+
+    def test_exit_one_on_failure(self, results):
+        write_exp(results, "fig15_best", [
+            {"instance": "Flu_Lr-Lb", "winner": "pb-sym-dr"},
+        ])
+        assert main([str(results)]) == 1
+
+    def test_exit_two_without_directory(self, tmp_path):
+        assert main([str(tmp_path / "ghost")]) == 2
+
+    def test_describe_format(self):
+        c = ShapeCheck("x", "claim text", True)
+        assert "ok" in c.describe() and "claim text" in c.describe()

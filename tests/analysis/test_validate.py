@@ -1,0 +1,102 @@
+"""Tests for the output validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pb_sym, vb
+from repro.analysis.validate import (
+    assert_equivalent,
+    check_density,
+    compare_volumes,
+)
+from repro.core import DomainSpec, GridSpec, PointSet, Volume
+
+from ..conftest import make_points
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(DomainSpec.from_voxels(14, 12, 16), hs=2.5, ht=2.0)
+
+
+class TestCompareVolumes:
+    def test_identical_match(self, grid):
+        pts = make_points(grid, 20, seed=0)
+        a = pb_sym(pts, grid)
+        rep = compare_volumes(a, a)
+        assert rep.allclose
+        assert rep.max_abs_diff == 0.0
+
+    def test_algorithms_agree(self, grid):
+        pts = make_points(grid, 20, seed=0)
+        rep = compare_volumes(vb(pts, grid), pb_sym(pts, grid))
+        assert rep.allclose
+        assert "MATCH" in rep.describe()
+
+    def test_detects_mismatch(self, grid):
+        pts = make_points(grid, 20, seed=0)
+        a = pb_sym(pts, grid)
+        bad = a.data.copy()
+        bad[3, 3, 3] += 0.5
+        rep = compare_volumes(a, bad)
+        assert not rep.allclose
+        assert rep.max_abs_diff == pytest.approx(0.5)
+        assert "MISMATCH" in rep.describe()
+
+    def test_accepts_raw_arrays(self):
+        rep = compare_volumes(np.ones((2, 2, 2)), np.ones((2, 2, 2)))
+        assert rep.allclose
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            compare_volumes(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_relative_diff_scale(self):
+        a = np.full((2, 2, 2), 10.0)
+        b = np.full((2, 2, 2), 11.0)
+        rep = compare_volumes(a, b)
+        assert rep.max_rel_diff == pytest.approx(1 / 11)
+
+
+class TestAssertEquivalent:
+    def test_passes_silently(self, grid):
+        pts = make_points(grid, 10, seed=1)
+        assert_equivalent(vb(pts, grid), pb_sym(pts, grid))
+
+    def test_raises_with_context(self, grid):
+        a = np.zeros((2, 2, 2))
+        b = np.ones((2, 2, 2))
+        with pytest.raises(AssertionError, match="my-test"):
+            assert_equivalent(a, b, context="my-test")
+
+
+class TestCheckDensity:
+    def test_valid_volume_passes(self, grid):
+        pts = make_points(grid, 20, seed=2)
+        check_density(pb_sym(pts, grid))
+
+    def test_rejects_nan(self):
+        bad = np.zeros((2, 2, 2))
+        bad[0, 0, 0] = np.nan
+        with pytest.raises(AssertionError, match="non-finite"):
+            check_density(bad)
+
+    def test_rejects_negative(self):
+        bad = np.zeros((2, 2, 2))
+        bad[0, 0, 0] = -1e-3
+        with pytest.raises(AssertionError, match="negative"):
+            check_density(bad)
+
+    def test_mass_check(self):
+        grid = GridSpec(DomainSpec.from_voxels(24, 24, 24), hs=3.0, ht=3.0)
+        pts = PointSet(np.array([[12.0, 12.0, 12.0]]))
+        res = pb_sym(pts, grid)
+        check_density(res, expect_mass=1.0, mass_rel_tol=0.3)
+        with pytest.raises(AssertionError, match="mass"):
+            check_density(res, expect_mass=5.0, mass_rel_tol=0.1)
+
+    def test_mass_check_needs_geometry(self):
+        with pytest.raises(ValueError, match="Volume"):
+            check_density(np.zeros((2, 2, 2)), expect_mass=1.0)

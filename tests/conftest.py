@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite.
+
+Grids here are deliberately small (a few tens of voxels per axis) so that
+even the O(voxels x points) gold-standard VB runs in milliseconds; the
+benchmark harness, not the test suite, is where realistic sizes live.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DomainSpec, GridSpec, PointSet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_domain() -> DomainSpec:
+    """A 16x14x20 voxel domain with unit resolutions."""
+    return DomainSpec.from_voxels(16, 14, 20)
+
+
+@pytest.fixture
+def small_grid(small_domain) -> GridSpec:
+    return GridSpec(small_domain, hs=2.7, ht=2.2)
+
+
+@pytest.fixture
+def physical_domain() -> DomainSpec:
+    """A domain with non-unit resolutions and a non-zero origin."""
+    return DomainSpec(
+        gx=5000.0, gy=4200.0, gt=90.0, sres=250.0, tres=3.0,
+        x0=1000.0, y0=-500.0, t0=10.0,
+    )
+
+
+@pytest.fixture
+def physical_grid(physical_domain) -> GridSpec:
+    return GridSpec(physical_domain, hs=800.0, ht=7.0)
+
+
+def make_points(grid: GridSpec, n: int, seed: int = 0) -> PointSet:
+    """Uniform random points spanning the whole domain box."""
+    rng = np.random.default_rng(seed)
+    d = grid.domain
+    lo = [d.x0, d.y0, d.t0]
+    hi = [d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt]
+    return PointSet(rng.uniform(lo, hi, size=(n, 3)))
+
+
+def make_clustered_points(grid: GridSpec, n: int, k: int = 3, seed: int = 0) -> PointSet:
+    """Clustered points (mixture of Gaussians), mimicking real datasets."""
+    rng = np.random.default_rng(seed)
+    d = grid.domain
+    lo = np.array([d.x0, d.y0, d.t0])
+    span = np.array([d.gx, d.gy, d.gt])
+    centers = rng.uniform(lo + 0.2 * span, lo + 0.8 * span, size=(k, 3))
+    which = rng.integers(0, k, size=n)
+    pts = centers[which] + rng.normal(0, 0.08, size=(n, 3)) * span
+    pts = np.clip(pts, lo, lo + span * (1 - 1e-9))
+    return PointSet(pts)
+
+
+@pytest.fixture
+def uniform_points(small_grid) -> PointSet:
+    return make_points(small_grid, 30)
+
+
+@pytest.fixture
+def clustered_points(small_grid) -> PointSet:
+    return make_clustered_points(small_grid, 60)

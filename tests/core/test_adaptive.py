@@ -1,0 +1,124 @@
+"""Tests for adaptive-bandwidth STKDE (the paper's future-work feature)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pb_sym
+from repro.core import DomainSpec, GridSpec, PointSet
+from repro.core.adaptive import (
+    LAMBDA_RANGE,
+    adaptive_pb_sym,
+    adaptive_pd_block_constraint,
+    pilot_at_points,
+)
+
+from ..conftest import make_clustered_points, make_points
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(DomainSpec.from_voxels(32, 32, 32), hs=3.0, ht=3.0)
+
+
+@pytest.fixture
+def mixed_points(grid):
+    """One dense cluster plus isolated far-away points."""
+    rng = np.random.default_rng(4)
+    dense = rng.normal([8.0, 8.0, 8.0], 0.8, size=(80, 3))
+    sparse = np.array([
+        [26.0, 26.0, 26.0],
+        [26.0, 6.0, 20.0],
+        [6.0, 26.0, 14.0],
+    ])
+    pts = np.clip(np.vstack([dense, sparse]), 0, 31.9)
+    return PointSet(pts)
+
+
+class TestAlphaZeroReduction:
+    def test_alpha_zero_equals_pb_sym(self, grid, mixed_points):
+        fixed = pb_sym(mixed_points, grid)
+        adaptive = adaptive_pb_sym(mixed_points, grid, alpha=0.0)
+        np.testing.assert_allclose(adaptive.data, fixed.data, rtol=1e-10, atol=1e-15)
+
+    def test_alpha_zero_lambdas_are_one(self, grid, mixed_points):
+        res = adaptive_pb_sym(mixed_points, grid, alpha=0.0)
+        np.testing.assert_array_equal(res.meta["lambdas"], 1.0)
+
+
+class TestAdaptiveBehaviour:
+    def test_sparse_points_widen(self, grid, mixed_points):
+        res = adaptive_pb_sym(mixed_points, grid, alpha=0.5)
+        lam = res.meta["lambdas"]
+        dense_lam = lam[:80].mean()
+        sparse_lam = lam[80:].mean()
+        assert sparse_lam > dense_lam
+        assert sparse_lam > 1.0
+        assert dense_lam < 1.0
+
+    def test_lambdas_clipped(self, grid, mixed_points):
+        res = adaptive_pb_sym(mixed_points, grid, alpha=1.0)
+        lam = res.meta["lambdas"]
+        assert lam.min() >= LAMBDA_RANGE[0]
+        assert lam.max() <= LAMBDA_RANGE[1]
+
+    def test_mass_preserved(self):
+        """Per-point normalisation keeps the adaptive estimate a density."""
+        grid = GridSpec(DomainSpec.from_voxels(40, 40, 40), hs=3.0, ht=3.0)
+        rng = np.random.default_rng(7)
+        pts = PointSet(rng.uniform(12, 28, size=(60, 3)))
+        res = adaptive_pb_sym(pts, grid, alpha=0.5)
+        assert res.volume.total_mass == pytest.approx(1.0, rel=0.15)
+
+    def test_density_valid(self, grid, mixed_points):
+        res = adaptive_pb_sym(mixed_points, grid, alpha=0.5)
+        assert np.isfinite(res.data).all()
+        assert (res.data >= 0).all()
+
+    def test_smoother_tails_than_fixed(self, grid, mixed_points):
+        """Isolated events spread wider: the density at a sparse event's
+        cylinder edge is positive where the fixed estimate is zero."""
+        fixed = pb_sym(mixed_points, grid)
+        adaptive = adaptive_pb_sym(mixed_points, grid, alpha=0.7)
+        # Count voxels with support: adaptive covers at least as many.
+        assert (adaptive.data > 0).sum() > (fixed.data > 0).sum()
+
+    def test_phases_reported(self, grid, mixed_points):
+        res = adaptive_pb_sym(mixed_points, grid, alpha=0.5)
+        assert {"pilot", "init", "compute"} <= set(res.timer.seconds)
+
+
+class TestValidation:
+    def test_rejects_bad_alpha(self, grid, mixed_points):
+        with pytest.raises(ValueError, match="alpha"):
+            adaptive_pb_sym(mixed_points, grid, alpha=1.5)
+        with pytest.raises(ValueError, match="alpha"):
+            adaptive_pb_sym(mixed_points, grid, alpha=-0.1)
+
+    def test_registered(self):
+        from repro.algorithms import get_algorithm
+
+        assert get_algorithm("pb-sym-adaptive") is adaptive_pb_sym
+
+
+class TestPilot:
+    def test_pilot_higher_in_cluster(self, grid, mixed_points):
+        from repro.core import WorkCounter
+        from repro.core.kernels import get_kernel
+
+        vals = pilot_at_points(mixed_points, grid, get_kernel(), WorkCounter())
+        assert vals[:80].mean() > 3 * vals[80:].mean()
+
+
+class TestPDConstraint:
+    def test_constraint_grows_with_lambda(self, grid):
+        small = adaptive_pd_block_constraint(grid, np.array([1.0]))
+        large = adaptive_pd_block_constraint(grid, np.array([1.0, 2.5]))
+        assert large[0] > small[0]
+        assert large[1] > small[1]
+
+    def test_constraint_matches_fixed_at_unit_lambda(self, grid):
+        s, t = adaptive_pd_block_constraint(grid, np.ones(5))
+        assert s == 2 * grid.Hs + 1
+        assert t == 2 * grid.Ht + 1

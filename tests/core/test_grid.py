@@ -1,0 +1,252 @@
+"""Tests for the domain/grid model (Table 1 conventions)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DomainSpec, GridSpec, PointSet, Volume, VoxelWindow
+
+
+class TestDomainSpec:
+    def test_grid_sizes_are_ceilings(self):
+        d = DomainSpec(gx=10.0, gy=9.1, gt=5.0, sres=3.0, tres=2.0)
+        assert (d.Gx, d.Gy, d.Gt) == (4, 4, 3)
+
+    def test_exact_division_not_inflated(self):
+        d = DomainSpec(gx=9.0, gy=9.0, gt=4.0, sres=3.0, tres=2.0)
+        assert (d.Gx, d.Gy, d.Gt) == (3, 3, 2)
+
+    def test_float_representation_robustness(self):
+        # 0.3 / 0.1 is 2.9999999999999996 in floats; ceil must still be 3.
+        d = DomainSpec(gx=0.3, gy=0.3, gt=0.3, sres=0.1, tres=0.1)
+        assert (d.Gx, d.Gy, d.Gt) == (3, 3, 3)
+
+    def test_from_voxels_round_trip(self):
+        d = DomainSpec.from_voxels(148, 194, 728, sres=50.0, tres=1.0)
+        assert (d.Gx, d.Gy, d.Gt) == (148, 194, 728)
+
+    @pytest.mark.parametrize("field", ["gx", "gy", "gt", "sres", "tres"])
+    def test_nonpositive_rejected(self, field):
+        kwargs = dict(gx=1.0, gy=1.0, gt=1.0, sres=0.5, tres=0.5)
+        kwargs[field] = 0.0
+        with pytest.raises(ValueError, match=field):
+            DomainSpec(**kwargs)
+
+    def test_from_voxels_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DomainSpec.from_voxels(0, 5, 5)
+
+
+class TestGridSpec:
+    def test_bandwidths_in_voxels(self, physical_grid):
+        # hs=800, sres=250 -> Hs = ceil(3.2) = 4; ht=7, tres=3 -> Ht = 3.
+        assert physical_grid.Hs == 4
+        assert physical_grid.Ht == 3
+
+    def test_shape_and_volume(self, small_grid):
+        assert small_grid.shape == (16, 14, 20)
+        assert small_grid.n_voxels == 16 * 14 * 20
+        assert small_grid.grid_bytes == small_grid.n_voxels * 8
+
+    def test_nonpositive_bandwidths_rejected(self, small_domain):
+        with pytest.raises(ValueError):
+            GridSpec(small_domain, hs=0, ht=1)
+        with pytest.raises(ValueError):
+            GridSpec(small_domain, hs=1, ht=-2)
+
+    def test_centers_offset_by_half(self, physical_grid):
+        d = physical_grid.domain
+        xc = physical_grid.x_centers()
+        assert xc[0] == pytest.approx(d.x0 + 0.5 * d.sres)
+        assert xc[1] - xc[0] == pytest.approx(d.sres)
+        tc = physical_grid.t_centers(2, 5)
+        assert len(tc) == 3
+        assert tc[0] == pytest.approx(d.t0 + 2.5 * d.tres)
+
+    def test_voxel_of_interior_point(self, physical_grid):
+        d = physical_grid.domain
+        X, Y, T = physical_grid.voxel_of(d.x0 + 260.0, d.y0 + 1.0, d.t0 + 3.1)
+        assert (X, Y, T) == (1, 0, 1)
+
+    def test_voxel_of_clamps_far_boundary(self, physical_grid):
+        d = physical_grid.domain
+        X, Y, T = physical_grid.voxel_of(d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt)
+        assert (X, Y, T) == (physical_grid.Gx - 1, physical_grid.Gy - 1, physical_grid.Gt - 1)
+
+    def test_voxels_of_matches_scalar(self, physical_grid, rng):
+        d = physical_grid.domain
+        pts = rng.uniform(
+            [d.x0, d.y0, d.t0],
+            [d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt],
+            size=(200, 3),
+        )
+        vec = physical_grid.voxels_of(pts)
+        for i in range(len(pts)):
+            assert tuple(vec[i]) == physical_grid.voxel_of(*pts[i])
+
+    def test_normalization(self, small_grid):
+        n = 17
+        assert small_grid.normalization(n) == pytest.approx(
+            1.0 / (n * small_grid.hs**2 * small_grid.ht)
+        )
+
+    def test_normalization_requires_points(self, small_grid):
+        with pytest.raises(ValueError):
+            small_grid.normalization(0)
+
+    def test_allocate_zeroed(self, small_grid):
+        vol = small_grid.allocate()
+        assert vol.shape == small_grid.shape
+        assert vol.dtype == np.float64
+        assert not vol.any()
+        assert vol.flags["C_CONTIGUOUS"]
+
+
+class TestWindowCoverage:
+    """The guarantee that makes PB correct: the +-Hs/+-Ht index window
+    around a point's voxel contains every voxel center within bandwidth."""
+
+    @given(
+        px=st.floats(0, 16, exclude_max=True),
+        py=st.floats(0, 14, exclude_max=True),
+        pt=st.floats(0, 20, exclude_max=True),
+        hs=st.floats(0.3, 6.0),
+        ht=st.floats(0.3, 6.0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_property_window_covers_bandwidth(self, px, py, pt, hs, ht):
+        grid = GridSpec(DomainSpec.from_voxels(16, 14, 20), hs=hs, ht=ht)
+        win = grid.point_window(px, py, pt)
+        xc = grid.x_centers()
+        yc = grid.y_centers()
+        tc = grid.t_centers()
+        inside_x = np.where(np.abs(xc - px) < hs)[0]
+        inside_y = np.where(np.abs(yc - py) < hs)[0]
+        inside_t = np.where(np.abs(tc - pt) <= ht)[0]
+        if inside_x.size:
+            assert win.x0 <= inside_x.min() and inside_x.max() < win.x1
+        if inside_y.size:
+            assert win.y0 <= inside_y.min() and inside_y.max() < win.y1
+        if inside_t.size:
+            assert win.t0 <= inside_t.min() and inside_t.max() < win.t1
+
+    def test_window_clipped_to_grid(self, small_grid):
+        win = small_grid.point_window(0.1, 0.1, 0.1)
+        assert win.x0 == 0 and win.y0 == 0 and win.t0 == 0
+        win2 = small_grid.point_window(15.9, 13.9, 19.9)
+        assert win2.x1 == 16 and win2.y1 == 14 and win2.t1 == 20
+
+    def test_interior_window_has_full_extent(self):
+        grid = GridSpec(DomainSpec.from_voxels(50, 50, 50), hs=3, ht=2)
+        win = grid.point_window(25.5, 25.5, 25.5)
+        assert win.shape == (2 * grid.Hs + 1, 2 * grid.Hs + 1, 2 * grid.Ht + 1)
+
+
+class TestVoxelWindow:
+    def test_shape_and_volume(self):
+        w = VoxelWindow(1, 4, 2, 5, 0, 2)
+        assert w.shape == (3, 3, 2)
+        assert w.volume == 18
+        assert not w.empty
+
+    def test_empty_window(self):
+        w = VoxelWindow(3, 3, 0, 5, 0, 5)
+        assert w.empty
+        assert w.volume == 0
+
+    def test_intersection(self):
+        a = VoxelWindow(0, 10, 0, 10, 0, 10)
+        b = VoxelWindow(5, 15, 2, 8, 9, 20)
+        c = a.intersect(b)
+        assert (c.x0, c.x1, c.y0, c.y1, c.t0, c.t1) == (5, 10, 2, 8, 9, 10)
+
+    def test_disjoint_intersection_empty(self):
+        a = VoxelWindow(0, 5, 0, 5, 0, 5)
+        b = VoxelWindow(5, 9, 0, 5, 0, 5)
+        assert a.intersect(b).empty
+
+    def test_slices_round_trip(self):
+        arr = np.zeros((6, 7, 8))
+        w = VoxelWindow(1, 3, 2, 6, 0, 8)
+        arr[w.slices()] = 1.0
+        assert arr.sum() == w.volume
+
+    def test_contains_voxel(self):
+        w = VoxelWindow(1, 4, 1, 4, 1, 4)
+        assert w.contains_voxel(1, 1, 1)
+        assert w.contains_voxel(3, 3, 3)
+        assert not w.contains_voxel(4, 1, 1)
+        assert not w.contains_voxel(0, 3, 3)
+
+
+class TestPointSet:
+    def test_basic_construction(self, rng):
+        pts = PointSet(rng.normal(size=(10, 3)))
+        assert pts.n == 10
+        assert len(pts) == 10
+
+    def test_from_columns(self):
+        pts = PointSet.from_columns([1, 2], [3, 4], [5, 6])
+        np.testing.assert_array_equal(pts.coords, [[1, 3, 5], [2, 4, 6]])
+
+    def test_column_views(self):
+        pts = PointSet.from_columns([1, 2], [3, 4], [5, 6])
+        np.testing.assert_array_equal(pts.xs, [1, 2])
+        np.testing.assert_array_equal(pts.ys, [3, 4])
+        np.testing.assert_array_equal(pts.ts, [5, 6])
+
+    def test_immutable(self, rng):
+        pts = PointSet(rng.normal(size=(4, 3)))
+        with pytest.raises((ValueError, RuntimeError)):
+            pts.coords[0, 0] = 99.0
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="\\(n, 3\\)"):
+            PointSet(np.zeros((5, 2)))
+
+    def test_rejects_nonfinite(self):
+        arr = np.zeros((3, 3))
+        arr[1, 2] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            PointSet(arr)
+
+    def test_iteration_yields_floats(self, rng):
+        pts = PointSet(rng.normal(size=(3, 3)))
+        rows = list(pts)
+        assert len(rows) == 3
+        assert all(isinstance(v, float) for row in rows for v in row)
+
+    def test_subset_and_concat(self, rng):
+        pts = PointSet(rng.normal(size=(10, 3)))
+        a = pts.subset(np.arange(4))
+        b = pts.subset(np.arange(4, 10))
+        both = a.concat(b)
+        np.testing.assert_array_equal(both.coords, pts.coords)
+
+
+class TestVolume:
+    def test_shape_mismatch_rejected(self, small_grid):
+        with pytest.raises(ValueError, match="does not match"):
+            Volume(np.zeros((2, 2, 2)), small_grid)
+
+    def test_total_mass_quadrature(self, physical_grid):
+        data = np.ones(physical_grid.shape)
+        v = Volume(data, physical_grid)
+        cell = physical_grid.domain.sres**2 * physical_grid.domain.tres
+        assert v.total_mass == pytest.approx(physical_grid.n_voxels * cell)
+
+    def test_time_slice(self, small_grid):
+        data = np.zeros(small_grid.shape)
+        data[:, :, 5] = 2.0
+        v = Volume(data, small_grid)
+        assert v.time_slice(5).sum() == pytest.approx(2.0 * 16 * 14)
+
+    def test_max_voxel(self, small_grid):
+        data = np.zeros(small_grid.shape)
+        data[3, 7, 11] = 9.0
+        assert Volume(data, small_grid).max_voxel() == (3, 7, 11)

@@ -1,0 +1,150 @@
+"""Tests for the incremental / sliding-window estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import pb_sym
+from repro.core import DomainSpec, GridSpec, PointSet
+from repro.core.incremental import IncrementalSTKDE
+
+from ..conftest import make_points
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(DomainSpec.from_voxels(22, 20, 30), hs=2.6, ht=2.2)
+
+
+class TestAddOnly:
+    def test_single_batch_matches_batch_estimate(self, grid):
+        pts = make_points(grid, 60, seed=1)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts)
+        batch = pb_sym(pts, grid)
+        np.testing.assert_allclose(inc.volume().data, batch.data,
+                                   rtol=1e-12, atol=1e-18)
+
+    def test_split_batches_match(self, grid):
+        pts = make_points(grid, 80, seed=2)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts.subset(np.arange(30)))
+        inc.add(pts.subset(np.arange(30, 80)))
+        batch = pb_sym(pts, grid)
+        np.testing.assert_allclose(inc.volume().data, batch.data,
+                                   rtol=1e-12, atol=1e-18)
+        assert inc.n == 80
+
+    def test_accepts_raw_arrays(self, grid, rng):
+        inc = IncrementalSTKDE(grid)
+        inc.add(rng.uniform(0, 18, size=(10, 3)))
+        assert inc.n == 10
+
+    def test_empty_add_is_noop(self, grid):
+        inc = IncrementalSTKDE(grid)
+        inc.add(np.empty((0, 3)))
+        assert inc.n == 0
+
+
+class TestRemove:
+    def test_add_then_remove_restores_empty(self, grid):
+        pts = make_points(grid, 40, seed=3)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts)
+        inc.remove(pts)
+        assert inc.n == 0
+        assert not inc.volume().data.any()
+
+    def test_partial_remove_matches_remaining_batch(self, grid):
+        pts = make_points(grid, 50, seed=4)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts)
+        inc.remove(pts.subset(np.arange(20)))
+        rest = pts.subset(np.arange(20, 50))
+        batch = pb_sym(rest, grid)
+        np.testing.assert_allclose(inc.volume().data, batch.data,
+                                   rtol=1e-10, atol=1e-15)
+
+    def test_remove_more_than_present_rejected(self, grid):
+        pts = make_points(grid, 5, seed=5)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts.subset(np.arange(2)))
+        with pytest.raises(ValueError, match="only 2 present"):
+            inc.remove(pts)
+
+    def test_no_negative_density_after_removal(self, grid):
+        pts = make_points(grid, 30, seed=6)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts)
+        inc.remove(pts.subset(np.arange(15)))
+        assert (inc.volume().data >= 0).all()
+
+
+class TestSlideWindow:
+    def test_slide_equals_batch_on_window(self, grid):
+        rng = np.random.default_rng(7)
+        early = np.column_stack([
+            rng.uniform(0, 22, 25), rng.uniform(0, 20, 25), rng.uniform(0, 10, 25)
+        ])
+        late = np.column_stack([
+            rng.uniform(0, 22, 25), rng.uniform(0, 20, 25), rng.uniform(10, 25, 25)
+        ])
+        new = np.column_stack([
+            rng.uniform(0, 22, 20), rng.uniform(0, 20, 20), rng.uniform(25, 29, 20)
+        ])
+        inc = IncrementalSTKDE(grid)
+        inc.add(early)
+        inc.add(late)
+        retired = inc.slide_window(new, t_horizon=10.0)
+        assert retired == 25
+        expect = pb_sym(PointSet(np.vstack([late, new])), grid)
+        np.testing.assert_allclose(inc.volume().data, expect.data,
+                                   rtol=1e-10, atol=1e-15)
+
+    def test_repeated_slides_stay_consistent(self, grid):
+        rng = np.random.default_rng(8)
+        inc = IncrementalSTKDE(grid)
+        window: list = []
+        for day in range(5):
+            batch = np.column_stack([
+                rng.uniform(0, 22, 12), rng.uniform(0, 20, 12),
+                rng.uniform(day * 5, day * 5 + 5, 12),
+            ])
+            horizon = max(0.0, (day - 1) * 5.0)
+            inc.slide_window(batch, t_horizon=horizon)
+            window = [b[b[:, 2] >= horizon] for b in window]
+            window.append(batch)
+        live = np.vstack([b for b in window if len(b)])
+        expect = pb_sym(PointSet(live), grid)
+        np.testing.assert_allclose(inc.volume().data, expect.data,
+                                   rtol=1e-9, atol=1e-14)
+        assert inc.n == len(live)
+
+
+class TestVolumeSemantics:
+    def test_empty_estimator_zero_volume(self, grid):
+        inc = IncrementalSTKDE(grid)
+        v = inc.volume()
+        assert not v.data.any()
+
+    def test_volume_is_a_copy(self, grid):
+        pts = make_points(grid, 10, seed=9)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts)
+        v1 = inc.volume()
+        v1.data[:] = 99.0
+        np.testing.assert_allclose(
+            inc.volume().data.max(), pb_sym(pts, grid).data.max(), rtol=1e-12
+        )
+
+    def test_normalisation_tracks_n(self, grid):
+        """Adding a far-away batch rescales earlier contributions by n."""
+        a = PointSet(np.array([[5.0, 5.0, 5.0]]))
+        b = PointSet(np.array([[18.0, 16.0, 25.0]]))
+        inc = IncrementalSTKDE(grid)
+        inc.add(a)
+        peak1 = inc.volume().data.max()
+        inc.add(b)
+        peak2 = inc.volume().data[5, 5, 5]
+        assert peak2 == pytest.approx(peak1 / 2, rel=1e-6)

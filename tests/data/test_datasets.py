@@ -1,0 +1,152 @@
+"""Tests for the Table 2 instance registry and the scaling policy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    MACHINE_MEMORY_BYTES,
+    PAPER_VOXEL_BYTES,
+    SCALES,
+    Instance,
+    get_instance,
+    instance_names,
+    iter_instances,
+    paper_table2,
+)
+
+
+class TestTable2Fidelity:
+    def test_twenty_one_instances(self):
+        assert len(paper_table2()) == 21
+        assert len(instance_names()) == 21
+
+    def test_spot_check_rows(self):
+        rows = {p.name: p for p in paper_table2()}
+        d = rows["Dengue_Hr-VHb"]
+        assert (d.n, d.Gx, d.Gy, d.Gt, d.Hs, d.Ht) == (11056, 294, 386, 728, 50, 14)
+        p = rows["PollenUS_VHr-Lb"]
+        assert (p.n, p.Gx, p.Gy, p.Gt, p.Hs, p.Ht) == (588189, 6501, 3001, 84, 100, 3)
+        e = rows["eBird_Hr-Hb"]
+        assert (e.n, e.Gx, e.Gy, e.Gt, e.Hs, e.Ht) == (291990435, 1781, 3601, 2435, 30, 5)
+
+    def test_size_column_matches_float32_mib(self):
+        """Table 2's MB column is the float32 volume in MiB (+-1 rounding)."""
+        for p in paper_table2():
+            mib = p.n_voxels * PAPER_VOXEL_BYTES / 1024**2
+            assert abs(mib - p.size_mb) <= max(2.0, 0.01 * p.size_mb), p.name
+
+    def test_paper_scale_is_verbatim(self):
+        for p in paper_table2():
+            inst = get_instance(p.name, "paper")
+            assert (inst.Gx, inst.Gy, inst.Gt) == (p.Gx, p.Gy, p.Gt)
+            assert (inst.Hs, inst.Ht, inst.n) == (p.Hs, p.Ht, p.n)
+
+    def test_memory_copies_reproduce_paper_ooms(self):
+        """Flu-Hr allows ~6.5 copies (OOM at 8+ threads in Figure 8);
+        eBird-Hr allows ~2.2 (never replicable)."""
+        flu = get_instance("Flu_Hr-Lb", "paper")
+        assert 5.5 < flu.copies_allowed < 7.5
+        ebird = get_instance("eBird_Hr-Lb", "paper")
+        assert 1.5 < ebird.copies_allowed < 3.0
+        dengue = get_instance("Dengue_Lr-Lb", "paper")
+        assert dengue.copies_allowed > 100
+
+
+class TestScaling:
+    @pytest.mark.parametrize("scale", ["bench", "table3", "test"])
+    def test_all_instances_derivable(self, scale):
+        for inst in iter_instances(scale):
+            assert inst.n >= 8
+            assert inst.n_voxels <= SCALES[scale].target_voxels * 1.4
+            assert inst.Hs >= 1 and inst.Ht >= 1
+
+    def test_bench_volume_near_target(self):
+        """Volumes sit near the 1.5M-voxel target, except compute-dominated
+        instances whose grids shrink further to keep their regime once the
+        point cap binds (eBird, PollenUS-Lb; see module docstring)."""
+        spec = SCALES["bench"]
+        for inst in iter_instances("bench"):
+            assert inst.n_voxels <= spec.target_voxels * 1.4, inst.name
+            assert inst.n_voxels >= spec.target_voxels // 17, inst.name
+
+    def test_regime_preserved(self):
+        """Init- vs compute-dominated classification survives scaling
+        (up to the documented point-count cap)."""
+        for inst in iter_instances("bench"):
+            paper_ratio = inst.paper.compute_init_ratio
+            if paper_ratio < 0.5:  # init-dominated in the paper
+                assert inst.compute_init_ratio < 1.0, inst.name
+            if paper_ratio > 10.0:  # compute-dominated in the paper
+                assert inst.compute_init_ratio > 2.0, inst.name
+
+    def test_ratio_never_exceeds_cap(self):
+        for inst in iter_instances("bench"):
+            assert inst.compute_init_ratio <= SCALES["bench"].max_ratio * 1.01
+
+    def test_copies_allowed_inherited_from_paper(self):
+        for inst in iter_instances("bench"):
+            assert inst.copies_allowed == pytest.approx(inst.paper.copies_allowed)
+
+    def test_memory_budget_scales_with_volume(self):
+        inst = get_instance("Flu_Hr-Lb", "bench")
+        assert inst.memory_budget_bytes == pytest.approx(
+            inst.copies_allowed * inst.n_voxels * 8, rel=1e-6
+        )
+
+    def test_bandwidth_floor(self):
+        """Bandwidths keep min(paper, 3) so stamps stay non-trivial."""
+        for inst in iter_instances("bench"):
+            assert inst.Hs >= min(inst.paper.Hs, 3)
+            assert inst.Ht >= min(inst.paper.Ht, 3)
+
+    def test_test_scale_is_small(self):
+        for inst in iter_instances("test"):
+            assert inst.n <= 300
+            assert inst.n_voxels <= 30_000
+
+
+class TestInstanceRunnability:
+    @pytest.mark.parametrize("name", instance_names())
+    def test_grid_and_points_construct(self, name):
+        inst = get_instance(name, "test")
+        grid = inst.grid()
+        pts = inst.points()
+        assert grid.shape == (inst.Gx, inst.Gy, inst.Gt)
+        assert grid.Hs == inst.Hs and grid.Ht == inst.Ht
+        assert pts.n == inst.n
+        vox = grid.voxels_of(pts.coords)
+        assert (vox >= 0).all()
+        assert (vox < [inst.Gx, inst.Gy, inst.Gt]).all()
+
+    def test_points_deterministic(self):
+        inst = get_instance("Dengue_Lr-Lb", "test")
+        np.testing.assert_array_equal(inst.points().coords, inst.points().coords)
+
+    def test_describe_mentions_name_and_scale(self):
+        inst = get_instance("Flu_Lr-Lb", "test")
+        s = inst.describe()
+        assert "Flu_Lr-Lb" in s and "test" in s
+
+    def test_unknown_instance_rejected(self):
+        with pytest.raises(KeyError, match="Dengue_Lr-Lb"):
+            get_instance("NotADataset_Xx-Yy")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(KeyError, match="scale"):
+            get_instance("Dengue_Lr-Lb", scale="galactic")
+
+    def test_dataset_filter(self):
+        flu = list(iter_instances("test", datasets=("flu",)))
+        assert len(flu) == 6
+        assert all(i.dataset == "flu" for i in flu)
+
+    def test_end_to_end_density(self):
+        """A test-scale instance runs through PB-SYM and yields density."""
+        from repro.algorithms import pb_sym
+
+        inst = get_instance("Dengue_Lr-Hb", "test")
+        res = pb_sym(inst.points(), inst.grid())
+        assert res.data.max() > 0
+        assert np.isfinite(res.data).all()

@@ -1,0 +1,163 @@
+"""Tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    cluster_process,
+    dengue_like,
+    ebird_like,
+    flu_like,
+    generator_for,
+    pollen_like,
+    uniform_process,
+)
+
+EXTENT = (60.0, 50.0, 80.0)
+ALL_GENERATORS = [uniform_process, dengue_like, pollen_like, flu_like, ebird_like]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_count_and_shape(self, gen):
+        pts = gen(500, EXTENT, seed=1)
+        assert pts.n == 500
+        assert pts.coords.shape == (500, 3)
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_within_extent(self, gen):
+        pts = gen(2000, EXTENT, seed=2)
+        assert (pts.coords >= 0).all()
+        assert (pts.xs < EXTENT[0]).all()
+        assert (pts.ys < EXTENT[1]).all()
+        assert (pts.ts < EXTENT[2]).all()
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_deterministic_given_seed(self, gen):
+        a = gen(300, EXTENT, seed=42)
+        b = gen(300, EXTENT, seed=42)
+        np.testing.assert_array_equal(a.coords, b.coords)
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_seed_changes_output(self, gen):
+        a = gen(300, EXTENT, seed=1)
+        b = gen(300, EXTENT, seed=2)
+        assert not np.array_equal(a.coords, b.coords)
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_rejects_zero_points(self, gen):
+        with pytest.raises(ValueError):
+            gen(0, EXTENT)
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_single_point_ok(self, gen):
+        assert gen(1, EXTENT, seed=3).n == 1
+
+
+def spatial_clustering_score(pts, extent, bins=8) -> float:
+    """Coefficient of variation of 2-D histogram counts: 0 = uniform."""
+    h, _, _ = np.histogram2d(
+        pts.xs, pts.ys, bins=bins, range=[[0, extent[0]], [0, extent[1]]]
+    )
+    return float(h.std() / max(h.mean(), 1e-12))
+
+
+class TestStructure:
+    def test_clustered_generators_more_clustered_than_uniform(self):
+        uni = spatial_clustering_score(uniform_process(4000, EXTENT, 5), EXTENT)
+        for gen in (dengue_like, pollen_like, ebird_like):
+            score = spatial_clustering_score(gen(4000, EXTENT, 5), EXTENT)
+            assert score > 2 * uni, gen.__name__
+
+    def test_pollen_heavier_tailed_than_dengue(self):
+        """Zipf metro weights concentrate harder than dirichlet clusters."""
+        d = dengue_like(6000, EXTENT, 7)
+        p = pollen_like(6000, EXTENT, 7)
+        def top_cell_share(pts):
+            h, _, _ = np.histogram2d(pts.xs, pts.ys, bins=12,
+                                     range=[[0, EXTENT[0]], [0, EXTENT[1]]])
+            return h.max() / h.sum()
+        assert top_cell_share(p) > top_cell_share(d) * 0.5  # both clustered
+        assert spatial_clustering_score(p, EXTENT) > 1.0
+
+    def test_dengue_two_waves(self):
+        pts = dengue_like(8000, EXTENT, 9)
+        t = pts.ts / EXTENT[2]
+        early = ((t > 0.1) & (t < 0.35)).mean()
+        mid = ((t > 0.4) & (t < 0.55)).mean()
+        late = ((t > 0.6) & (t < 0.8)).mean()
+        assert early > mid  # first wave dominates the inter-wave trough
+        assert late > mid * 0.5  # second wave exists
+
+    def test_flu_spans_domain(self):
+        """Flyways sweep the whole domain: x-range coverage is wide."""
+        pts = flu_like(3000, EXTENT, 11)
+        assert pts.xs.max() - pts.xs.min() > 0.6 * EXTENT[0]
+        assert pts.ts.max() - pts.ts.min() > 0.6 * EXTENT[2]
+
+    def test_ebird_hotspots_heavy_tailed(self):
+        pts = ebird_like(8000, EXTENT, 13)
+        h, _, _ = np.histogram2d(pts.xs, pts.ys, bins=16,
+                                 range=[[0, EXTENT[0]], [0, EXTENT[1]]])
+        counts = np.sort(h.ravel())[::-1]
+        # Top 5% of cells hold a large share of all sightings.
+        top = counts[: max(1, len(counts) // 20)].sum()
+        assert top / counts.sum() > 0.3
+
+
+class TestClusterProcess:
+    def test_respects_explicit_centers(self):
+        centers = np.array([[10.0, 10.0, 10.0], [50.0, 40.0, 70.0]])
+        pts = cluster_process(
+            1000, EXTENT, n_clusters=2, spatial_sigma=0.5,
+            temporal_sigma=0.5, centers=centers,
+            background_fraction=0.0, seed=3,
+        )
+        d0 = np.linalg.norm(pts.coords - centers[0], axis=1)
+        d1 = np.linalg.norm(pts.coords - centers[1], axis=1)
+        assert (np.minimum(d0, d1) < 5.0).mean() > 0.95
+
+    def test_weights_shift_mass(self):
+        centers = np.array([[10.0, 10.0, 10.0], [50.0, 40.0, 70.0]])
+        pts = cluster_process(
+            2000, EXTENT, n_clusters=2, spatial_sigma=0.5, temporal_sigma=0.5,
+            centers=centers, cluster_weights=np.array([9.0, 1.0]),
+            background_fraction=0.0, seed=4,
+        )
+        near0 = (np.linalg.norm(pts.coords - centers[0], axis=1) < 5).mean()
+        assert near0 > 0.8
+
+    def test_background_fraction(self):
+        pts = cluster_process(
+            2000, EXTENT, n_clusters=1, spatial_sigma=0.1, temporal_sigma=0.1,
+            centers=np.array([[30.0, 25.0, 40.0]]),
+            background_fraction=0.5, seed=5,
+        )
+        far = (np.linalg.norm(pts.coords - [30, 25, 40], axis=1) > 5).mean()
+        assert 0.3 < far < 0.7
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            cluster_process(10, EXTENT, n_clusters=0, spatial_sigma=1, temporal_sigma=1)
+        with pytest.raises(ValueError):
+            cluster_process(10, EXTENT, n_clusters=2, spatial_sigma=1,
+                            temporal_sigma=1, background_fraction=1.5)
+        with pytest.raises(ValueError):
+            cluster_process(10, EXTENT, n_clusters=2, spatial_sigma=1,
+                            temporal_sigma=1, centers=np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            cluster_process(10, EXTENT, n_clusters=2, spatial_sigma=1,
+                            temporal_sigma=1, cluster_weights=np.array([-1.0, 2.0]))
+
+
+class TestGeneratorLookup:
+    @pytest.mark.parametrize("name", ["dengue", "pollen", "flu", "ebird", "uniform"])
+    def test_lookup(self, name):
+        gen = generator_for(name)
+        assert gen(10, EXTENT, seed=0).n == 10
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="dengue"):
+            generator_for("mystery")

@@ -1,0 +1,143 @@
+"""Tests for the execution backends (serial / threaded / simulated)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel.executors import (
+    ExecTask,
+    MemoryBudgetExceeded,
+    check_memory_budget,
+    run_serial,
+    run_threaded,
+    simulate_from_measured,
+)
+from repro.parallel.schedule import TaskGraph
+
+
+def make_graph(n, edges):
+    succs = [[] for _ in range(n)]
+    preds = [[] for _ in range(n)]
+    for u, v in edges:
+        succs[u].append(v)
+        preds[v].append(u)
+    return TaskGraph([1.0] * n, succs, preds)
+
+
+class TestMemoryBudget:
+    def test_within_budget_passes(self):
+        check_memory_budget(100, 200, "x")
+
+    def test_none_budget_always_passes(self):
+        check_memory_budget(10**18, None, "x")
+
+    def test_exceeded_raises_with_sizes(self):
+        with pytest.raises(MemoryBudgetExceeded) as ei:
+            check_memory_budget(2_000_000, 1_000_000, "DR test")
+        assert "DR test" in str(ei.value)
+        assert ei.value.needed == 2_000_000
+        assert ei.value.budget == 1_000_000
+
+
+class TestRunSerial:
+    def test_executes_all_and_measures(self):
+        log = []
+        tasks = [ExecTask(lambda i=i: log.append(i)) for i in range(5)]
+        total = run_serial(tasks)
+        assert sorted(log) == list(range(5))
+        assert total >= 0
+        assert all(t.measured >= 0 for t in tasks)
+
+    def test_respects_dependencies(self):
+        log = []
+        tasks = [
+            ExecTask(lambda: log.append("a")),
+            ExecTask(lambda: log.append("b")),
+        ]
+        graph = make_graph(2, [(1, 0)])  # task 1 before task 0
+        run_serial(tasks, graph)
+        assert log.index("b") < log.index("a")
+
+
+class TestRunThreaded:
+    def test_executes_everything(self):
+        done = set()
+        lock = threading.Lock()
+
+        def work(i):
+            with lock:
+                done.add(i)
+
+        tasks = [ExecTask(lambda i=i: work(i)) for i in range(20)]
+        graph = make_graph(20, [])
+        run_threaded(tasks, graph, P=4)
+        assert done == set(range(20))
+
+    def test_dependency_order(self):
+        order = []
+        lock = threading.Lock()
+
+        def work(i):
+            with lock:
+                order.append(i)
+
+        # Chain 0 -> 1 -> 2 with two stragglers.
+        tasks = [ExecTask(lambda i=i: work(i)) for i in range(5)]
+        graph = make_graph(5, [(0, 1), (1, 2)])
+        run_threaded(tasks, graph, P=3)
+        assert order.index(0) < order.index(1) < order.index(2)
+
+    def test_parallel_overlap_happens(self):
+        """Two GIL-releasing sleeps on 2 workers take ~1x, not ~2x."""
+        tasks = [ExecTask(lambda: time.sleep(0.1)) for _ in range(2)]
+        graph = make_graph(2, [])
+        t0 = time.perf_counter()
+        run_threaded(tasks, graph, P=2)
+        assert time.perf_counter() - t0 < 0.19
+
+    def test_worker_failure_propagates(self):
+        def boom():
+            raise RuntimeError("kaboom")
+
+        tasks = [ExecTask(lambda: None), ExecTask(boom), ExecTask(lambda: None)]
+        graph = make_graph(3, [])
+        with pytest.raises(RuntimeError, match="kaboom"):
+            run_threaded(tasks, graph, P=2)
+
+    def test_rejects_bad_P(self):
+        with pytest.raises(ValueError):
+            run_threaded([], make_graph(0, []), P=0)
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            run_threaded([ExecTask(lambda: None)], make_graph(2, []), P=1)
+
+    def test_priority_order_on_single_worker(self):
+        order = []
+        tasks = [ExecTask(lambda i=i: order.append(i), weight_hint=w)
+                 for i, w in enumerate([1.0, 9.0, 4.0])]
+        graph = make_graph(3, [])
+        run_threaded(tasks, graph, P=1,
+                     priority=lambda v: (-tasks[v].weight_hint, v))
+        assert order == [1, 2, 0]
+
+
+class TestSimulateFromMeasured:
+    def test_replays_measured_weights(self):
+        tasks = [ExecTask(lambda: time.sleep(0.01)) for _ in range(4)]
+        graph = make_graph(4, [])
+        run_serial(tasks, graph)
+        res = simulate_from_measured(tasks, graph, P=4)
+        serial_total = sum(t.measured for t in tasks)
+        assert res.makespan <= serial_total
+        assert res.makespan >= max(t.measured for t in tasks) - 1e-9
+
+    def test_chain_cannot_beat_critical_path(self):
+        tasks = [ExecTask(lambda: time.sleep(0.005)) for _ in range(3)]
+        graph = make_graph(3, [(0, 1), (1, 2)])
+        run_serial(tasks, graph)
+        res = simulate_from_measured(tasks, graph, P=8)
+        assert res.makespan == pytest.approx(sum(t.measured for t in tasks), rel=1e-6)

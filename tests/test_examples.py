@@ -1,0 +1,73 @@
+"""Static checks on the example scripts.
+
+Full example runs take seconds-to-minutes (they are demoware, not tests);
+here we verify the cheap invariants that catch bit-rot: every example
+compiles, documents itself, exposes a ``main()``, and only imports the
+public API (``repro.*`` — not deep private paths).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def example_ids():
+    return [p.name for p in EXAMPLES]
+
+
+@pytest.fixture(params=EXAMPLES, ids=example_ids())
+def example_tree(request):
+    source = request.param.read_text()
+    return request.param, ast.parse(source, filename=str(request.param))
+
+
+class TestExamples:
+    def test_at_least_five_examples(self):
+        assert len(EXAMPLES) >= 5
+
+    def test_quickstart_exists(self):
+        assert (EXAMPLES_DIR / "quickstart.py").exists()
+
+    def test_has_module_docstring(self, example_tree):
+        path, tree = example_tree
+        doc = ast.get_docstring(tree)
+        assert doc and len(doc) > 80, f"{path.name} needs a real docstring"
+
+    def test_docstring_has_run_instructions(self, example_tree):
+        path, tree = example_tree
+        assert "Run:" in ast.get_docstring(tree), path.name
+
+    def test_defines_main(self, example_tree):
+        path, tree = example_tree
+        fns = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+        assert "main" in fns, path.name
+
+    def test_has_main_guard(self, example_tree):
+        path, _ = example_tree
+        assert 'if __name__ == "__main__":' in path.read_text(), path.name
+
+    def test_imports_public_api_only(self, example_tree):
+        path, tree = example_tree
+        for node in ast.walk(tree):
+            mods = []
+            if isinstance(node, ast.Import):
+                mods = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                mods = [node.module]
+            for m in mods:
+                if m.startswith("repro"):
+                    parts = m.split(".")
+                    # Allow repro, repro.<pkg>, repro.<pkg>.<mod>; forbid
+                    # reaching into private names.
+                    assert all(not p.startswith("_") for p in parts), \
+                        f"{path.name} imports private module {m}"
+
+    def test_compiles(self, example_tree):
+        path, _ = example_tree
+        compile(path.read_text(), str(path), "exec")

@@ -1,0 +1,72 @@
+"""Consistency tests for the transcribed paper data the harness mirrors."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.paper_expectations import (
+    FIGURE_CLAIMS,
+    TABLE3,
+    TABLE3_COLUMNS,
+    table3_has,
+)
+from repro.data.datasets import instance_names
+
+
+class TestTable3Transcription:
+    def test_covers_all_21_instances_in_order(self):
+        assert tuple(TABLE3) == instance_names()
+
+    def test_row_arity(self):
+        for name, row in TABLE3.items():
+            assert len(row) == 7, name  # 6 algorithms + speedup
+
+    def test_blank_pattern_is_prefix(self):
+        """The paper never reports a slower algorithm while omitting a
+        faster one: blanks form a prefix of each row (VB first to go)."""
+        for name, row in TABLE3.items():
+            algos = row[:6]
+            seen_value = False
+            for cell in algos:
+                if cell is not None:
+                    seen_value = True
+                elif seen_value and name != "eBird_Hr-Hb":
+                    pytest.fail(f"non-prefix blank in {name}")
+
+    def test_speedup_column_consistent(self):
+        """Where PB and PB-SYM are both reported, the printed speedup is
+        their ratio (transcription check, 1% slack for the paper's own
+        rounding)."""
+        for name, row in TABLE3.items():
+            vb, vbdec, pb, disk, bar, sym, sp = row
+            if pb is not None and sym is not None and sp is not None:
+                assert sp == pytest.approx(pb / sym, rel=0.01), name
+
+    def test_ordering_in_paper_numbers(self):
+        """The paper's own data obeys the Section 3 ordering claims."""
+        for name, row in TABLE3.items():
+            vb, vbdec, pb, disk, bar, sym, _ = row
+            if vb is not None and vbdec is not None:
+                assert vb > vbdec, name
+            if pb is not None and sym is not None:
+                assert pb >= sym, name
+            if disk is not None and bar is not None:
+                assert disk <= bar, name  # PB-DISK beats PB-BAR throughout
+
+    def test_table3_has_matches_rows(self):
+        assert table3_has("Dengue_Lr-Lb", "vb")
+        assert not table3_has("PollenUS_Hr-Hb", "vb")
+        assert not table3_has("eBird_Hr-Hb", "pb")
+        assert table3_has("eBird_Hr-Hb", "pb-sym")
+
+    def test_columns_order(self):
+        assert TABLE3_COLUMNS == ("vb", "vb-dec", "pb", "pb-disk", "pb-bar", "pb-sym")
+
+
+class TestFigureClaims:
+    def test_every_figure_documented(self):
+        assert {f"fig{i}" for i in range(7, 16)} <= set(FIGURE_CLAIMS)
+
+    def test_claims_are_substantive(self):
+        for fig, claim in FIGURE_CLAIMS.items():
+            assert len(claim) > 40, fig
