@@ -14,13 +14,12 @@ them uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Tuple
 
 import numpy as np
 
-from ..core.grid import GridSpec, PointSet, Volume
+from ..core.grid import Volume
 from ..core.instrument import PhaseTimer, WorkCounter
-from ..core.kernels import KernelPair
 
 __all__ = [
     "STKDEResult",

@@ -11,6 +11,11 @@ PB evaluates **both** kernels at **every voxel of the cylinder**: no reuse
 of the spatial/temporal invariants.  That is the ~40-flops-per-voxel cost
 Section 3.2 sets out to remove, and the baseline against which Table 3's
 ``PB-SYM`` speedup column is computed.
+
+Stamping engine: the driver routes through
+:func:`repro.core.stamping.stamp_batch` with ``mode="pb"``, which evaluates
+the same per-voxel kernel products over whole shape cohorts at once; the
+per-point :func:`stamp_point_pb` remains as the scalar reference.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ import numpy as np
 from ..core.grid import GridSpec, PointSet, Volume
 from ..core.instrument import PhaseTimer, WorkCounter
 from ..core.kernels import KernelPair, get_kernel
+from ..core.stamping import stamp_batch
 from .base import STKDEResult, register_algorithm
 
 __all__ = ["pb", "stamp_point_pb"]
@@ -78,7 +84,6 @@ def pb(
         counter.init_writes += vol.size
     norm = grid.normalization(points.n)
     with timer.phase("compute"):
-        for x, y, t in points:
-            stamp_point_pb(vol, grid, kern, x, y, t, norm, counter)
+        stamp_batch(vol, grid, kern, points.coords, norm, counter, mode="pb")
     counter.points_processed += points.n
     return STKDEResult(Volume(vol, grid), "pb", timer, counter)

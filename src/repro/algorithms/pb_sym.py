@@ -8,13 +8,25 @@ loops.  Same ``Theta(Gx*Gy*Gt + n*Hs^2*Ht)`` complexity as PB, but a flop
 count lower by roughly the ~40-flops-per-voxel factor the paper cites —
 Table 3 reports up to 6.97x over PB.
 
-:func:`stamp_point_sym` is the workhorse shared by every parallel strategy
+:func:`stamp_points_sym` is the workhorse shared by every parallel strategy
 (DR, DD, PD, PD-SCHED, PD-REP): it supports an optional *clip window*, which
 is how PB-SYM-DD restricts a point's contribution to one subdomain.  When a
 cylinder is clipped, the invariants are tabulated over the clipped extents —
 so a temporally-split cylinder recomputes its full disk in every subdomain
 that holds a slice of it, reproducing the replication overhead of Figure 4
 without any special-casing.
+
+Stamping engine
+---------------
+Since the batched-engine refactor, :func:`stamp_points_sym` is a thin
+compatibility wrapper over :func:`repro.core.stamping.stamp_batch` with
+``mode="sym"``: points are grouped into stamp-shape cohorts, each cohort's
+disks and bars are tabulated in single vectorised NumPy calls, and the
+outer products are scatter-accumulated per cohort slab.  Masks, expression
+order, and per-point accumulation order within a slab match the historical
+per-point loop, which is preserved verbatim as
+:func:`stamp_points_sym_loop` — the reference the equivalence suite and
+``benchmarks/bench_stamping_engine.py`` compare against.
 """
 
 from __future__ import annotations
@@ -27,9 +39,15 @@ from ..core.grid import GridSpec, PointSet, Volume, VoxelWindow
 from ..core.instrument import PhaseTimer, WorkCounter
 from ..core.invariants import bar_table, disk_table
 from ..core.kernels import KernelPair, get_kernel
+from ..core.stamping import batch_windows, stamp_batch
 from .base import STKDEResult, register_algorithm
 
-__all__ = ["pb_sym", "stamp_point_sym", "stamp_points_sym"]
+__all__ = [
+    "pb_sym",
+    "stamp_point_sym",
+    "stamp_points_sym",
+    "stamp_points_sym_loop",
+]
 
 
 def stamp_point_sym(
@@ -89,31 +107,43 @@ def stamp_points_sym(
 ) -> None:
     """Stamp a batch of points (rows of ``(x, y, t)``) with PB-SYM.
 
-    Window bounds for the whole batch are derived with a handful of
-    vectorised operations up front; the per-point loop then only
-    tabulates invariants and accumulates.  This matters because the
-    parallel strategies (DD in particular) call this with many small
-    batches — per-point Python window math would otherwise dominate the
-    paper's overhead measurements.
+    Compatibility wrapper over the batched stamping engine
+    (:func:`repro.core.stamping.stamp_batch`, ``mode="sym"``): whole shape
+    cohorts are tabulated and scatter-accumulated in large vectorised NumPy
+    calls instead of a per-point Python loop.  The call signature, masks,
+    and work accounting are unchanged; densities match the legacy loop
+    (:func:`stamp_points_sym_loop`) to fp round-off.
+    """
+    stamp_batch(
+        vol, grid, kernel, coords, norm, counter,
+        mode="sym", clip=clip, vol_origin=vol_origin,
+    )
+
+
+def stamp_points_sym_loop(
+    vol: np.ndarray,
+    grid: GridSpec,
+    kernel: KernelPair,
+    coords: np.ndarray,
+    norm: float,
+    counter: WorkCounter,
+    clip: Optional[VoxelWindow] = None,
+    vol_origin: tuple[int, int, int] = (0, 0, 0),
+) -> None:
+    """Legacy per-point PB-SYM stamping loop (reference implementation).
+
+    Kept verbatim from before the batched engine: window bounds for the
+    batch are vectorised up front, then a Python-level loop tabulates each
+    point's invariants and accumulates its outer product.  Used by the
+    engine equivalence tests and by ``benchmarks/bench_stamping_engine.py``
+    as the old-hot-path baseline; production callers go through
+    :func:`stamp_points_sym`.
     """
     coords = np.asarray(coords, dtype=np.float64)
     n = coords.shape[0]
     if n == 0:
         return
-    vox = grid.voxels_of(coords)
-    X0 = np.maximum(vox[:, 0] - grid.Hs, 0)
-    X1 = np.minimum(vox[:, 0] + grid.Hs + 1, grid.Gx)
-    Y0 = np.maximum(vox[:, 1] - grid.Hs, 0)
-    Y1 = np.minimum(vox[:, 1] + grid.Hs + 1, grid.Gy)
-    T0 = np.maximum(vox[:, 2] - grid.Ht, 0)
-    T1 = np.minimum(vox[:, 2] + grid.Ht + 1, grid.Gt)
-    if clip is not None:
-        np.maximum(X0, clip.x0, out=X0)
-        np.minimum(X1, clip.x1, out=X1)
-        np.maximum(Y0, clip.y0, out=Y0)
-        np.minimum(Y1, clip.y1, out=Y1)
-        np.maximum(T0, clip.t0, out=T0)
-        np.minimum(T1, clip.t1, out=T1)
+    X0, X1, Y0, Y1, T0, T1 = batch_windows(grid, coords, clip)
     ox, oy, ot = vol_origin
     xs, ys, ts = coords[:, 0], coords[:, 1], coords[:, 2]
     for i in range(n):
@@ -139,16 +169,49 @@ def pb_sym(
     kernel: str | KernelPair = "epanechnikov",
     counter: Optional[WorkCounter] = None,
     timer: Optional[PhaseTimer] = None,
+    P: int = 1,
+    backend: str = "serial",
+    memory_budget_bytes: Optional[int] = None,
 ) -> STKDEResult:
-    """Point-based STKDE exploiting both invariants (Algorithm 3)."""
+    """Point-based STKDE exploiting both invariants (Algorithm 3).
+
+    With ``P > 1`` and ``backend="threads"``, the stamping work itself is
+    parallelised through the batched engine's sharded threads path
+    (:func:`repro.parallel.executors.run_threaded_stamping`): ``P`` workers
+    stamp cell-balanced point shards into private volumes merged by a
+    slab-parallel reduction — ``P + 1`` volume copies, checked against
+    ``memory_budget_bytes`` like every other replicating strategy.  The
+    default remains the serial engine, so PB-SYM stays the sequential
+    reference of the paper's Table 3.
+    """
+    if backend not in ("serial", "threads"):
+        raise ValueError(
+            f"pb-sym backend must be 'serial' or 'threads', got {backend!r}"
+        )
     kern = get_kernel(kernel)
     counter = counter if counter is not None else WorkCounter()
     timer = timer if timer is not None else PhaseTimer()
+    threaded = P > 1 and backend == "threads"
+    norm = grid.normalization(points.n)
+    if threaded:
+        from ..parallel.executors import check_memory_budget, run_threaded_stamping
+
+        check_memory_budget(
+            (P + 1) * grid.grid_bytes, memory_budget_bytes,
+            f"PB-SYM threads with P={P}",
+        )
     with timer.phase("init"):
         vol = grid.allocate()
         counter.init_writes += vol.size
-    norm = grid.normalization(points.n)
     with timer.phase("compute"):
-        stamp_points_sym(vol, grid, kern, points.coords, norm, counter)
+        if threaded:
+            wall = run_threaded_stamping(
+                vol, grid, kern, points.coords, norm, counter, P
+            )
+        else:
+            stamp_points_sym(vol, grid, kern, points.coords, norm, counter)
     counter.points_processed += points.n
-    return STKDEResult(Volume(vol, grid), "pb-sym", timer, counter)
+    result = STKDEResult(Volume(vol, grid), "pb-sym", timer, counter)
+    if threaded:
+        result.meta.update({"P": P, "backend": backend, "stamp_wall": wall})
+    return result

@@ -19,16 +19,14 @@ tiling changes memory traffic, not the operation count, which the
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional
 
 import numpy as np
 
-from ..core.grid import GridSpec, PointSet
-from ..core.instrument import PhaseTimer, WorkCounter, null_counter
+from ..core.grid import GridSpec, PointSet, Volume
+from ..core.instrument import PhaseTimer, WorkCounter
 from ..core.kernels import KernelPair, get_kernel
 from .base import STKDEResult, register_algorithm
-from ..core.grid import Volume
 
 __all__ = ["vb", "vb_dec"]
 

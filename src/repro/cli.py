@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from . import algorithms  # noqa: F401  (registers sequential algorithms)
 from . import parallel  # noqa: F401  (registers parallel algorithms)

@@ -1,11 +1,16 @@
-"""Core substrate: kernels, domain/grid model, invariants, instrumentation."""
+"""Core substrate: kernels, domain/grid model, invariants, instrumentation,
+and the batched stamping engine shared by every point-based algorithm."""
 
 from .grid import DomainSpec, GridSpec, PointSet, Volume, VoxelWindow
 from .instrument import PhaseTimer, WorkCounter
 from .invariants import bar_table, disk_table, stamp_extent
 from .kernels import KernelPair, available_kernels, get_kernel, register_kernel
+from .stamping import STAMP_MODES, batch_windows, stamp_batch
 
 __all__ = [
+    "STAMP_MODES",
+    "batch_windows",
+    "stamp_batch",
     "DomainSpec",
     "GridSpec",
     "PointSet",

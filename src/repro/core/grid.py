@@ -27,7 +27,7 @@ the paper's Section 6.3.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 import numpy as np

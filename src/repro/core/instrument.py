@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator
 
 __all__ = ["WorkCounter", "PhaseTimer", "null_counter"]
 
@@ -53,6 +53,17 @@ class WorkCounter:
         Voxel additions performed when merging replicated volumes.
     ``points_processed``
         Number of point cylinders stamped.
+    ``stamp_batches``
+        Invocations of the batched stamping engine
+        (:func:`repro.core.stamping.stamp_batch`): each pays one fixed
+        dispatch cost regardless of batch size, which is what the Section
+        6.5 cost model's per-batch term charges.
+    ``stamp_cohorts``
+        Shape cohorts processed by the engine across all batches — the
+        number of vectorised tabulate/scatter rounds actually executed.
+
+    The batching statistics are bookkeeping (like ``points_processed``):
+    they are excluded from :meth:`total_ops` and :meth:`flop_estimate`.
     """
 
     spatial_evals: int = 0
@@ -62,6 +73,8 @@ class WorkCounter:
     init_writes: int = 0
     reduce_adds: int = 0
     points_processed: int = 0
+    stamp_batches: int = 0
+    stamp_cohorts: int = 0
 
     def merge(self, other: "WorkCounter") -> "WorkCounter":
         """Accumulate another counter into this one (returns self)."""
@@ -72,6 +85,8 @@ class WorkCounter:
         self.init_writes += other.init_writes
         self.reduce_adds += other.reduce_adds
         self.points_processed += other.points_processed
+        self.stamp_batches += other.stamp_batches
+        self.stamp_cohorts += other.stamp_cohorts
         return self
 
     def total_ops(self) -> int:
@@ -105,6 +120,8 @@ class WorkCounter:
             "init_writes": self.init_writes,
             "reduce_adds": self.reduce_adds,
             "points_processed": self.points_processed,
+            "stamp_batches": self.stamp_batches,
+            "stamp_cohorts": self.stamp_cohorts,
         }
 
     def copy(self) -> "WorkCounter":
@@ -132,6 +149,8 @@ class _NullCounter(WorkCounter):
             "init_writes",
             "reduce_adds",
             "points_processed",
+            "stamp_batches",
+            "stamp_cohorts",
         ):
             return 0
         return object.__getattribute__(self, name)

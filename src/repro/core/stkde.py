@@ -123,6 +123,14 @@ class STKDE:
                     kwargs["decomposition"] = self.decomposition
                 if name in ("pb-sym-dr", "pb-sym-pd-rep"):
                     kwargs["memory_budget_bytes"] = self.memory_budget_bytes
+            elif name == "pb-sym" and self.P > 1 and self.backend == "threads":
+                # PB-SYM stays registered sequential, but the batched engine
+                # gives it a real threads path (sharded private volumes) —
+                # forward the parallel knobs instead of silently dropping
+                # them.
+                kwargs["P"] = self.P
+                kwargs["backend"] = self.backend
+                kwargs["memory_budget_bytes"] = self.memory_budget_bytes
             return name, kwargs
         if self.P <= 1:
             return "pb-sym", {}

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Tuple, Union
+from typing import Union
 
 import numpy as np
 

@@ -27,9 +27,7 @@ shrinks the graph by orders of magnitude.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
-
-import numpy as np
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from .partition import BlockDecomposition
 

@@ -16,6 +16,13 @@ replication — but two structural costs the paper measures:
   subdomains; since a subdomain is a single task, imbalance directly caps
   speedup, and refining the decomposition to fix it inflates the
   replication overhead — the tension Section 4.2 describes.
+
+Each subdomain task stamps its point batch through the batched engine
+(:mod:`repro.core.stamping` via :func:`stamp_points_sym`): one engine call
+per block, whole shape cohorts tabulated and scattered in large
+GIL-releasing NumPy kernels.  That is what makes ``backend="threads"``
+genuinely overlap block tasks instead of serialising on per-point
+interpreter dispatch.
 """
 
 from __future__ import annotations

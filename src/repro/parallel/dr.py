@@ -15,6 +15,13 @@ volume traffic *exceeds* the parallel gain (speedups below 1 in Figure 8),
 and on large grids the replicas simply do not fit — Flu-Hr dies at 8
 threads, eBird-Hr cannot run at all.  Both behaviours reproduce here via
 the memory-budget check and the bandwidth-saturated phase model.
+
+Worker chunks stamp through the batched engine (one
+:func:`stamp_points_sym` call per chunk), so the compute phase under
+``backend="threads"`` is a few large GIL-releasing NumPy kernels per
+worker — the same private-volume + reduction structure is also available
+directly at the engine level as
+:func:`repro.parallel.executors.run_threaded_stamping`.
 """
 
 from __future__ import annotations

@@ -27,7 +27,7 @@ bandwidths are adjusted", Figure 11).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

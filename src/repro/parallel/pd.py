@@ -22,6 +22,11 @@ Two schedulers:
 
 Both produce exactly the PB-SYM volume (work-efficient; no replication
 overhead), unlike DR/DD.
+
+Block tasks stamp through the batched engine (:mod:`repro.core.stamping`
+via :func:`stamp_points_sym`), so under ``backend="threads"`` concurrent
+colour-compatible blocks overlap in large GIL-releasing NumPy kernels
+rather than contending on per-point Python dispatch.
 """
 
 from __future__ import annotations
@@ -36,7 +41,6 @@ from ..core.grid import GridSpec, PointSet, Volume
 from ..core.instrument import PhaseTimer, WorkCounter
 from ..core.kernels import KernelPair, get_kernel
 from .color import (
-    Coloring,
     greedy_coloring,
     load_order,
     occupied_neighbor_map,

@@ -25,12 +25,18 @@ decompositions).
 Note on naming: the paper's text calls this algorithm PB-SYM-PD-REP while
 Figure 15's legend calls it PB-SYM-PD-SCHED-REP (it builds on the SCHED
 colouring); we register it as ``"pb-sym-pd-rep"``.
+
+Replica tasks stamp into their halo buffers through the batched engine
+(:func:`stamp_points_sym` with ``clip`` + ``vol_origin``), so replicas of
+a hot block overlap as large GIL-releasing NumPy kernels under
+``backend="threads"``; the calibration micro-probes in this module measure
+the engine path and therefore price replication against batched stamping.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 

@@ -28,9 +28,8 @@ This module provides:
 from __future__ import annotations
 
 import heapq
-import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .color import Coloring
 

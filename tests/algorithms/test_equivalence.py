@@ -16,7 +16,7 @@ from repro.algorithms import get_algorithm, sequential_algorithms
 from repro.core import DomainSpec, GridSpec, PointSet
 from repro.core.kernels import available_kernels
 
-from ..conftest import make_clustered_points, make_points
+from tests.helpers import make_clustered_points, make_points
 
 # The paper's six sequential algorithms: exact rearrangements of VB.
 # (pb-sym-adaptive also registers as sequential but computes a *different*

@@ -18,7 +18,7 @@ from repro.algorithms.pb_sym import stamp_point_sym, stamp_points_sym
 from repro.core import DomainSpec, GridSpec, VoxelWindow, WorkCounter
 from repro.core.kernels import get_kernel
 
-from ..conftest import make_points
+from tests.helpers import make_points
 
 KERNEL = get_kernel("epanechnikov")
 

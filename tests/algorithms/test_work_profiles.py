@@ -18,7 +18,7 @@ import pytest
 from repro.algorithms import pb, pb_bar, pb_disk, pb_sym, vb, vb_dec
 from repro.core import DomainSpec, GridSpec, WorkCounter
 
-from ..conftest import make_points
+from tests.helpers import make_points
 
 
 @pytest.fixture

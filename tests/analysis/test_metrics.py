@@ -17,7 +17,7 @@ from repro.analysis.metrics import (
 from repro.core import DomainSpec, GridSpec
 from repro.parallel import pb_sym_pd_rep
 
-from ..conftest import make_clustered_points, make_points
+from tests.helpers import make_clustered_points, make_points
 
 
 @pytest.fixture

@@ -11,7 +11,7 @@ from repro.algorithms import pb_sym
 from repro.analysis.model import CostModel, MachineModel, select_strategy
 from repro.core import DomainSpec, GridSpec
 
-from ..conftest import make_clustered_points, make_points
+from tests.helpers import make_clustered_points, make_points
 
 
 @pytest.fixture(scope="module")

@@ -13,7 +13,7 @@ from repro.analysis.validate import (
 )
 from repro.core import DomainSpec, GridSpec, PointSet, Volume
 
-from ..conftest import make_points
+from tests.helpers import make_points
 
 
 @pytest.fixture

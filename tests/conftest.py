@@ -12,6 +12,10 @@ import pytest
 
 from repro.core import DomainSpec, GridSpec, PointSet
 
+# Re-exported for backwards compatibility; new tests should import these
+# from ``tests.helpers`` directly.
+from tests.helpers import make_clustered_points, make_points  # noqa: F401
+
 
 @pytest.fixture
 def rng() -> np.random.Generator:
@@ -41,28 +45,6 @@ def physical_domain() -> DomainSpec:
 @pytest.fixture
 def physical_grid(physical_domain) -> GridSpec:
     return GridSpec(physical_domain, hs=800.0, ht=7.0)
-
-
-def make_points(grid: GridSpec, n: int, seed: int = 0) -> PointSet:
-    """Uniform random points spanning the whole domain box."""
-    rng = np.random.default_rng(seed)
-    d = grid.domain
-    lo = [d.x0, d.y0, d.t0]
-    hi = [d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt]
-    return PointSet(rng.uniform(lo, hi, size=(n, 3)))
-
-
-def make_clustered_points(grid: GridSpec, n: int, k: int = 3, seed: int = 0) -> PointSet:
-    """Clustered points (mixture of Gaussians), mimicking real datasets."""
-    rng = np.random.default_rng(seed)
-    d = grid.domain
-    lo = np.array([d.x0, d.y0, d.t0])
-    span = np.array([d.gx, d.gy, d.gt])
-    centers = rng.uniform(lo + 0.2 * span, lo + 0.8 * span, size=(k, 3))
-    which = rng.integers(0, k, size=n)
-    pts = centers[which] + rng.normal(0, 0.08, size=(n, 3)) * span
-    pts = np.clip(pts, lo, lo + span * (1 - 1e-9))
-    return PointSet(pts)
 
 
 @pytest.fixture

@@ -14,7 +14,7 @@ from repro.core.adaptive import (
     pilot_at_points,
 )
 
-from ..conftest import make_clustered_points, make_points
+from tests.helpers import make_clustered_points, make_points
 
 
 @pytest.fixture

@@ -9,7 +9,7 @@ from repro.algorithms import pb_sym
 from repro.core import DomainSpec, GridSpec, PointSet
 from repro.core.incremental import IncrementalSTKDE
 
-from ..conftest import make_points
+from tests.helpers import make_points
 
 
 @pytest.fixture

@@ -1,0 +1,1 @@
+"""Test package marker (enables absolute `tests.*` imports under pytest)."""

@@ -141,3 +141,126 @@ class TestSimulateFromMeasured:
         run_serial(tasks, graph)
         res = simulate_from_measured(tasks, graph, P=8)
         assert res.makespan == pytest.approx(sum(t.measured for t in tasks), rel=1e-6)
+
+
+class TestRunThreadedStamping:
+    """The batched engine's sharded threads path (private volumes + merge)."""
+
+    def _setup(self, n=120):
+        import numpy as np
+
+        from repro.core import DomainSpec, GridSpec, WorkCounter
+        from repro.core.kernels import get_kernel
+
+        grid = GridSpec(DomainSpec.from_voxels(18, 16, 20), hs=2.5, ht=2.1)
+        rng = np.random.default_rng(7)
+        coords = rng.uniform([0, 0, 0], [18, 16, 20], size=(n, 3))
+        return np, grid, get_kernel("epanechnikov"), coords, WorkCounter
+
+    def test_matches_serial_engine(self):
+        import numpy as np
+
+        from repro.core.stamping import stamp_batch
+        from repro.parallel.executors import run_threaded_stamping
+
+        np_, grid, kern, coords, WC = self._setup()
+        serial = np.zeros(grid.shape)
+        stamp_batch(serial, grid, kern, coords, 1.0, WC())
+        for P in (1, 2, 4):
+            vol = np.zeros(grid.shape)
+            wall = run_threaded_stamping(vol, grid, kern, coords, 1.0, WC(), P)
+            np.testing.assert_allclose(vol, serial, rtol=1e-12, atol=1e-18)
+            assert wall >= 0
+
+    def test_accounts_private_volumes_and_reduction(self):
+        import numpy as np
+
+        from repro.parallel.executors import run_threaded_stamping
+
+        np_, grid, kern, coords, WC = self._setup()
+        c = WC()
+        vol = np.zeros(grid.shape)
+        P = 3
+        run_threaded_stamping(vol, grid, kern, coords, 1.0, c, P)
+        # P private volumes zeroed, and every slab sums P buffers.
+        assert c.init_writes == P * grid.n_voxels
+        assert c.reduce_adds == P * grid.n_voxels
+        assert c.stamp_batches == P
+
+    def test_clip_respected(self):
+        import numpy as np
+
+        from repro.core import VoxelWindow
+        from repro.core.stamping import stamp_batch
+        from repro.parallel.executors import run_threaded_stamping
+
+        np_, grid, kern, coords, WC = self._setup()
+        clip = VoxelWindow(3, 12, 2, 11, 4, 16)
+        serial = np.zeros(grid.shape)
+        stamp_batch(serial, grid, kern, coords, 1.0, WC(), clip=clip)
+        vol = np.zeros(grid.shape)
+        run_threaded_stamping(vol, grid, kern, coords, 1.0, WC(), 2, clip=clip)
+        np.testing.assert_allclose(vol, serial, rtol=1e-12, atol=1e-18)
+        mask = np.ones(grid.shape, dtype=bool)
+        mask[clip.slices()] = False
+        assert not vol[mask].any()
+
+    def test_empty_batch(self):
+        import numpy as np
+
+        from repro.parallel.executors import run_threaded_stamping
+
+        np_, grid, kern, _, WC = self._setup()
+        vol = np.zeros(grid.shape)
+        wall = run_threaded_stamping(vol, grid, kern, np.empty((0, 3)), 1.0, WC(), 4)
+        assert wall == 0.0 and not vol.any()
+
+    def test_pb_sym_threads_backend_matches_serial(self):
+        import numpy as np
+
+        from repro.algorithms import pb_sym
+        from repro.core import DomainSpec, GridSpec, PointSet
+
+        grid = GridSpec(DomainSpec.from_voxels(18, 16, 20), hs=2.5, ht=2.1)
+        rng = np.random.default_rng(11)
+        pts = PointSet(rng.uniform([0, 0, 0], [18, 16, 20], size=(90, 3)))
+        serial = pb_sym(pts, grid)
+        threaded = pb_sym(pts, grid, P=4, backend="threads")
+        np.testing.assert_allclose(threaded.data, serial.data, rtol=1e-12, atol=1e-18)
+        assert threaded.meta["P"] == 4
+        assert threaded.meta["backend"] == "threads"
+        assert threaded.counter.points_processed == pts.n
+
+    def test_pb_sym_rejects_unknown_backend(self):
+        import numpy as np
+        import pytest as _pytest
+
+        from repro.algorithms import pb_sym
+        from repro.core import DomainSpec, GridSpec, PointSet
+
+        grid = GridSpec(DomainSpec.from_voxels(10, 10, 10), hs=2.0, ht=2.0)
+        pts = PointSet(np.random.default_rng(0).uniform(0, 10, size=(5, 3)))
+        with _pytest.raises(ValueError, match="backend"):
+            pb_sym(pts, grid, P=4, backend="simulated")
+        with _pytest.raises(ValueError, match="backend"):
+            pb_sym(pts, grid, backend="thread")  # typo must not run serial
+
+    def test_pb_sym_threads_respects_memory_budget(self):
+        import numpy as np
+        import pytest as _pytest
+
+        from repro.algorithms import pb_sym
+        from repro.core import DomainSpec, GridSpec, PointSet
+        from repro.parallel.executors import MemoryBudgetExceeded
+
+        grid = GridSpec(DomainSpec.from_voxels(12, 12, 12), hs=2.0, ht=2.0)
+        pts = PointSet(np.random.default_rng(1).uniform(0, 12, size=(20, 3)))
+        # P=4 threads needs P+1 volume copies; a 2-volume budget must refuse.
+        with _pytest.raises(MemoryBudgetExceeded):
+            pb_sym(pts, grid, P=4, backend="threads",
+                   memory_budget_bytes=2 * grid.grid_bytes)
+        # Roomy budget runs fine and matches serial.
+        serial = pb_sym(pts, grid)
+        res = pb_sym(pts, grid, P=4, backend="threads",
+                     memory_budget_bytes=16 * grid.grid_bytes)
+        np.testing.assert_allclose(res.data, serial.data, rtol=1e-12, atol=1e-18)

@@ -21,7 +21,7 @@ from repro.parallel import (
     pb_sym_pd_sched,
 )
 
-from ..conftest import make_clustered_points, make_points
+from tests.helpers import make_clustered_points, make_points
 
 PARALLEL = [pb_sym_dr, pb_sym_dd, pb_sym_pd, pb_sym_pd_sched, pb_sym_pd_rep]
 DECOMPOSED = [pb_sym_dd, pb_sym_pd, pb_sym_pd_sched, pb_sym_pd_rep]

@@ -10,7 +10,7 @@ from hypothesis import strategies as st
 from repro.core import DomainSpec, GridSpec, PointSet
 from repro.parallel.partition import BlockDecomposition
 
-from ..conftest import make_clustered_points, make_points
+from tests.helpers import make_clustered_points, make_points
 
 
 @pytest.fixture

@@ -11,7 +11,7 @@ from repro.cli import main as cli_main
 from repro.data.io import save_points_csv, save_volume
 from repro.viz.render import ascii_heatmap, hotspots, render_time_slice, series_csv
 
-from .conftest import make_points
+from tests.helpers import make_points
 
 
 class TestInferDomain:
