@@ -1,0 +1,319 @@
+"""Benchmark: the unified region-accumulation engine.
+
+Measures the three write paths the engine unified:
+
+1. **Bbox-sharded threads** (:func:`repro.parallel.executors.run_threaded_stamping`)
+   against the serial engine — wall time *and* peak shard-buffer bytes vs
+   the ``P`` full private volumes the pre-regions path allocated.  The
+   acceptance gate requires the bbox buffers to come in strictly below
+   ``P`` full volumes on the clustered ``n=1e5`` instance.
+2. **Incremental sliding windows**: one `slide_window` on a warm
+   region-cached estimator vs recomputing the window from scratch with
+   sequential PB-SYM.
+3. **VB voxel tiles** through the engine vs the retained legacy tile loop
+   (small instance — VB is Theta(voxels * points)).
+
+Every cell verifies density equivalence at ``rtol=1e-12``.
+
+Writes ``BENCH_regions.json`` at the repository root (override with
+``--out``); ``--results-dir DIR`` additionally writes
+``DIR/region_engine.json`` in the shape :mod:`repro.analysis.report`
+checks.  ``--smoke`` runs a seconds-scale subset with the same schema.
+
+Run:  ``PYTHONPATH=src python benchmarks/bench_region_engine.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.vb import accumulate_tile_legacy, vb
+from repro.core import DomainSpec, GridSpec, PointSet, WorkCounter
+from repro.core.incremental import IncrementalSTKDE
+from repro.core.kernels import get_kernel
+from repro.core.regions import plan_stamp_shards
+from repro.core.stamping import stamp_batch
+from repro.parallel.executors import run_threaded_stamping
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_regions.json"
+
+#: Same paper-flavoured geometry as BENCH_stamping.json: 245-cell stamps.
+GRID_VOXELS = (128, 128, 64)
+HS, HT = 3.0, 2.0
+THREADS_P = 4
+
+
+def make_grid() -> GridSpec:
+    return GridSpec(DomainSpec.from_voxels(*GRID_VOXELS), hs=HS, ht=HT)
+
+
+def make_coords(grid: GridSpec, n: int, dataset: str, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    span = np.array([grid.domain.gx, grid.domain.gy, grid.domain.gt])
+    if dataset == "uniform":
+        return rng.uniform(0, span, size=(n, 3))
+    centers = rng.uniform(0.2 * span, 0.8 * span, size=(5, 3))
+    pts = centers[rng.integers(0, 5, size=n)] + rng.normal(0, 0.08, size=(n, 3)) * span
+    return np.clip(pts, 0, span * (1 - 1e-9))
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def threads_cell(grid: GridSpec, dataset: str, n: int, repeats: int) -> dict:
+    """Bbox-sharded threads vs serial engine, plus the memory comparison."""
+    kern = get_kernel("epanechnikov")
+    coords = make_coords(grid, n, dataset)
+    norm = 1.0 / n
+
+    vol_serial = np.zeros(grid.shape)
+    vol_threads = np.zeros(grid.shape)
+
+    def serial() -> None:
+        vol_serial.fill(0.0)
+        stamp_batch(vol_serial, grid, kern, coords, norm, WorkCounter())
+
+    def threads() -> None:
+        vol_threads.fill(0.0)
+        run_threaded_stamping(
+            vol_threads, grid, kern, coords, norm, WorkCounter(), THREADS_P
+        )
+
+    serial()  # warm the engine code path
+    t_serial = best_of(serial, repeats)
+    t_threads = best_of(threads, repeats)
+
+    counters = WorkCounter()
+    run_threaded_stamping(
+        np.zeros(grid.shape), grid, kern, coords, norm, counters, THREADS_P
+    )
+    plan = plan_stamp_shards(grid, coords, THREADS_P)
+    full_bytes = THREADS_P * grid.grid_bytes
+    row = {
+        "path": "threads-bbox",
+        "dataset": dataset,
+        "n": n,
+        "P": THREADS_P,
+        "serial_engine_seconds": t_serial,
+        "threads_seconds": t_threads,
+        # All shard buffers are live together between stamp and reduce, so
+        # the plan's total is the peak.
+        "peak_shard_buffer_bytes": plan.buffer_bytes,
+        "full_private_volumes_bytes": full_bytes,
+        "buffer_reduction_factor": full_bytes / max(plan.buffer_bytes, 1),
+        "shard_bbox_cells": counters.shard_bbox_cells,
+        "stamp_batches": counters.stamp_batches,
+        "equivalent_rtol_1e12": bool(
+            np.allclose(vol_threads, vol_serial, rtol=1e-12, atol=1e-18)
+        ),
+    }
+    print(
+        f"threads-bbox {dataset:10s} n={n:>7d}  serial {t_serial:7.3f}s  "
+        f"threads P={THREADS_P} {t_threads:7.3f}s  buffers "
+        f"{plan.buffer_bytes / 1e6:8.2f} MB vs {full_bytes / 1e6:8.2f} MB "
+        f"({row['buffer_reduction_factor']:5.2f}x smaller)  "
+        f"equiv={row['equivalent_rtol_1e12']}"
+    )
+    return row
+
+
+def incremental_cell(grid: GridSpec, n: int) -> dict:
+    """One window slide on a region-cached estimator vs batch recompute."""
+    kern_name = "epanechnikov"
+    rng = np.random.default_rng(7)
+    span = np.array([grid.domain.gx, grid.domain.gy, grid.domain.gt])
+    n_day = max(1, n // 8)
+
+    def day_batch(lo: float, hi: float) -> np.ndarray:
+        pts = rng.uniform(0, span, size=(n_day, 3))
+        pts[:, 2] = rng.uniform(lo, hi, size=n_day)
+        return pts
+
+    day_len = float(span[2]) / 8.0
+    inc = IncrementalSTKDE(grid, kernel=kern_name)
+    batches = []
+    for day in range(6):
+        b = day_batch(day * day_len, (day + 1) * day_len)
+        batches.append(b)
+        inc.add(b)
+    fresh = day_batch(6 * day_len, 7 * day_len)
+
+    t0 = time.perf_counter()
+    inc.slide_window(fresh, t_horizon=2 * day_len)
+    t_slide = time.perf_counter() - t0
+
+    live = np.vstack([b[b[:, 2] >= 2 * day_len] for b in batches] + [fresh])
+
+    from repro.algorithms.pb_sym import pb_sym
+
+    t0 = time.perf_counter()
+    batch_res = pb_sym(PointSet(live), grid, kernel=kern_name)
+    t_batch = time.perf_counter() - t0
+
+    equiv = bool(
+        np.allclose(
+            inc.volume().data, batch_res.data, rtol=1e-9, atol=1e-14
+        )
+    )
+    row = {
+        "path": "incremental-slide",
+        "dataset": "uniform-days",
+        "n": int(6 * n_day + n_day),
+        "slide_seconds": t_slide,
+        "batch_recompute_seconds": t_batch,
+        "slide_speedup_vs_recompute": t_batch / max(t_slide, 1e-12),
+        "cached_buffer_cells": inc.cached_buffer_cells,
+        "shard_bbox_cells": inc.counter.shard_bbox_cells,
+        "equivalent_rtol_1e9": equiv,
+    }
+    print(
+        f"incremental  n={row['n']:>7d}  slide {t_slide:7.3f}s  recompute "
+        f"{t_batch:7.3f}s ({row['slide_speedup_vs_recompute']:5.2f}x)  "
+        f"equiv={equiv}"
+    )
+    return row
+
+
+def vb_tile_cell(n: int) -> dict:
+    """VB through the engine tile path vs the retained legacy tile loop."""
+    grid = GridSpec(DomainSpec.from_voxels(32, 32, 16), hs=2.5, ht=2.0)
+    kern = get_kernel("epanechnikov")
+    pts = PointSet(make_coords(grid, n, "clustered", seed=3))
+    norm = grid.normalization(pts.n)
+
+    res = vb(pts, grid)
+    t_engine = res.timer.seconds["compute"]
+    tiles = res.counter.tile_batches
+
+    vol_legacy = grid.allocate()
+    flat = vol_legacy.reshape(-1)
+    t0 = time.perf_counter()
+    for start in range(0, flat.size, 2048):
+        idx = np.arange(start, min(start + 2048, flat.size))
+        X, Y, T = np.unravel_index(idx, grid.shape)
+        cx = grid.domain.x0 + (X + 0.5) * grid.domain.sres
+        cy = grid.domain.y0 + (Y + 0.5) * grid.domain.sres
+        ct = grid.domain.t0 + (T + 0.5) * grid.domain.tres
+        for pstart in range(0, pts.n, 512):
+            sl = slice(pstart, min(pstart + 512, pts.n))
+            accumulate_tile_legacy(
+                flat, idx, cx, cy, ct,
+                pts.xs[sl], pts.ys[sl], pts.ts[sl],
+                grid, kern, norm, WorkCounter(),
+            )
+    t_legacy = time.perf_counter() - t0
+
+    row = {
+        "path": "vb-tiles",
+        "dataset": "clustered",
+        "n": n,
+        "grid_voxels": list(grid.shape),
+        "engine_seconds": t_engine,
+        "legacy_tile_loop_seconds": t_legacy,
+        "tile_batches": tiles,
+        "equivalent_rtol_1e12": bool(
+            np.allclose(res.data, vol_legacy, rtol=1e-12, atol=1e-18)
+        ),
+    }
+    print(
+        f"vb-tiles     n={n:>7d}  legacy {t_legacy:7.3f}s  engine "
+        f"{t_engine:7.3f}s  tiles={tiles}  equiv={row['equivalent_rtol_1e12']}"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="seconds-scale subset (n=1000 only), for CI")
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                    help="output JSON path (default: repo-root BENCH_regions.json)")
+    ap.add_argument("--results-dir", type=Path, default=None,
+                    help="also write region_engine.json here for the "
+                         "analysis.report shape checks")
+    args = ap.parse_args(argv)
+
+    grid = make_grid()
+    sizes = [1_000] if args.smoke else [1_000, 10_000, 100_000]
+    rows = []
+    for dataset in ("clustered", "uniform"):
+        for n in sizes:
+            repeats = 1 if n >= 100_000 else 2
+            rows.append(threads_cell(grid, dataset, n, repeats))
+    rows.append(incremental_cell(grid, sizes[-1]))
+    rows.append(vb_tile_cell(500 if args.smoke else 2_000))
+
+    key = [
+        r for r in rows
+        if r["path"] == "threads-bbox"
+        and r["dataset"] == "clustered"
+        and r["n"] == sizes[-1]
+    ][0]
+    cpus = (
+        len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1)
+    )
+    acceptance = {
+        "case": f"clustered n={sizes[-1]}, P={THREADS_P}",
+        "peak_shard_buffer_bytes": key["peak_shard_buffer_bytes"],
+        "full_private_volumes_bytes": key["full_private_volumes_bytes"],
+        "bbox_buffers_strictly_below_full_volumes": (
+            key["peak_shard_buffer_bytes"] < key["full_private_volumes_bytes"]
+        ),
+        "buffer_reduction_factor": key["buffer_reduction_factor"],
+        "threads_scaling_measurable": cpus > 1,
+        "densities_equivalent_rtol_1e12": all(
+            r.get("equivalent_rtol_1e12", r.get("equivalent_rtol_1e9", False))
+            for r in rows
+        ),
+    }
+    payload = {
+        "benchmark": "region_engine",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "smoke": args.smoke,
+        "config": {
+            "grid_voxels": list(GRID_VOXELS),
+            "hs": HS,
+            "ht": HT,
+            "threads_P": THREADS_P,
+            "cpus_available": cpus,
+            "kernel": "epanechnikov",
+        },
+        "note": (
+            "threads-bbox = run_threaded_stamping with bounding-box shard "
+            "buffers (peak bytes = all P buffers live between stamp and "
+            "reduce) vs the P full private volumes of the pre-regions "
+            "path; incremental-slide = slide_window on a region-cached "
+            "IncrementalSTKDE vs sequential PB-SYM recompute of the live "
+            "window; vb-tiles = VB via the shared tile engine vs the "
+            "retained legacy tile loop.  On a single-CPU container the "
+            "threads rows measure overhead, not scaling."
+        ),
+        "results": rows,
+        "acceptance": acceptance,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    if args.results_dir is not None:
+        args.results_dir.mkdir(parents=True, exist_ok=True)
+        mirror = args.results_dir / "region_engine.json"
+        mirror.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+        print(f"wrote {mirror}")
+    print(f"acceptance: {json.dumps(acceptance, indent=2)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

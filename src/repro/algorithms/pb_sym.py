@@ -169,20 +169,23 @@ def pb_sym(
     kernel: str | KernelPair = "epanechnikov",
     counter: Optional[WorkCounter] = None,
     timer: Optional[PhaseTimer] = None,
-    P: int = 1,
+    P: "int | str" = 1,
     backend: str = "serial",
     memory_budget_bytes: Optional[int] = None,
 ) -> STKDEResult:
     """Point-based STKDE exploiting both invariants (Algorithm 3).
 
     With ``P > 1`` and ``backend="threads"``, the stamping work itself is
-    parallelised through the batched engine's sharded threads path
+    parallelised through the region engine's sharded threads path
     (:func:`repro.parallel.executors.run_threaded_stamping`): ``P`` workers
-    stamp cell-balanced point shards into private volumes merged by a
-    slab-parallel reduction — ``P + 1`` volume copies, checked against
-    ``memory_budget_bytes`` like every other replicating strategy.  The
-    default remains the serial engine, so PB-SYM stays the sequential
-    reference of the paper's Table 3.
+    stamp cell-balanced point shards into bounding-box
+    :class:`~repro.core.regions.RegionBuffer`\\ s merged by a slab-parallel
+    reduction — one output volume plus the shards' joint bounding boxes,
+    checked against ``memory_budget_bytes`` from the *planned* buffer
+    sizes (a fraction of the ``P + 1`` full volumes the pre-regions path
+    needed).  ``P="auto"`` shards by the machine's CPU count instead of
+    silently running single-shard.  The default remains the serial engine,
+    so PB-SYM stays the sequential reference of the paper's Table 3.
     """
     if backend not in ("serial", "threads"):
         raise ValueError(
@@ -191,22 +194,19 @@ def pb_sym(
     kern = get_kernel(kernel)
     counter = counter if counter is not None else WorkCounter()
     timer = timer if timer is not None else PhaseTimer()
+    from ..parallel.executors import resolve_shard_count, run_threaded_stamping
+
+    P = resolve_shard_count(P)
     threaded = P > 1 and backend == "threads"
     norm = grid.normalization(points.n)
-    if threaded:
-        from ..parallel.executors import check_memory_budget, run_threaded_stamping
-
-        check_memory_budget(
-            (P + 1) * grid.grid_bytes, memory_budget_bytes,
-            f"PB-SYM threads with P={P}",
-        )
     with timer.phase("init"):
         vol = grid.allocate()
         counter.init_writes += vol.size
     with timer.phase("compute"):
         if threaded:
             wall = run_threaded_stamping(
-                vol, grid, kern, points.coords, norm, counter, P
+                vol, grid, kern, points.coords, norm, counter, P,
+                memory_budget_bytes=memory_budget_bytes,
             )
         else:
             stamp_points_sym(vol, grid, kern, points.coords, norm, counter)

@@ -12,9 +12,14 @@ cylinder test.  This reduces the constant enormously on clustered data but
 remains voxel-based (it cannot exploit the PB-SYM symmetries, as Section
 3.2 notes).
 
-Both are vectorised with NumPy over (voxel-chunk x point-block) tiles; the
-tiling changes memory traffic, not the operation count, which the
-:class:`~repro.core.instrument.WorkCounter` reports faithfully.
+Both are vectorised with NumPy over (voxel-chunk x point-block) tiles
+routed through the shared region-accumulation engine
+(:func:`repro.core.regions.accumulate_voxel_tile`); the tiling changes
+memory traffic, not the operation count, which the
+:class:`~repro.core.instrument.WorkCounter` reports faithfully.  The
+historical private tile loop is retained verbatim as
+:func:`accumulate_tile_legacy` — the reference the engine-equivalence
+suite pins against at ``rtol=1e-12``.
 """
 
 from __future__ import annotations
@@ -26,16 +31,17 @@ import numpy as np
 from ..core.grid import GridSpec, PointSet, Volume
 from ..core.instrument import PhaseTimer, WorkCounter
 from ..core.kernels import KernelPair, get_kernel
+from ..core.regions import accumulate_voxel_tile
 from .base import STKDEResult, register_algorithm
 
-__all__ = ["vb", "vb_dec"]
+__all__ = ["vb", "vb_dec", "accumulate_tile_legacy"]
 
 #: Tile sizes bounding temporary arrays to a few tens of MB.
 _VOXEL_CHUNK = 2048
 _POINT_BLOCK = 512
 
 
-def _accumulate_tile(
+def accumulate_tile_legacy(
     out_flat: np.ndarray,
     vox_index: np.ndarray,
     cx: np.ndarray,
@@ -49,11 +55,13 @@ def _accumulate_tile(
     norm: float,
     counter: WorkCounter,
 ) -> None:
-    """Accumulate the contribution of a point block onto a voxel chunk.
+    """Legacy private tile loop (reference implementation).
 
+    Kept verbatim from before the region engine unified the tile path:
     ``out_flat`` is the flattened density volume; ``vox_index`` the flat
     indices of the chunk; ``cx/cy/ct`` the chunk's voxel-center coordinates;
-    ``px/py/pt`` the point block coordinates.
+    ``px/py/pt`` the point block coordinates.  Production callers go
+    through :func:`repro.core.regions.accumulate_voxel_tile`.
     """
     dx = cx[:, None] - px[None, :]
     dy = cy[:, None] - py[None, :]
@@ -113,7 +121,7 @@ def vb(
             cx, cy, ct = _voxel_chunk_coords(grid, idx)
             for pstart in range(0, points.n, point_block):
                 sl = slice(pstart, min(pstart + point_block, points.n))
-                _accumulate_tile(
+                accumulate_voxel_tile(
                     flat, idx, cx, cy, ct, px[sl], py[sl], pt[sl],
                     grid, kern, norm, counter,
                 )
@@ -201,7 +209,7 @@ def vb_dec(
                     cx, cy, ct = _voxel_chunk_coords(grid, idx)
                     for start in range(0, idx.size, voxel_chunk):
                         sl = slice(start, min(start + voxel_chunk, idx.size))
-                        _accumulate_tile(
+                        accumulate_voxel_tile(
                             flat, idx[sl], cx[sl], cy[sl], ct[sl],
                             px[cand_idx], py[cand_idx], pt[cand_idx],
                             grid, kern, norm, counter,

@@ -38,6 +38,7 @@ from ..core.grid import GridSpec, PointSet
 from ..core.instrument import WorkCounter
 from ..core.invariants import stamp_extent
 from ..core.kernels import get_kernel
+from ..core.regions import plan_stamp_shards
 from ..parallel.color import (
     greedy_coloring,
     load_order,
@@ -77,6 +78,14 @@ class MachineModel:
         cohort grouping, slab setup), paid once per batch regardless of
         size.  This is what penalises very fine decompositions: every
         occupied block is one batch.
+    c_pair:
+        Seconds per (voxel, point) pair of the region engine's voxel-tile
+        path (distance test + both kernel evaluations + masked
+        multiply-add) — the unit cost of VB/VB-DEC.
+    c_tile:
+        Fixed cost of one voxel-tile accumulation
+        (:func:`repro.core.regions.accumulate_voxel_tile` dispatch,
+        offset setup, scatter), paid once per tile batch.
     bandwidth_cap:
         Effective parallelism of memory-bound phases (Section 6.3: ~3).
     """
@@ -85,6 +94,8 @@ class MachineModel:
     c_point: float
     c_cell: float
     c_batch: float = 0.0
+    c_pair: float = 0.0
+    c_tile: float = 0.0
     bandwidth_cap: float = 3.0
 
     @classmethod
@@ -148,7 +159,49 @@ class MachineModel:
         slope = max((t_large - t_small) / (n_large - n_small), 1e-9)
         c_point = max(slope - c_cell * cells_small, 1e-9)
         c_batch = max(t_small - n_small * slope, 0.0)
-        return cls(c_mem=c_mem, c_point=c_point, c_cell=c_cell, c_batch=c_batch)
+
+        # Voxel-tile path (VB/VB-DEC): probe the region engine's tile
+        # accumulation at two point-block sizes; the slope is the per-pair
+        # rate, the intercept the fixed per-tile dispatch.
+        from ..core.regions import accumulate_voxel_tile
+
+        g_tile = GridSpec(
+            DomainSpec.from_voxels(16, 16, 16), hs=4.0, ht=4.0
+        )
+        kern = get_kernel("epanechnikov")
+        flat = np.zeros(g_tile.n_voxels)
+        n_vox = 1024
+        idx = np.arange(n_vox)
+        X, Y, T = np.unravel_index(idx, g_tile.shape)
+        cx = g_tile.domain.x0 + (X + 0.5) * g_tile.domain.sres
+        cy = g_tile.domain.y0 + (Y + 0.5) * g_tile.domain.sres
+        ct = g_tile.domain.t0 + (T + 0.5) * g_tile.domain.tres
+
+        def tile_probe(n_pts: int) -> float:
+            pts = rng.uniform(0, 16, size=(n_pts, 3))
+            best = math.inf
+            for _ in range(3):
+                t0 = time.perf_counter()
+                accumulate_voxel_tile(
+                    flat, idx, cx, cy, ct,
+                    pts[:, 0], pts[:, 1], pts[:, 2],
+                    g_tile, kern, 1.0, WorkCounter(),
+                )
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        p_small, p_large = 64, 512
+        tile_probe(8)  # warm the tile code path
+        t_tile_small = tile_probe(p_small)
+        t_tile_large = tile_probe(p_large)
+        c_pair = max(
+            (t_tile_large - t_tile_small) / (n_vox * (p_large - p_small)), 1e-12
+        )
+        c_tile = max(t_tile_small - n_vox * p_small * c_pair, 0.0)
+        return cls(
+            c_mem=c_mem, c_point=c_point, c_cell=c_cell, c_batch=c_batch,
+            c_pair=c_pair, c_tile=c_tile,
+        )
 
 
 @dataclass
@@ -207,6 +260,18 @@ class CostModel:
         """
         return self.machine.c_batch + n_points * self.point_cost(clipped_fraction)
 
+    def tile_cost(self, n_pairs: float, n_tiles: float = 1.0) -> float:
+        """Predicted seconds for voxel-tile accumulation (VB/VB-DEC path).
+
+        The tile-batch cost shape mirrors :meth:`batch_cost`: a fixed
+        per-tile dispatch (``c_tile``) for every
+        :func:`~repro.core.regions.accumulate_voxel_tile` invocation plus
+        the per-(voxel, point)-pair rate — so a decomposition that shreds
+        the volume into many tiny tiles is charged for the dispatch it
+        actually pays.
+        """
+        return n_tiles * self.machine.c_tile + n_pairs * self.machine.c_pair
+
     def init_seconds(self) -> float:
         return self.machine.c_mem * self.grid.n_voxels
 
@@ -218,6 +283,99 @@ class CostModel:
     # ------------------------------------------------------------------
     def predict_pb_sym(self) -> float:
         return self.init_seconds() + self.batch_cost(self.points.n)
+
+    def predict_vb(
+        self, voxel_chunk: int = 2048, point_block: int = 512
+    ) -> Prediction:
+        """Predicted runtime of gold-standard VB through the tile engine."""
+        V, n = self.grid.n_voxels, self.points.n
+        n_tiles = -(-V // voxel_chunk) * max(1, -(-n // point_block))
+        return Prediction(
+            "vb", 1, self.init_seconds() + self.tile_cost(V * n, n_tiles)
+        )
+
+    def predict_vb_dec(self, voxel_chunk: int = 2048) -> Prediction:
+        """Predicted runtime of VB-DEC from the instance's actual binning.
+
+        Reproduces the algorithm's block geometry (bandwidth-sized blocks,
+        27-neighbourhood candidates) to count the (voxel, point) pairs and
+        tile batches it will really execute — the constant-factor win over
+        VB on clustered data that Section 6.2 describes.
+        """
+        grid = self.grid
+        bx = max(8, grid.Hs)
+        bt = max(8, grid.Ht)
+        nbx = -(-grid.Gx // bx)
+        nby = -(-grid.Gy // bx)
+        nbt = -(-grid.Gt // bt)
+        vox = grid.voxels_of(self.points.coords)
+        block_of = (
+            (vox[:, 0] // bx) * (nby * nbt)
+            + (vox[:, 1] // bx) * nbt
+            + (vox[:, 2] // bt)
+        )
+        counts = np.bincount(block_of, minlength=nbx * nby * nbt).reshape(
+            nbx, nby, nbt
+        )
+        # Candidate points per block: sum of the 27-neighbourhood.
+        cand = np.zeros_like(counts)
+        for da in (-1, 0, 1):
+            for db in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    src = counts[
+                        max(0, -da) : nbx - max(0, da),
+                        max(0, -db) : nby - max(0, db),
+                        max(0, -dc) : nbt - max(0, dc),
+                    ]
+                    cand[
+                        max(0, da) : nbx - max(0, -da),
+                        max(0, db) : nby - max(0, -db),
+                        max(0, dc) : nbt - max(0, -dc),
+                    ] += src
+        # Voxels per block (edge blocks are smaller).
+        sx = np.minimum(np.arange(1, nbx + 1) * bx, grid.Gx) - np.arange(nbx) * bx
+        sy = np.minimum(np.arange(1, nby + 1) * bx, grid.Gy) - np.arange(nby) * bx
+        st = np.minimum(np.arange(1, nbt + 1) * bt, grid.Gt) - np.arange(nbt) * bt
+        block_vox = sx[:, None, None] * sy[None, :, None] * st[None, None, :]
+        occupied = cand > 0
+        pairs = float((block_vox * cand)[occupied].sum())
+        n_tiles = float(np.ceil(block_vox[occupied] / voxel_chunk).sum())
+        bin_cost = self.points.n * 2e-7
+        return Prediction(
+            "vb-dec", 1,
+            self.init_seconds() + bin_cost + self.tile_cost(pairs, n_tiles),
+        )
+
+    def predict_pb_sym_threads(self, P: int) -> Prediction:
+        """PB-SYM on the region engine's bbox-sharded threads backend.
+
+        Memory and reduction are charged from the *planned* shard bounding
+        boxes — the same :func:`~repro.core.regions.plan_stamp_shards` the
+        executor runs — not from ``P`` full private volumes, which is what
+        makes this strategy feasible (and competitive) on memory-tight
+        clustered instances where DR is ruled out.
+        """
+        plan = plan_stamp_shards(self.grid, self.points.coords, P)
+        need = self.grid.grid_bytes + plan.buffer_bytes
+        if self.memory_budget_bytes is not None and need > self.memory_budget_bytes:
+            return Prediction(
+                "pb-sym-threads", P, math.inf, feasible=False,
+                reason="bbox shard buffers exceed memory budget",
+            )
+        m = self.machine
+        eff = self._bw.effective_procs(P)
+        # Serial volume init, then: buffer zeroing (memory-bound, capped),
+        # the slowest shard's engine batch, and the slab reduction over the
+        # union of the boxes (memory-bound, capped).
+        zero = m.c_mem * plan.buffer_cells / eff
+        compute = max(
+            (self.batch_cost(len(s)) for s in plan.shards), default=0.0
+        )
+        reduce_ = m.c_mem * plan.buffer_cells / eff
+        return Prediction(
+            "pb-sym-threads", P,
+            self.init_seconds() + zero + compute + reduce_,
+        )
 
     def predict_dr(self, P: int) -> Prediction:
         need = (P + 1) * self.grid.grid_bytes
@@ -365,7 +523,14 @@ def select_strategy(
     Returns the winning prediction and the full ranked candidate list.
     """
     model = CostModel(grid, points, machine, memory_budget_bytes)
-    candidates: List[Prediction] = [model.predict_dr(P)]
+    candidates: List[Prediction] = [
+        model.predict_dr(P),
+        # The region engine's bbox-sharded threads backend of sequential
+        # PB-SYM: competitive on compute-dominated instances now that the
+        # batched kernels overlap for real, and feasible under budgets
+        # that rule DR out (bbox buffers, not P full volumes).
+        model.predict_pb_sym_threads(P),
+    ]
     for dec in decompositions:
         candidates.append(model.predict_dd(dec, P))
         candidates.append(model.predict_pd(dec, P, scheduler="parity"))

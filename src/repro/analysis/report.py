@@ -138,6 +138,31 @@ def check_all(results_dir: Path) -> List[ShapeCheck]:
     checks.append(ShapeCheck("fig14_pd_rep_speedup",
                              "Flu-Hr-Hb OOMs at coarse decompositions", ok))
 
+    # Region engine (PR 2): bbox shard buffers strictly below P full
+    # private volumes on every threads row, engine instrumentation present
+    # (tile batches counted, shard bbox cells recorded), and every path
+    # equivalent to its legacy reference.
+    rows = load_experiment(results_dir, "region_engine")
+    ok = None
+    if rows is not None:
+        threads_rows = [r for r in rows if r.get("path") == "threads-bbox"]
+        tile_rows = [r for r in rows if r.get("path") == "vb-tiles"]
+        ok = (
+            bool(threads_rows)
+            and all(
+                r["peak_shard_buffer_bytes"] < r["full_private_volumes_bytes"]
+                and r.get("shard_bbox_cells", 0) > 0
+                for r in threads_rows
+            )
+            and all(r.get("tile_batches", 0) > 0 for r in tile_rows)
+            and all(
+                r.get("equivalent_rtol_1e12", r.get("equivalent_rtol_1e9", False))
+                for r in rows
+            )
+        )
+    checks.append(ShapeCheck("region_engine",
+                             "bbox shard buffers < P full volumes; paths equivalent", ok))
+
     # Figure 15: Flu never won by DR; some REP/SCHED win on PollenUS.
     rows = load_experiment(results_dir, "fig15_best")
     ok = None

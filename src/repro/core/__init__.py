@@ -5,12 +5,26 @@ from .grid import DomainSpec, GridSpec, PointSet, Volume, VoxelWindow
 from .instrument import PhaseTimer, WorkCounter
 from .invariants import bar_table, disk_table, stamp_extent
 from .kernels import KernelPair, available_kernels, get_kernel, register_kernel
+from .regions import (
+    RegionBuffer,
+    ShardPlan,
+    accumulate_voxel_tile,
+    batch_bbox,
+    masked_kernel_product,
+    plan_stamp_shards,
+)
 from .stamping import STAMP_MODES, batch_windows, stamp_batch
 
 __all__ = [
     "STAMP_MODES",
     "batch_windows",
     "stamp_batch",
+    "masked_kernel_product",
+    "accumulate_voxel_tile",
+    "batch_bbox",
+    "RegionBuffer",
+    "ShardPlan",
+    "plan_stamp_shards",
     "DomainSpec",
     "GridSpec",
     "PointSet",

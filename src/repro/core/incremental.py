@@ -19,24 +19,68 @@ Example::
 ``slide_window(new, horizon)`` combines both steps for the common
 time-window case.  Equivalence with batch recomputation is exact (tested
 to fp tolerance), which is the property that makes this safe to deploy.
+
+Region-engine rebuild
+---------------------
+All stamping goes through the batched region engine
+(:func:`repro.core.stamping.stamp_batch`), one engine batch per add /
+remove.  On top of that, each tracked batch whose stamps fit in a small
+bounding box — the normal shape of a sliding-window time slab — caches its
+materialised contribution in a :class:`~repro.core.regions.RegionBuffer`:
+the summed cohort tables the engine produced at ``add`` time.  Retiring
+the batch later reuses that cache instead of re-tabulating kernels:
+
+* **full retirement** subtracts the cached box (O(bbox), zero kernel
+  evaluations);
+* **partial retirement** (the window boundary cutting through a batch)
+  subtracts the cached box and restamps only the *kept* points into a
+  fresh cached box — one engine batch over the survivors, after which the
+  batch is again ready for O(bbox) retirement on the next slide.
+
+Batches too spread out to cache affordably (bounding box larger than
+``cache_fraction`` of the grid) fall back to plain engine stamping with
+negative-norm removal, so memory stays bounded for global batches.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
-from ..algorithms.pb_sym import stamp_points_sym
 from .grid import GridSpec, PointSet, Volume
 from .instrument import WorkCounter
 from .kernels import KernelPair, get_kernel
+from .regions import RegionBuffer, batch_bbox
+from .stamping import stamp_batch
 
 __all__ = ["IncrementalSTKDE"]
 
 
+@dataclass
+class _TrackedBatch:
+    """A live event batch and (when affordable) its cached region stamp."""
+
+    coords: np.ndarray
+    buffer: Optional[RegionBuffer]
+
+
 class IncrementalSTKDE:
-    """Exactly-maintained STKDE under event insertion and retirement."""
+    """Exactly-maintained STKDE under event insertion and retirement.
+
+    ``cache_fraction`` bounds the per-batch region cache: a batch is
+    cached only when its stamps' bounding box covers at most that fraction
+    of the grid (sliding-window time slabs are thin along t and qualify;
+    a domain-wide backfill batch does not, and is simply engine-stamped).
+    ``cache_fraction=0.0`` disables caching entirely.
+
+    ``memory_budget_bytes`` additionally caps the *aggregate* footprint
+    (accumulator + all cached buffers), like every other replicating path:
+    a batch whose cache would push past the budget is stamped uncached —
+    correctness is unaffected, only its later retirement falls back to
+    negative restamping.  ``None`` leaves the aggregate unbounded.
+    """
 
     def __init__(
         self,
@@ -44,32 +88,65 @@ class IncrementalSTKDE:
         *,
         kernel: str | KernelPair = "epanechnikov",
         counter: Optional[WorkCounter] = None,
+        cache_fraction: float = 0.5,
+        memory_budget_bytes: Optional[int] = None,
     ) -> None:
+        if cache_fraction < 0.0:
+            raise ValueError("cache_fraction must be >= 0")
         self.grid = grid
         self.kernel = get_kernel(kernel)
         self.counter = counter if counter is not None else WorkCounter()
+        self.cache_fraction = float(cache_fraction)
+        self.memory_budget_bytes = memory_budget_bytes
         # Unnormalised accumulator: sum of k_s * k_t stamps.
         self._acc = grid.allocate()
         self.counter.init_writes += self._acc.size
         self._n = 0
-        self._live: List[np.ndarray] = []  # event batches currently included
+        self._live: List[_TrackedBatch] = []  # event batches currently included
 
     @property
     def n(self) -> int:
         """Number of events currently contributing."""
         return self._n
 
+    @property
+    def cached_buffer_cells(self) -> int:
+        """Cells currently held in per-batch region caches (memory gauge)."""
+        return sum(b.buffer.cells for b in self._live if b.buffer is not None)
+
+    # ------------------------------------------------------------------
+    def _cache_affordable(self, bbox_cells: int) -> bool:
+        if bbox_cells > self.cache_fraction * self.grid.n_voxels:
+            return False
+        if self.memory_budget_bytes is None:
+            return True
+        footprint = (
+            self._acc.nbytes + (self.cached_buffer_cells + bbox_cells) * 8
+        )
+        return footprint <= self.memory_budget_bytes
+
+    def _stamp_tracked(self, coords: np.ndarray) -> _TrackedBatch:
+        """Stamp a batch through the region engine, caching when affordable."""
+        bbox = batch_bbox(self.grid, coords)
+        if bbox is not None and self._cache_affordable(bbox.volume):
+            buf = RegionBuffer(bbox)
+            self.counter.init_writes += buf.cells
+            self.counter.shard_bbox_cells += buf.cells
+            buf.stamp(self.grid, self.kernel, coords, 1.0, self.counter)
+            self.counter.reduce_adds += buf.add_into(self._acc)
+            return _TrackedBatch(coords, buf)
+        stamp_batch(self._acc, self.grid, self.kernel, coords, 1.0, self.counter)
+        return _TrackedBatch(coords, None)
+
     def add(self, points: PointSet | np.ndarray) -> None:
         """Insert events (stamps their cylinders; O(batch * stamp))."""
         coords = points.coords if isinstance(points, PointSet) else np.asarray(points, dtype=np.float64)
         if coords.size == 0:
             return
-        stamp_points_sym(
-            self._acc, self.grid, self.kernel, coords, 1.0, self.counter
-        )
-        self.counter.points_processed += len(coords)
-        self._n += len(coords)
-        self._live.append(np.array(coords, dtype=np.float64))
+        batch = np.array(coords, dtype=np.float64)
+        self._live.append(self._stamp_tracked(batch))
+        self.counter.points_processed += len(batch)
+        self._n += len(batch)
 
     def remove(self, points: PointSet | np.ndarray) -> None:
         """Retire events by stamping their negative contribution.
@@ -86,25 +163,53 @@ class IncrementalSTKDE:
             raise ValueError(
                 f"cannot remove {len(coords)} events; only {self._n} present"
             )
-        stamp_points_sym(
+        stamp_batch(
             self._acc, self.grid, self.kernel, coords, -1.0, self.counter
         )
         self._n -= len(coords)
 
     def slide_window(self, new_points: PointSet | np.ndarray, t_horizon: float) -> int:
         """Add ``new_points`` and retire all tracked events with
-        ``t < t_horizon``.  Returns the number of retired events."""
+        ``t < t_horizon``.  Returns the number of retired events.
+
+        Retirement reuses each batch's cached region stamp where present:
+        the cached box is subtracted in one slab operation, and for a
+        partially-expired batch the surviving points are restamped into a
+        fresh cache — so a slide never re-tabulates kernels for points
+        that are leaving the window.
+        """
         retired = 0
-        kept: List[np.ndarray] = []
-        for batch in self._live:
-            old = batch[batch[:, 2] < t_horizon]
-            if len(old):
-                self.remove(old)
-                retired += len(old)
-            rest = batch[batch[:, 2] >= t_horizon]
-            if len(rest):
-                kept.append(rest)
-        self._live = kept
+        kept_batches: List[_TrackedBatch] = []
+        for tb in self._live:
+            old_mask = tb.coords[:, 2] < t_horizon
+            n_old = int(old_mask.sum())
+            if n_old == 0:
+                kept_batches.append(tb)
+                continue
+            retired += n_old
+            kept = tb.coords[~old_mask]
+            if tb.buffer is not None:
+                # Same consistency guard remove() applies on the uncached
+                # path: retiring more events than are present means the
+                # caller already removed some out-of-band — fail loudly
+                # rather than drive _n negative and double-subtract.
+                if n_old > self._n:
+                    raise ValueError(
+                        f"cannot remove {n_old} events; only {self._n} present"
+                    )
+                # Cache reuse: drop the batch's whole materialised stamp,
+                # then restamp only the survivors (none, on full expiry).
+                self.counter.reduce_adds += tb.buffer.add_into(
+                    self._acc, sign=-1.0
+                )
+                self._n -= n_old
+                if len(kept):
+                    kept_batches.append(self._stamp_tracked(kept))
+            else:
+                self.remove(tb.coords[old_mask])
+                if len(kept):
+                    kept_batches.append(_TrackedBatch(kept, None))
+        self._live = kept_batches
         self.add(new_points)
         return retired
 

@@ -61,6 +61,16 @@ class WorkCounter:
     ``stamp_cohorts``
         Shape cohorts processed by the engine across all batches — the
         number of vectorised tabulate/scatter rounds actually executed.
+    ``tile_batches``
+        (Voxel-chunk x point-block) tiles accumulated through the region
+        engine (:func:`repro.core.regions.accumulate_voxel_tile`) — the
+        dispatch unit of VB/VB-DEC, priced per tile by the cost model.
+    ``shard_bbox_cells``
+        Cells of bounding-box region buffers allocated
+        (:class:`repro.core.regions.RegionBuffer`): threaded stamping
+        shards and incremental batch caches.  Compare against
+        ``P * Gx * Gy * Gt`` to see the memory the bbox shards save over
+        full private volumes.
 
     The batching statistics are bookkeeping (like ``points_processed``):
     they are excluded from :meth:`total_ops` and :meth:`flop_estimate`.
@@ -75,6 +85,8 @@ class WorkCounter:
     points_processed: int = 0
     stamp_batches: int = 0
     stamp_cohorts: int = 0
+    tile_batches: int = 0
+    shard_bbox_cells: int = 0
 
     def merge(self, other: "WorkCounter") -> "WorkCounter":
         """Accumulate another counter into this one (returns self)."""
@@ -87,6 +99,8 @@ class WorkCounter:
         self.points_processed += other.points_processed
         self.stamp_batches += other.stamp_batches
         self.stamp_cohorts += other.stamp_cohorts
+        self.tile_batches += other.tile_batches
+        self.shard_bbox_cells += other.shard_bbox_cells
         return self
 
     def total_ops(self) -> int:
@@ -122,6 +136,8 @@ class WorkCounter:
             "points_processed": self.points_processed,
             "stamp_batches": self.stamp_batches,
             "stamp_cohorts": self.stamp_cohorts,
+            "tile_batches": self.tile_batches,
+            "shard_bbox_cells": self.shard_bbox_cells,
         }
 
     def copy(self) -> "WorkCounter":
@@ -151,6 +167,8 @@ class _NullCounter(WorkCounter):
             "points_processed",
             "stamp_batches",
             "stamp_cohorts",
+            "tile_batches",
+            "shard_bbox_cells",
         ):
             return 0
         return object.__getattribute__(self, name)

@@ -49,7 +49,7 @@ from .grid import GridSpec, VoxelWindow
 from .instrument import WorkCounter, null_counter
 from .kernels import KernelPair
 
-__all__ = ["stamp_batch", "batch_windows", "STAMP_MODES"]
+__all__ = ["stamp_batch", "batch_windows", "masked_kernel_product", "STAMP_MODES"]
 
 #: Cost profiles the engine reproduces, one per point-based algorithm:
 #: ``"sym"`` tabulates disk and bar and multiply-adds their outer product
@@ -99,6 +99,35 @@ def batch_windows(
         np.maximum(T0, clip.t0, out=T0)
         np.minimum(T1, clip.t1, out=T1)
     return X0, X1, Y0, Y1, T0, T1
+
+
+def masked_kernel_product(
+    grid: GridSpec,
+    kernel: KernelPair,
+    DX: np.ndarray,
+    DY: np.ndarray,
+    DT: np.ndarray,
+    counter: WorkCounter,
+) -> np.ndarray:
+    """Masked ``k_s * k_t`` over broadcastable voxel-center offset arrays.
+
+    The shared tabulation core of the per-(voxel, point)-pair cost profile:
+    evaluate **both** kernels at every pair and zero the pairs outside the
+    cylinder.  Used by this engine's ``mode="pb"`` cohort tables and by the
+    voxel-tile path of :mod:`repro.core.regions` (VB/VB-DEC), so the two
+    write paths share one mask, one expression order, and one accounting
+    rule by construction.  Callers fold the normalisation in wherever their
+    legacy path did — elementwise ``(ks * kt) * norm`` is associative with
+    the mask, so routing through this helper is bit-identical.
+    """
+    inside = ((DX * DX + DY * DY) < grid.hs * grid.hs) & (np.abs(DT) <= grid.ht)
+    ks = kernel.spatial(DX / grid.hs, DY / grid.hs)
+    kt = kernel.temporal(DT / grid.ht)
+    counter.distance_tests += DX.size
+    counter.spatial_evals += DX.size
+    counter.temporal_evals += DX.size
+    counter.madds += int(inside.sum())
+    return np.where(inside, ks * kt, 0.0)
 
 
 def _axis_offsets(origin: float, res: float, lo: np.ndarray, width: int,
@@ -162,14 +191,9 @@ def _cohort_tables(
         DX = np.broadcast_to(dx[:, :, None, None], shape)
         DY = np.broadcast_to(dy[:, None, :, None], shape)
         DT = np.broadcast_to(dt[:, None, None, :], shape)
-        inside = ((DX * DX + DY * DY) < hs2) & (np.abs(DT) <= grid.ht)
-        ks = kernel.spatial(DX / grid.hs, DY / grid.hs)
-        kt = kernel.temporal(DT / grid.ht)
-        counter.distance_tests += DX.size
-        counter.spatial_evals += DX.size
-        counter.temporal_evals += DX.size
-        counter.madds += int(inside.sum())
-        return np.where(inside, ks * kt * norm, 0.0)
+        out = masked_kernel_product(grid, kernel, DX, DY, DT, counter)
+        out *= norm  # in place: the product above is a fresh array
+        return out
 
     if mode == "disk":
         d2 = dx[:, :, None] ** 2 + dy[:, None, :] ** 2

@@ -81,6 +81,9 @@ class STKDE:
         choose.
     P, backend, decomposition:
         Parallel execution parameters, forwarded to parallel algorithms.
+        ``P="auto"`` resolves to the machine's CPU count at construction,
+        so the threaded paths shard by what the hardware offers instead of
+        silently running single-shard.
     memory_budget_bytes:
         Optional memory ceiling for strategy selection and execution.
     """
@@ -91,7 +94,7 @@ class STKDE:
     tres: float = 1.0
     kernel: str | KernelPair = "epanechnikov"
     algorithm: str = "auto"
-    P: int = 1
+    P: "int | str" = 1
     backend: str = "simulated"
     decomposition: Optional[Tuple[int, int, int]] = None
     memory_budget_bytes: Optional[int] = None
@@ -102,6 +105,9 @@ class STKDE:
         if self.sres <= 0 or self.tres <= 0:
             raise ValueError("resolutions must be positive")
         get_kernel(self.kernel)  # fail fast on unknown kernels
+        from ..parallel.executors import resolve_shard_count
+
+        self.P = resolve_shard_count(self.P)
 
     # ------------------------------------------------------------------
     def grid_for(self, points: PointSet, domain: Optional[DomainSpec] = None) -> GridSpec:
@@ -136,9 +142,24 @@ class STKDE:
             return "pb-sym", {}
         from ..analysis.model import select_strategy
 
-        best, _ = select_strategy(
+        best, ranked = select_strategy(
             grid, points, self.P, memory_budget_bytes=self.memory_budget_bytes
         )
+        if best.algorithm == "pb-sym-threads" and self.backend != "threads":
+            # The bbox-sharded threads backend only exists as real threads;
+            # under serial/simulated execution fall to the next feasible
+            # strategy so the chosen plan matches the requested backend.
+            fallback = [
+                p for p in ranked
+                if p.feasible and p.algorithm != "pb-sym-threads"
+            ]
+            best = fallback[0] if fallback else best
+        if best.algorithm == "pb-sym-threads":
+            return "pb-sym", {
+                "P": self.P,
+                "backend": "threads",
+                "memory_budget_bytes": self.memory_budget_bytes,
+            }
         kwargs = {"P": self.P, "backend": self.backend}
         if best.decomposition is not None:
             kwargs["decomposition"] = best.decomposition

@@ -32,6 +32,7 @@ optional budget (how many float64 volumes fit), reproducing the paper's
 from __future__ import annotations
 
 import heapq
+import os
 import threading
 import time
 from dataclasses import dataclass
@@ -42,7 +43,7 @@ import numpy as np
 from ..core.grid import GridSpec, VoxelWindow
 from ..core.instrument import WorkCounter
 from ..core.kernels import KernelPair
-from ..core.stamping import batch_windows, stamp_batch
+from ..core.regions import RegionBuffer, plan_stamp_shards
 from .schedule import (
     ScheduleResult,
     TaskGraph,
@@ -53,6 +54,7 @@ __all__ = [
     "ExecTask",
     "MemoryBudgetExceeded",
     "check_memory_budget",
+    "resolve_shard_count",
     "run_serial",
     "run_threaded",
     "run_threaded_stamping",
@@ -182,27 +184,22 @@ def run_threaded(
     return time.perf_counter() - t_start
 
 
-def _balanced_shards(cells: np.ndarray, n_shards: int) -> List[np.ndarray]:
-    """Split point indices into contiguous shards of near-equal stamp work.
+def resolve_shard_count(P: "int | str | None") -> int:
+    """Resolve a shard/worker count, supporting ``"auto"``.
 
-    ``cells[i]`` is the number of volume cells point ``i``'s clipped stamp
-    touches; shard boundaries are chosen on the cumulative cell count so
-    boundary-clipped (cheap) and interior (full-stamp) points balance.
+    ``"auto"`` (or ``None``) takes the machine's CPU count — the container
+    affinity mask when available, so a 4-core cgroup on a 64-core host
+    shards 4 ways.  Integers pass through validated.
     """
-    cum = np.cumsum(cells, dtype=np.float64)
-    total = float(cum[-1]) if cum.size else 0.0
-    if total <= 0.0:
-        bounds = np.linspace(0, cells.size, n_shards + 1).astype(np.int64)
-    else:
-        targets = total * np.arange(1, n_shards) / n_shards
-        bounds = np.concatenate(
-            ([0], np.searchsorted(cum, targets), [cells.size])
-        ).astype(np.int64)
-    return [
-        np.arange(bounds[p], bounds[p + 1])
-        for p in range(n_shards)
-        if bounds[p + 1] > bounds[p]
-    ]
+    if P == "auto" or P is None:
+        if hasattr(os, "sched_getaffinity"):
+            return max(1, len(os.sched_getaffinity(0)))
+        return max(1, os.cpu_count() or 1)
+    if isinstance(P, bool) or not isinstance(P, int):
+        raise ValueError(f"P must be a positive int or 'auto', got {P!r}")
+    if P < 1:
+        raise ValueError("P must be >= 1")
+    return P
 
 
 def run_threaded_stamping(
@@ -212,62 +209,75 @@ def run_threaded_stamping(
     coords: np.ndarray,
     norm: float,
     counter: WorkCounter,
-    P: int,
+    P: "int | str",
     *,
     mode: str = "sym",
     clip: Optional[VoxelWindow] = None,
+    memory_budget_bytes: Optional[int] = None,
 ) -> float:
-    """Stamp a point batch on ``P`` threads through the batched engine.
+    """Stamp a point batch on ``P`` threads through the region engine.
 
-    The scaling path the engine enables: the batch's cohort work is
-    partitioned into ``P`` contiguous shards balanced by stamped-cell
-    count, each worker accumulates its shard into a **private volume**
-    (so concurrent stamps never race, and every heavy operation is a
-    GIL-releasing NumPy kernel), and the private volumes are merged into
-    ``vol`` by a slab-parallel reduction.  This is the DR trade — ``P``
-    extra volumes of memory and one reduction pass — applied at the
-    stamping-engine level, where the batched kernels are large enough for
-    real thread overlap.
+    The scaling path the engine enables: the batch is partitioned by
+    :func:`repro.core.regions.plan_stamp_shards` into ``P`` shards balanced
+    by stamped-cell count and ordered by stamp-window origin, each worker
+    accumulates its shard into a **bounding-box** :class:`RegionBuffer`
+    covering only the grid region its stamps can touch (so concurrent
+    stamps never race, and every heavy operation is a GIL-releasing NumPy
+    kernel), and the buffers are merged into ``vol`` by a slab-parallel
+    reduction over the union of the boxes.  This keeps the no-shared-write
+    structure of the DR trade while shrinking its memory tax from ``P``
+    full volumes to the shards' joint bounding boxes — on clustered data a
+    small fraction of the grid — and shrinking the reduction traffic by
+    the same factor.
 
-    Work accounting mirrors DR: private-volume zeroing is charged to
-    ``init_writes`` and the merge to ``reduce_adds``.  Returns the
-    wall-clock seconds of the threaded region.
+    Work accounting mirrors DR at buffer granularity: buffer zeroing is
+    charged to ``init_writes`` (and recorded in ``shard_bbox_cells``), the
+    merge to ``reduce_adds``.  ``P="auto"`` shards by the machine's CPU
+    count.  ``memory_budget_bytes`` bounds the *actual* planned footprint
+    (output volume + shard buffers), raising :class:`MemoryBudgetExceeded`
+    before anything is allocated.  Returns the wall-clock seconds of the
+    threaded region.
     """
-    if P < 1:
-        raise ValueError("P must be >= 1")
+    P = resolve_shard_count(P)
     coords = np.asarray(coords, dtype=np.float64)
     if coords.shape[0] == 0:
         return 0.0
-    X0, X1, Y0, Y1, T0, T1 = batch_windows(grid, coords, clip)
-    cells = (
-        np.maximum(X1 - X0, 0) * np.maximum(Y1 - Y0, 0) * np.maximum(T1 - T0, 0)
-    )
-    shards = _balanced_shards(cells, P)
-    n_shards = len(shards)
+    plan = plan_stamp_shards(grid, coords, P, clip)
+    n_shards = plan.n_shards
     if n_shards == 0:
         return 0.0
+    check_memory_budget(
+        vol.nbytes + plan.buffer_bytes, memory_budget_bytes,
+        f"threaded stamping with {n_shards} bbox shards",
+    )
 
-    buffers: List[Optional[np.ndarray]] = [None] * n_shards
+    buffers: List[Optional[RegionBuffer]] = [None] * n_shards
     shard_counters = [WorkCounter() for _ in range(n_shards)]
 
     def make_shard(p: int):
-        chunk = coords[shards[p]]
+        chunk = coords[plan.shards[p]]
+        window = plan.windows[p]
 
         def fn() -> None:
-            buf = np.empty(vol.shape, dtype=np.float64)
-            buf.fill(0.0)
-            shard_counters[p].init_writes += buf.size
-            stamp_batch(
-                buf, grid, kernel, chunk, norm, shard_counters[p],
+            buf = RegionBuffer(window)
+            shard_counters[p].init_writes += buf.cells
+            shard_counters[p].shard_bbox_cells += buf.cells
+            buf.stamp(
+                grid, kernel, chunk, norm, shard_counters[p],
                 mode=mode, clip=clip,
             )
             buffers[p] = buf
 
         return fn
 
-    slab_bounds = [(vol.shape[0] * p) // P for p in range(P + 1)]
+    # Slab-parallel reduction over the union x-extent of the shard boxes:
+    # each reducer owns an x-slab, so concurrent merges never write the
+    # same voxel, and voxels no shard touched are never read or written.
+    ux0, ux1 = plan.union_x_range()
+    span = ux1 - ux0
+    slab_bounds = [ux0 + (span * p) // P for p in range(P + 1)]
     slabs = [
-        slice(slab_bounds[p], slab_bounds[p + 1])
+        (slab_bounds[p], slab_bounds[p + 1])
         for p in range(P)
         if slab_bounds[p + 1] > slab_bounds[p]
     ]
@@ -275,11 +285,11 @@ def run_threaded_stamping(
 
     def make_reduce(r: int):
         def fn() -> None:
-            sl = slabs[r]
-            acc = vol[sl]
+            lo, hi = slabs[r]
+            added = 0
             for q in range(n_shards):
-                acc += buffers[q][sl]  # type: ignore[index]
-            reduce_counters[r].reduce_adds += n_shards * acc.size
+                added += buffers[q].add_into(vol, lo, hi)  # type: ignore[union-attr]
+            reduce_counters[r].reduce_adds += added
 
         return fn
 

@@ -29,12 +29,18 @@ class TestMachineModel:
         assert machine.c_mem > 0
         assert machine.c_point > 0
         assert machine.c_cell > 0
+        assert machine.c_pair > 0
 
     def test_sane_magnitudes(self, machine):
         # Memory writes are ns-scale per voxel; dispatch is us-scale.
         assert machine.c_mem < 1e-6
         assert 1e-7 < machine.c_point < 1e-2
         assert machine.c_cell < 1e-6
+        # A (voxel, point) pair costs more than a stamped cell (two kernel
+        # evaluations + distance test vs a multiply-add) but is still
+        # sub-microsecond vectorised.
+        assert machine.c_pair < 1e-6
+        assert machine.c_tile >= 0.0
 
 
 class TestCostModelPredictions:
@@ -95,6 +101,68 @@ class TestCostModelPredictions:
                           memory_budget_bytes=int(1.05 * grid.grid_bytes))
         p = model.predict_pd_rep((1, 1, 1), P=8)
         assert not p.feasible
+
+
+class TestTileAndBboxPricing:
+    """Region-engine pricing: tile batches and bbox-shard memory."""
+
+    def test_vb_prediction_ranks_far_above_pb_sym(self, grid, machine):
+        """The model must reproduce Table 3's ordering: VB orders of
+        magnitude slower than PB-SYM on a realistic instance."""
+        pts = make_points(grid, 500, seed=20)
+        model = CostModel(grid, pts, machine)
+        assert model.predict_vb().seconds > 10 * model.predict_pb_sym()
+
+    def test_vb_prediction_within_factor(self, machine):
+        """Tile pricing predicts a real VB run well enough to rank."""
+        from repro.algorithms.vb import vb
+
+        g = GridSpec(DomainSpec.from_voxels(16, 16, 16), hs=2.5, ht=2.0)
+        pts = make_points(g, 300, seed=21)
+        model = CostModel(g, pts, machine)
+        predicted = model.predict_vb().seconds
+        measured = vb(pts, g).elapsed
+        assert predicted == pytest.approx(measured, rel=4.0)
+
+    def test_vb_dec_cheaper_than_vb_on_clustered(self, grid, machine):
+        pts = make_clustered_points(grid, 800, k=1, seed=22)
+        model = CostModel(grid, pts, machine)
+        assert model.predict_vb_dec().seconds < model.predict_vb().seconds
+
+    def test_vb_charges_tile_dispatch(self, grid, machine):
+        pts = make_points(grid, 200, seed=23)
+        model = CostModel(grid, pts, machine)
+        coarse = model.predict_vb(voxel_chunk=4096, point_block=512)
+        fine = model.predict_vb(voxel_chunk=64, point_block=8)
+        # Same pairs, many more tile batches: fine tiling must not be free.
+        assert fine.seconds >= coarse.seconds
+
+    def test_pb_sym_threads_charges_bbox_memory(self, grid, machine):
+        from repro.core.regions import plan_stamp_shards
+
+        pts = make_clustered_points(grid, 600, k=2, seed=24)
+        plan = plan_stamp_shards(grid, pts.coords, 8)
+        need = grid.grid_bytes + plan.buffer_bytes
+        model = CostModel(grid, pts, machine, memory_budget_bytes=need)
+        assert model.predict_pb_sym_threads(8).feasible
+        tight = CostModel(grid, pts, machine, memory_budget_bytes=need - 1)
+        p = tight.predict_pb_sym_threads(8)
+        assert not p.feasible
+        assert "bbox" in p.reason
+
+    def test_pb_sym_threads_feasible_where_dr_is_not(self, grid, machine):
+        """The bbox-shard memory story: a budget that rules DR out (P+1
+        full volumes) can still afford the bbox-sharded threads path."""
+        pts = make_clustered_points(grid, 600, k=1, seed=25)
+        model = CostModel(grid, pts, machine,
+                          memory_budget_bytes=3 * grid.grid_bytes)
+        assert not model.predict_dr(P=8).feasible
+        assert model.predict_pb_sym_threads(8).feasible
+
+    def test_select_strategy_ranks_pb_sym_threads(self, grid, machine):
+        pts = make_clustered_points(grid, 400, seed=26)
+        _, ranked = select_strategy(grid, pts, 8, machine=machine)
+        assert any(p.algorithm == "pb-sym-threads" for p in ranked)
 
 
 class TestSelectStrategy:

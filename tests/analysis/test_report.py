@@ -48,6 +48,15 @@ def results(tmp_path) -> Path:
         {"instance": "Flu_Lr-Lb", "winner": "pb-sym-pd"},
         {"instance": "PollenUS_Hr-Mb", "winner": "pb-sym-pd-rep"},
     ])
+    write_exp(tmp_path, "region_engine", [
+        {"path": "threads-bbox", "dataset": "clustered", "n": 100000,
+         "peak_shard_buffer_bytes": 9_000_000,
+         "full_private_volumes_bytes": 33_000_000,
+         "shard_bbox_cells": 1_125_000, "equivalent_rtol_1e12": True},
+        {"path": "incremental-slide", "equivalent_rtol_1e9": True},
+        {"path": "vb-tiles", "tile_batches": 32,
+         "equivalent_rtol_1e12": True},
+    ])
     return tmp_path
 
 
@@ -64,7 +73,7 @@ class TestCheckAll:
     def test_all_pass_on_expected_shapes(self, results):
         checks = check_all(results)
         assert all(c.passed for c in checks if c.passed is not None)
-        assert sum(1 for c in checks if c.passed is not None) == 7
+        assert sum(1 for c in checks if c.passed is not None) == 8
 
     def test_unrecorded_marked_unknown(self, tmp_path):
         checks = check_all(tmp_path)
@@ -84,6 +93,25 @@ class TestCheckAll:
         ])
         checks = {c.experiment: c for c in check_all(results)}
         assert checks["fig8_dr_speedup"].passed is False
+
+    def test_detects_region_buffer_regression(self, results):
+        """Bbox shard buffers at (or above) P full volumes must fail."""
+        write_exp(results, "region_engine", [
+            {"path": "threads-bbox", "peak_shard_buffer_bytes": 33_000_000,
+             "full_private_volumes_bytes": 33_000_000,
+             "shard_bbox_cells": 4_125_000, "equivalent_rtol_1e12": True},
+        ])
+        checks = {c.experiment: c for c in check_all(results)}
+        assert checks["region_engine"].passed is False
+
+    def test_detects_region_equivalence_failure(self, results):
+        write_exp(results, "region_engine", [
+            {"path": "threads-bbox", "peak_shard_buffer_bytes": 9_000_000,
+             "full_private_volumes_bytes": 33_000_000,
+             "shard_bbox_cells": 1_125_000, "equivalent_rtol_1e12": False},
+        ])
+        checks = {c.experiment: c for c in check_all(results)}
+        assert checks["region_engine"].passed is False
 
     def test_detects_wrong_outlier(self, results):
         write_exp(results, "fig12_critical_path", [

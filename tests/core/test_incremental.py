@@ -122,6 +122,133 @@ class TestSlideWindow:
         assert inc.n == len(live)
 
 
+class TestRegionCacheReuse:
+    """The region-engine rebuild: cached bbox buffers across slides."""
+
+    def _time_slab(self, grid, rng, t_lo, t_hi, n=20):
+        return np.column_stack([
+            rng.uniform(0, grid.domain.gx, n),
+            rng.uniform(0, grid.domain.gy, n),
+            rng.uniform(t_lo, t_hi, n),
+        ])
+
+    def test_time_slab_batches_are_cached(self, grid):
+        rng = np.random.default_rng(20)
+        inc = IncrementalSTKDE(grid)
+        inc.add(self._time_slab(grid, rng, 0.0, 5.0))
+        assert inc.cached_buffer_cells > 0
+        assert inc.cached_buffer_cells < grid.n_voxels
+        assert inc.counter.shard_bbox_cells == inc.cached_buffer_cells
+
+    def test_domain_wide_batch_not_cached(self, grid):
+        inc = IncrementalSTKDE(grid)
+        inc.add(make_points(grid, 50, seed=21))
+        assert inc.cached_buffer_cells == 0  # bbox ~ whole grid: skip cache
+        batch = pb_sym(make_points(grid, 50, seed=21), grid)
+        np.testing.assert_allclose(inc.volume().data, batch.data,
+                                   rtol=1e-12, atol=1e-18)
+
+    def test_cache_disabled_still_exact(self, grid):
+        rng = np.random.default_rng(22)
+        a = IncrementalSTKDE(grid, cache_fraction=0.0)
+        b = IncrementalSTKDE(grid)
+        for lo, hi in ((0.0, 5.0), (5.0, 10.0)):
+            batch = self._time_slab(grid, rng, lo, hi)
+            a.add(batch)
+            b.add(batch)
+        assert a.cached_buffer_cells == 0
+        np.testing.assert_allclose(a.volume().data, b.volume().data,
+                                   rtol=1e-12, atol=1e-16)
+
+    def test_full_retirement_reuses_cache(self, grid):
+        """Sliding past a cached batch subtracts its box; density matches
+        a batch recompute over the survivors."""
+        rng = np.random.default_rng(23)
+        early = self._time_slab(grid, rng, 0.0, 6.0)
+        late = self._time_slab(grid, rng, 12.0, 18.0)
+        fresh = self._time_slab(grid, rng, 24.0, 29.0)
+        inc = IncrementalSTKDE(grid)
+        inc.add(early)
+        inc.add(late)
+        assert inc.cached_buffer_cells > 0
+        retired = inc.slide_window(fresh, t_horizon=12.0)
+        assert retired == len(early)
+        expect = pb_sym(PointSet(np.vstack([late, fresh])), grid)
+        np.testing.assert_allclose(inc.volume().data, expect.data,
+                                   rtol=1e-10, atol=1e-15)
+
+    def test_partial_retirement_restamps_survivors(self, grid):
+        """A horizon cutting through a cached batch: the cache is dropped
+        and the kept points restamped into a fresh cache."""
+        rng = np.random.default_rng(24)
+        straddling = self._time_slab(grid, rng, 4.0, 14.0, n=30)
+        fresh = self._time_slab(grid, rng, 20.0, 28.0, n=15)
+        inc = IncrementalSTKDE(grid)
+        inc.add(straddling)
+        retired = inc.slide_window(fresh, t_horizon=9.0)
+        kept = straddling[straddling[:, 2] >= 9.0]
+        assert retired == len(straddling) - len(kept)
+        assert inc.n == len(kept) + len(fresh)
+        assert inc.cached_buffer_cells > 0  # survivors re-cached
+        expect = pb_sym(PointSet(np.vstack([kept, fresh])), grid)
+        np.testing.assert_allclose(inc.volume().data, expect.data,
+                                   rtol=1e-10, atol=1e-15)
+
+    def test_many_slides_cached_vs_uncached_agree(self, grid):
+        rng = np.random.default_rng(25)
+        cached = IncrementalSTKDE(grid)
+        plain = IncrementalSTKDE(grid, cache_fraction=0.0)
+        live: list = []
+        for day in range(6):
+            batch = self._time_slab(grid, rng, day * 4.0, day * 4.0 + 4.0, n=12)
+            horizon = max(0.0, (day - 2) * 4.0)
+            cached.slide_window(batch, t_horizon=horizon)
+            plain.slide_window(batch.copy(), t_horizon=horizon)
+            live = [b[b[:, 2] >= horizon] for b in live]
+            live.append(batch)
+        assert cached.n == plain.n
+        np.testing.assert_allclose(cached.volume().data, plain.volume().data,
+                                   rtol=1e-9, atol=1e-14)
+        expect = pb_sym(PointSet(np.vstack([b for b in live if len(b)])), grid)
+        np.testing.assert_allclose(cached.volume().data, expect.data,
+                                   rtol=1e-9, atol=1e-14)
+
+    def test_rejects_negative_cache_fraction(self, grid):
+        with pytest.raises(ValueError, match="cache_fraction"):
+            IncrementalSTKDE(grid, cache_fraction=-0.1)
+
+    def test_cached_retirement_guards_like_remove(self, grid):
+        """Out-of-band remove() then sliding past the same cached batch
+        must fail loudly (as the uncached path always did), not drive
+        the event count negative."""
+        rng = np.random.default_rng(26)
+        slab = self._time_slab(grid, rng, 0.0, 5.0)
+        inc = IncrementalSTKDE(grid)
+        inc.add(slab)
+        assert inc.cached_buffer_cells > 0
+        inc.remove(slab)  # legal on its own: n drops to 0
+        with pytest.raises(ValueError, match="only 0 present"):
+            inc.slide_window(np.empty((0, 3)), t_horizon=10.0)
+
+    def test_memory_budget_caps_aggregate_cache(self, grid):
+        rng = np.random.default_rng(27)
+        slab_a = self._time_slab(grid, rng, 0.0, 4.0)
+        slab_b = self._time_slab(grid, rng, 8.0, 12.0)
+        probe = IncrementalSTKDE(grid)
+        probe.add(slab_a)
+        one_cache = probe.cached_buffer_cells
+        assert one_cache > 0
+        # Budget admits the accumulator plus roughly one slab cache.
+        budget = grid.grid_bytes + one_cache * 8 + 64
+        inc = IncrementalSTKDE(grid, memory_budget_bytes=budget)
+        inc.add(slab_a)
+        inc.add(slab_b)  # would exceed the budget: stamped uncached
+        assert 0 < inc.cached_buffer_cells * 8 + grid.grid_bytes <= budget
+        expect = pb_sym(PointSet(np.vstack([slab_a, slab_b])), grid)
+        np.testing.assert_allclose(inc.volume().data, expect.data,
+                                   rtol=1e-10, atol=1e-15)
+
+
 class TestVolumeSemantics:
     def test_empty_estimator_zero_volume(self, grid):
         inc = IncrementalSTKDE(grid)

@@ -49,6 +49,26 @@ class TestWorkCounter:
         c2.madds += 5
         assert c.madds == 1
 
+    def test_region_counters_merge_and_stay_bookkeeping(self):
+        a = WorkCounter(tile_batches=2, shard_bbox_cells=100)
+        a.merge(WorkCounter(tile_batches=3, shard_bbox_cells=50, madds=7))
+        assert a.tile_batches == 5
+        assert a.shard_bbox_cells == 150
+        # Bookkeeping counters stay out of the op/flop aggregates.
+        assert a.total_ops() == 7
+        assert a.flop_estimate() == 14
+        d = a.as_dict()
+        assert d["tile_batches"] == 5 and d["shard_bbox_cells"] == 150
+
+    def test_null_counter_drops_region_counters(self):
+        from repro.core.instrument import null_counter
+
+        n = null_counter()
+        n.tile_batches += 3
+        n.shard_bbox_cells += 99
+        assert n.tile_batches == 0
+        assert n.shard_bbox_cells == 0
+
 
 class TestNullCounter:
     def test_drops_all_writes(self):

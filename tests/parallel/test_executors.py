@@ -172,9 +172,10 @@ class TestRunThreadedStamping:
             np.testing.assert_allclose(vol, serial, rtol=1e-12, atol=1e-18)
             assert wall >= 0
 
-    def test_accounts_private_volumes_and_reduction(self):
+    def test_accounts_bbox_buffers_and_reduction(self):
         import numpy as np
 
+        from repro.core.regions import plan_stamp_shards
         from repro.parallel.executors import run_threaded_stamping
 
         np_, grid, kern, coords, WC = self._setup()
@@ -182,10 +183,69 @@ class TestRunThreadedStamping:
         vol = np.zeros(grid.shape)
         P = 3
         run_threaded_stamping(vol, grid, kern, coords, 1.0, c, P)
-        # P private volumes zeroed, and every slab sums P buffers.
-        assert c.init_writes == P * grid.n_voxels
-        assert c.reduce_adds == P * grid.n_voxels
-        assert c.stamp_batches == P
+        plan = plan_stamp_shards(grid, coords, P)
+        # Buffer zeroing is charged per bbox cell (and mirrored in the
+        # shard_bbox_cells gauge); the slab reduction touches every buffer
+        # cell exactly once.
+        assert c.shard_bbox_cells == plan.buffer_cells
+        assert c.init_writes == plan.buffer_cells
+        assert c.reduce_adds == plan.buffer_cells
+        assert c.stamp_batches == plan.n_shards == P
+        # The whole point of bbox shards: strictly below P full volumes.
+        assert c.shard_bbox_cells < P * grid.n_voxels
+
+    def test_memory_budget_from_planned_buffers(self):
+        import numpy as np
+        import pytest as _pytest
+
+        from repro.core.regions import plan_stamp_shards
+        from repro.parallel.executors import (
+            MemoryBudgetExceeded,
+            run_threaded_stamping,
+        )
+
+        np_, grid, kern, coords, WC = self._setup()
+        vol = np.zeros(grid.shape)
+        plan = plan_stamp_shards(grid, coords, 3)
+        need = vol.nbytes + plan.buffer_bytes
+        with _pytest.raises(MemoryBudgetExceeded):
+            run_threaded_stamping(
+                vol, grid, kern, coords, 1.0, WC(), 3,
+                memory_budget_bytes=need - 1,
+            )
+        assert not vol.any()  # refused before stamping anything
+        run_threaded_stamping(
+            vol, grid, kern, coords, 1.0, WC(), 3, memory_budget_bytes=need
+        )
+        assert vol.any()
+
+    def test_auto_shard_count(self):
+        import os
+
+        import numpy as np
+
+        from repro.core.stamping import stamp_batch
+        from repro.parallel.executors import (
+            resolve_shard_count,
+            run_threaded_stamping,
+        )
+
+        assert resolve_shard_count(3) == 3
+        auto = resolve_shard_count("auto")
+        assert auto >= 1
+        if hasattr(os, "sched_getaffinity"):
+            assert auto == len(os.sched_getaffinity(0))
+        with np.testing.assert_raises(ValueError):
+            resolve_shard_count(0)
+        with np.testing.assert_raises(ValueError):
+            resolve_shard_count("four")
+
+        np_, grid, kern, coords, WC = self._setup()
+        serial = np.zeros(grid.shape)
+        stamp_batch(serial, grid, kern, coords, 1.0, WC())
+        vol = np.zeros(grid.shape)
+        run_threaded_stamping(vol, grid, kern, coords, 1.0, WC(), "auto")
+        np.testing.assert_allclose(vol, serial, rtol=1e-12, atol=1e-18)
 
     def test_clip_respected(self):
         import numpy as np
@@ -255,12 +315,17 @@ class TestRunThreadedStamping:
 
         grid = GridSpec(DomainSpec.from_voxels(12, 12, 12), hs=2.0, ht=2.0)
         pts = PointSet(np.random.default_rng(1).uniform(0, 12, size=(20, 3)))
-        # P=4 threads needs P+1 volume copies; a 2-volume budget must refuse.
+        # The budget is checked against the *planned* footprint: the output
+        # volume plus the bbox shard buffers (not P+1 full volumes).
+        from repro.core.regions import plan_stamp_shards
+
+        need = grid.grid_bytes + plan_stamp_shards(grid, pts.coords, 4).buffer_bytes
+        assert need < 5 * grid.grid_bytes  # bbox shards undercut P+1 volumes
         with _pytest.raises(MemoryBudgetExceeded):
             pb_sym(pts, grid, P=4, backend="threads",
-                   memory_budget_bytes=2 * grid.grid_bytes)
-        # Roomy budget runs fine and matches serial.
+                   memory_budget_bytes=need - 1)
+        # A budget covering the planned buffers runs fine and matches serial.
         serial = pb_sym(pts, grid)
         res = pb_sym(pts, grid, P=4, backend="threads",
-                     memory_budget_bytes=16 * grid.grid_bytes)
+                     memory_budget_bytes=need)
         np.testing.assert_allclose(res.data, serial.data, rtol=1e-12, atol=1e-18)

@@ -1,0 +1,98 @@
+"""Threads-scaling smoke: shard correctness under *real* concurrency.
+
+The tier-1 suite runs everywhere, including single-CPU containers where
+the threaded stamping path executes its tasks effectively one at a time —
+so races between shard workers, or between slab reducers reading the
+shard buffers, would never be exercised.  These tests are skipped below
+two CPUs and run in CI's dedicated multi-core job (and in tier-1 on any
+multi-core machine), hammering the bbox-shard path with enough work that
+the GIL-releasing NumPy kernels genuinely overlap.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pb_sym import pb_sym
+from repro.core import DomainSpec, GridSpec, PointSet, WorkCounter
+from repro.core.kernels import get_kernel
+from repro.core.stamping import stamp_batch
+from repro.parallel.executors import resolve_shard_count, run_threaded_stamping
+
+_CPUS = (
+    len(os.sched_getaffinity(0))
+    if hasattr(os, "sched_getaffinity")
+    else (os.cpu_count() or 1)
+)
+
+multicore = pytest.mark.skipif(
+    _CPUS < 2, reason="threads-scaling smoke needs >= 2 CPUs"
+)
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(DomainSpec.from_voxels(48, 48, 32), hs=3.0, ht=2.5)
+
+
+def _clustered(grid, n, seed):
+    rng = np.random.default_rng(seed)
+    span = np.array([grid.domain.gx, grid.domain.gy, grid.domain.gt])
+    centers = rng.uniform(0.2 * span, 0.8 * span, size=(4, 3))
+    pts = centers[rng.integers(0, 4, size=n)] + rng.normal(
+        0, 0.06, size=(n, 3)
+    ) * span
+    return np.clip(pts, 0, span * (1 - 1e-9))
+
+
+@multicore
+class TestRealConcurrency:
+    def test_bbox_shards_match_serial_repeatedly(self, grid):
+        """Several concurrent runs, all bit-compared against one serial run.
+
+        Repetition matters: a racy reduction would be intermittent, and a
+        single lucky pass proves nothing.
+        """
+        kern = get_kernel("epanechnikov")
+        coords = _clustered(grid, 8000, seed=0)
+        serial = np.zeros(grid.shape)
+        stamp_batch(serial, grid, kern, coords, 1.0, WorkCounter())
+        P = min(4, _CPUS)
+        for rep in range(3):
+            vol = np.zeros(grid.shape)
+            c = WorkCounter()
+            run_threaded_stamping(vol, grid, kern, coords, 1.0, c, P)
+            np.testing.assert_allclose(
+                vol, serial, rtol=1e-12, atol=1e-18,
+                err_msg=f"threads diverged from serial on repetition {rep}",
+            )
+            assert c.stamp_batches == P
+            assert c.shard_bbox_cells < P * grid.n_voxels
+
+    def test_auto_shard_count_uses_the_cores(self, grid):
+        assert resolve_shard_count("auto") == _CPUS
+        pts = PointSet(_clustered(grid, 3000, seed=1))
+        serial = pb_sym(pts, grid)
+        auto = pb_sym(pts, grid, P="auto", backend="threads")
+        np.testing.assert_allclose(
+            auto.data, serial.data, rtol=1e-12, atol=1e-18
+        )
+        assert auto.meta["P"] == _CPUS
+
+    def test_concurrent_clipped_shards(self, grid):
+        from repro.core import VoxelWindow
+
+        kern = get_kernel("quartic")
+        coords = _clustered(grid, 4000, seed=2)
+        clip = VoxelWindow(5, 40, 6, 42, 4, 28)
+        serial = np.zeros(grid.shape)
+        stamp_batch(serial, grid, kern, coords, 1.0, WorkCounter(), clip=clip)
+        vol = np.zeros(grid.shape)
+        run_threaded_stamping(
+            vol, grid, kern, coords, 1.0, WorkCounter(), min(4, _CPUS),
+            clip=clip,
+        )
+        np.testing.assert_allclose(vol, serial, rtol=1e-12, atol=1e-18)

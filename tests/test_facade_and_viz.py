@@ -88,6 +88,53 @@ class TestSTKDEFacade:
         with pytest.raises(KeyError, match="unknown algorithm"):
             STKDE(hs=1.0, ht=1.0, algorithm="pb-warp").estimate(pts)
 
+    def test_auto_P_resolves_to_cpu_count(self):
+        import os
+
+        est = STKDE(hs=2.0, ht=2.0, P="auto")
+        cpus = (
+            len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else (os.cpu_count() or 1)
+        )
+        assert est.P == cpus
+        assert est.P >= 1
+
+    def test_rejects_bad_P(self):
+        with pytest.raises(ValueError, match="P must be"):
+            STKDE(hs=2.0, ht=2.0, P="four")
+        with pytest.raises(ValueError, match="P must be"):
+            STKDE(hs=2.0, ht=2.0, P=0)
+
+    def test_auto_with_threads_backend_matches_serial(self, rng):
+        """auto may now select PB-SYM's bbox-sharded threads backend; the
+        density must match the sequential reference either way."""
+        pts = PointSet(rng.uniform(0, 30, size=(300, 3)))
+        serial = STKDE(hs=2.5, ht=2.5, algorithm="pb-sym").estimate(pts)
+        auto = STKDE(hs=2.5, ht=2.5, algorithm="auto", P=4,
+                     backend="threads").estimate(pts)
+        np.testing.assert_allclose(auto.data, serial.data,
+                                   rtol=1e-10, atol=1e-15)
+
+    def test_auto_never_picks_threads_under_simulated_backend(self, rng):
+        pts = PointSet(rng.uniform(0, 30, size=(200, 3)))
+        est = STKDE(hs=2.5, ht=2.5, algorithm="auto", P=4)  # simulated
+        grid = est.grid_for(pts)
+        name, kwargs = est._choose_algorithm(pts, grid)
+        assert kwargs.get("backend") != "threads"
+        assert name != "pb-sym"  # parallel P must map to a real strategy
+
+    def test_auto_threads_backend_maps_winner_to_pb_sym_threads(self, rng):
+        pts = PointSet(rng.uniform(0, 30, size=(200, 3)))
+        est = STKDE(hs=2.5, ht=2.5, algorithm="auto", P=4, backend="threads")
+        grid = est.grid_for(pts)
+        name, kwargs = est._choose_algorithm(pts, grid)
+        if name == "pb-sym":  # the threads candidate won
+            assert kwargs["backend"] == "threads"
+            assert kwargs["P"] == 4
+        else:  # another strategy won on this instance; still parallel
+            assert name.startswith("pb-sym-")
+
 
 class TestRenderer:
     def make_volume(self):
