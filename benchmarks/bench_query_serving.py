@@ -1,0 +1,230 @@
+"""Benchmark: the query-serving subsystem.
+
+Measures the serving layer's two core trades on a clustered instance:
+
+1. **Direct-sum vs volume-lookup crossover**: answering ``m`` point
+   queries by index-walk kernel sums (O(candidates) per query, no volume)
+   vs materialising the volume once and trilinearly sampling (O(1) per
+   query after the build).  Small batches favour direct, large batches
+   amortise the build — the planner must land on the right side at both
+   ends of the sweep.
+2. **Cache-hit speedup**: a repeated dashboard slice served from the
+   version-keyed LRU vs recomputed.
+
+Every cell re-verifies that direct sums match the stamped volume at
+queried voxel centers (``rtol=1e-6`` acceptance, measured slack ~1e-12).
+
+Writes ``BENCH_query.json`` at the repository root (override with
+``--out``).  ``--smoke`` runs a seconds-scale subset with the same schema.
+
+Run:  ``PYTHONPATH=src python benchmarks/bench_query_serving.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.model import CostModel, MachineModel
+from repro.core import DomainSpec, GridSpec, PointSet, WorkCounter
+from repro.core.stamping import stamp_batch
+from repro.core.kernels import get_kernel
+from repro.serve import (
+    BucketIndex,
+    DensityService,
+    QueryPlanner,
+    calibrate_serving,
+    direct_sum,
+    sample_volume,
+)
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+
+#: Same paper-flavoured geometry as the other benchmark suites.
+GRID_VOXELS = (128, 128, 64)
+HS, HT = 3.0, 2.0
+
+
+def make_grid() -> GridSpec:
+    return GridSpec(DomainSpec.from_voxels(*GRID_VOXELS), hs=HS, ht=HT)
+
+
+def make_coords(grid: GridSpec, n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    span = np.array([grid.domain.gx, grid.domain.gy, grid.domain.gt])
+    centers = rng.uniform(0.2 * span, 0.8 * span, size=(5, 3))
+    pts = centers[rng.integers(0, 5, size=n)] + rng.normal(0, 0.08, size=(n, 3)) * span
+    return np.clip(pts, 0, span * (1 - 1e-9))
+
+
+def voxel_center_queries(grid, m, seed):
+    """Random voxel-center locations and their voxel indices:
+    ``(queries (m, 3), vox (m, 3))`` — centers are where direct and
+    lookup are both exact."""
+    rng = np.random.default_rng(seed)
+    vox = np.column_stack([
+        rng.integers(0, grid.Gx, m),
+        rng.integers(0, grid.Gy, m),
+        rng.integers(0, grid.Gt, m),
+    ])
+    return np.column_stack([
+        grid.x_centers()[vox[:, 0]],
+        grid.y_centers()[vox[:, 1]],
+        grid.t_centers()[vox[:, 2]],
+    ]), vox
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def crossover_rows(grid: GridSpec, n: int, query_counts, repeats: int,
+                   machine: MachineModel) -> list:
+    """Direct-sum vs build+lookup at each batch size, plus planner verdicts."""
+    kern = get_kernel("epanechnikov")
+    coords = make_coords(grid, n)
+    norm = grid.normalization(n)
+    index = BucketIndex(grid, coords)
+    planner = QueryPlanner(CostModel(grid, PointSet(coords), machine))
+
+    # Reference volume (also the timed build) for equivalence + lookup.
+    vol = grid.allocate()
+    t0 = time.perf_counter()
+    stamp_batch(vol, grid, kern, coords, norm, WorkCounter())
+    t_build = time.perf_counter() - t0
+
+    rows = []
+    for m in query_counts:
+        q, vox = voxel_center_queries(grid, m, seed=m)
+        t_direct = best_of(lambda: direct_sum(index, q, kern, norm), repeats)
+        t_sample = best_of(lambda: sample_volume(vol, grid, q), repeats)
+        dens = direct_sum(index, q, kern, norm)
+        ref = vol[vox[:, 0], vox[:, 1], vox[:, 2]]
+        equiv = bool(np.allclose(dens, ref, rtol=1e-6, atol=1e-18))
+        plan = planner.plan_points(index, q, volume_ready=False)
+        t_lookup_cold = t_build + t_sample
+        measured_winner = "direct" if t_direct <= t_lookup_cold else "lookup"
+        rows.append({
+            "path": "crossover",
+            "n_events": n,
+            "n_queries": m,
+            "mean_candidates": float(index.candidate_counts(q).mean()),
+            "direct_seconds": t_direct,
+            "volume_build_seconds": t_build,
+            "lookup_sample_seconds": t_sample,
+            "lookup_cold_seconds": t_lookup_cold,
+            "measured_winner": measured_winner,
+            "planner_choice": plan.backend,
+            "planner_agrees": plan.backend == measured_winner,
+            "direct_matches_stamp_rtol_1e6": equiv,
+        })
+        print(
+            f"crossover n={n} m={m:>6d}  direct {t_direct:8.4f}s  "
+            f"lookup(cold) {t_lookup_cold:8.4f}s (build {t_build:.3f} + "
+            f"sample {t_sample:.4f})  winner={measured_winner:6s} "
+            f"planner={plan.backend:6s} equiv={equiv}"
+        )
+    return rows
+
+
+def cache_row(grid: GridSpec, n: int, machine: MachineModel) -> dict:
+    """A repeated dashboard slice: computed once, then served from LRU."""
+    coords = make_coords(grid, n, seed=1)
+    svc = DensityService(PointSet(coords), grid, machine=machine)
+    T = grid.Gt // 2
+
+    t0 = time.perf_counter()
+    svc.query_slice(T)
+    t_cold = time.perf_counter() - t0
+    t_warm = best_of(lambda: svc.query_slice(T), 3)
+    stats = svc.stats()
+    row = {
+        "path": "cache-hit",
+        "n_events": n,
+        "slice_T": T,
+        "cold_seconds": t_cold,
+        "warm_seconds": t_warm,
+        "cache_hit_speedup": t_cold / max(t_warm, 1e-9),
+        "cache_stats": stats["cache"],
+    }
+    print(
+        f"cache-hit    n={n} slice T={T}  cold {t_cold:8.4f}s  warm "
+        f"{t_warm * 1e3:8.4f}ms  ({row['cache_hit_speedup']:.0f}x)"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="seconds-scale subset (n=20k events), for CI")
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                    help="output JSON path (default: repo-root BENCH_query.json)")
+    args = ap.parse_args(argv)
+
+    grid = make_grid()
+    if args.smoke:
+        n, query_counts, repeats = 20_000, (10, 5_000), 1
+    else:
+        n, query_counts, repeats = 100_000, (10, 100, 1_000, 10_000, 50_000), 2
+
+    machine = calibrate_serving()
+    rows = crossover_rows(grid, n, query_counts, repeats, machine)
+    rows.append(cache_row(grid, n, machine))
+
+    smallest = rows[0]
+    largest = rows[len(query_counts) - 1]
+    cache = rows[-1]
+    acceptance = {
+        "case": f"clustered n={n}, grid {'x'.join(map(str, GRID_VOXELS))}",
+        "direct_sum_matches_stamp_rtol_1e6": all(
+            r["direct_matches_stamp_rtol_1e6"]
+            for r in rows if r["path"] == "crossover"
+        ),
+        "direct_wins_smallest_batch": smallest["measured_winner"] == "direct",
+        "lookup_wins_largest_batch": largest["measured_winner"] == "lookup",
+        "planner_picks_direct_for_few": smallest["planner_choice"] == "direct",
+        "planner_picks_lookup_for_many": largest["planner_choice"] == "lookup",
+        "cache_hit_speedup": cache["cache_hit_speedup"],
+        "cache_hit_faster": cache["cache_hit_speedup"] > 2.0,
+    }
+    payload = {
+        "benchmark": "query_serving",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "smoke": args.smoke,
+        "config": {
+            "grid_voxels": list(GRID_VOXELS),
+            "hs": HS,
+            "ht": HT,
+            "n_events": n,
+            "query_counts": list(query_counts),
+            "kernel": "epanechnikov",
+        },
+        "note": (
+            "crossover = answering m voxel-center point queries by direct "
+            "kernel sums over the bucket index vs materialising the volume "
+            "once (build) and trilinearly sampling it; lookup_cold = build "
+            "+ sample, the planner's cold-volume comparison.  cache-hit = "
+            "a repeated dashboard slice served from the version-keyed LRU "
+            "vs its first computation."
+        ),
+        "results": rows,
+        "acceptance": acceptance,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    print(f"acceptance: {json.dumps(acceptance, indent=2)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

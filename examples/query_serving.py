@@ -1,0 +1,122 @@
+"""Serving density queries: sentinels, dashboards, and map tiles.
+
+The compute engines answer "density everywhere"; production traffic asks
+"density *here*, *now*".  This scenario runs a `DensityService` over a
+monitored city feed and serves the three query shapes a deployment sees:
+
+* **sentinel probes** — a few fixed locations polled by alerting rules:
+  the planner keeps them on the direct kernel-sum index walk (no volume
+  is ever materialised for a handful of probes);
+* **dashboard heatmaps** — the newest full time slice: the first request
+  materialises a volume and every repeat is a cache hit serving a
+  zero-copy view;
+* **map tiles** — bbox region extracts at the hotspot.
+
+A mid-scenario `slide_window` then retires the oldest day, and the
+service invalidates its cache and volume automatically — the next answers
+reflect the new window, verified against a from-scratch estimate.
+
+Run:  python examples/query_serving.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import DensityService, GridSpec, IncrementalSTKDE, PointSet
+from repro.algorithms import pb_sym
+from repro.core import DomainSpec
+
+EXTENT = (120, 100, 60)  # city grid, two months of days
+N_PER_DAY = 400
+
+
+def synth_feed(rng, day_lo: int, day_hi: int) -> np.ndarray:
+    """Clustered incident reports over a span of days."""
+    n = N_PER_DAY * (day_hi - day_lo)
+    centers = np.array([[30.0, 40.0], [80.0, 65.0], [55.0, 20.0]])
+    which = rng.integers(0, len(centers), size=n)
+    return np.column_stack([
+        np.clip(rng.normal(centers[which, 0], 6.0), 0, EXTENT[0] - 1e-9),
+        np.clip(rng.normal(centers[which, 1], 6.0), 0, EXTENT[1] - 1e-9),
+        rng.uniform(day_lo, day_hi, size=n),
+    ])
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    grid = GridSpec(DomainSpec.from_voxels(*EXTENT), hs=8.0, ht=6.0)
+    inc = IncrementalSTKDE(grid)
+    inc.add(synth_feed(rng, 0, 30))
+    service = DensityService(inc)
+
+    print(f"serving {inc.n} live events on a "
+          f"{EXTENT[0]}x{EXTENT[1]} city grid\n")
+
+    # --- sentinel probes: few queries -> direct kernel sums ------------
+    sentinels = np.array([
+        [30.0, 40.0, 29.5], [80.0, 65.0, 29.5], [5.0, 5.0, 29.5],
+    ])
+    plans: list = []
+    t0 = time.perf_counter()
+    dens = service.query_points(sentinels, plan_out=plans)
+    t_probe = time.perf_counter() - t0
+    print(f"sentinel probes ({t_probe * 1e3:.1f} ms): "
+          + ", ".join(f"{d:.3e}" for d in dens))
+    print(f"  plan: {plans[-1].describe()}")
+
+    # --- dashboard: newest slice, repeated -> materialise once, then cache
+    T_now = EXTENT[2] - 31  # newest fully-covered day
+    t0 = time.perf_counter()
+    heat = service.query_slice(T_now)
+    t_cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    service.query_slice(T_now)
+    t_warm = time.perf_counter() - t0
+    stats = service.stats()
+    print(f"\ndashboard slice T={T_now}: cold {t_cold * 1e3:.1f} ms "
+          f"({heat.backend}), repeat {t_warm * 1e3:.3f} ms "
+          f"(cache hits={stats['cache']['hits']}, "
+          f"{t_cold / max(t_warm, 1e-9):.0f}x faster)")
+
+    # --- map tile at the hottest spot ---------------------------------
+    sl = heat.time_slice()
+    X, Y = np.unravel_index(int(np.argmax(sl)), sl.shape)
+    tile = service.query_region((
+        max(0, X - 8), min(EXTENT[0], X + 8),
+        max(0, Y - 8), min(EXTENT[1], Y + 8),
+        T_now, T_now + 1,
+    ))
+    print(f"map tile at hotspot ({X},{Y}): backend={tile.backend}, "
+          f"view={tile.is_view}, peak={tile.data.max():.3e}")
+
+    # --- the window slides: cache and volume invalidate ----------------
+    retired = inc.slide_window(synth_feed(rng, 30, 31), t_horizon=1.0)
+    fresh = service.query_points(sentinels)
+    print(f"\nslide_window: +{N_PER_DAY} new, -{retired} expired "
+          f"(version {service.version})")
+    print("sentinels after slide: " + ", ".join(f"{d:.3e}" for d in fresh))
+
+    live = PointSet(inc.live_coords)
+    ref = pb_sym(live, grid)
+    vox = np.array([grid.voxel_of(*s) for s in sentinels])
+    check = ref.data[vox[:, 0], vox[:, 1], vox[:, 2]]
+    # Sentinels sit between voxel centers; compare against the direct sums
+    # of a from-scratch window instead of the (coarser) grid values.
+    recomputed = DensityService(live, grid).query_points(
+        sentinels, backend="direct"
+    )
+    drift = np.max(np.abs(fresh - recomputed))
+    assert drift < 1e-15, f"served densities drifted {drift:.2e} from recompute"
+    print(f"post-slide answers match a from-scratch window exactly "
+          f"(grid hotspot values nearby: {', '.join(f'{c:.3e}' for c in check)})")
+
+    final = service.stats()
+    print(f"\nservice stats: backends={final['backend_calls']}, "
+          f"cache={final['cache']}, volume builds={final['volume_builds']}")
+
+
+if __name__ == "__main__":
+    main()

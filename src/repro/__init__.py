@@ -35,12 +35,14 @@ from .core.incremental import IncrementalSTKDE
 from .core.instrument import PhaseTimer, WorkCounter
 from .core.kernels import KernelPair, available_kernels, get_kernel
 from .core.stkde import STKDE, infer_domain
+from .serve import DensityService
 
 __version__ = "1.0.0"
 
 __all__ = [
     "STKDE",
     "STKDEResult",
+    "DensityService",
     "DomainSpec",
     "GridSpec",
     "IncrementalSTKDE",

@@ -39,6 +39,7 @@ from ..core.instrument import WorkCounter
 from ..core.invariants import stamp_extent
 from ..core.kernels import get_kernel
 from ..core.regions import plan_stamp_shards
+from ..core.stamping import batch_windows
 from ..parallel.color import (
     greedy_coloring,
     load_order,
@@ -88,6 +89,18 @@ class MachineModel:
         offset setup, scatter), paid once per tile batch.
     bandwidth_cap:
         Effective parallelism of memory-bound phases (Section 6.3: ~3).
+    c_lookup:
+        Seconds per trilinear volume sample
+        (:func:`repro.serve.engine.sample_volume`) — the per-query unit
+        cost of the serving layer's volume-lookup backend (eight gathered
+        reads plus the blend).
+    c_qgroup:
+        Fixed cost of one query cell-group in the direct-sum path
+        (:func:`repro.serve.engine.direct_sum`): candidate gather plus the
+        dispatch of one small tabulation.  Queries sharing an index cell
+        share one group, so scattered batches pay ~one group per query
+        while co-located dashboards amortise it — mirroring ``c_batch``
+        for the write path.
     """
 
     c_mem: float
@@ -97,6 +110,8 @@ class MachineModel:
     c_pair: float = 0.0
     c_tile: float = 0.0
     bandwidth_cap: float = 3.0
+    c_lookup: float = 0.0
+    c_qgroup: float = 0.0
 
     @classmethod
     def calibrate(cls, seed: int = 0) -> "MachineModel":
@@ -198,6 +213,12 @@ class MachineModel:
             (t_tile_large - t_tile_small) / (n_vox * (p_large - p_small)), 1e-12
         )
         c_tile = max(t_tile_small - n_vox * p_small * c_pair, 0.0)
+        # The serving-side unit costs (c_lookup, c_qgroup) are probed by
+        # repro.serve.calibrate.calibrate_serving — the probes live with
+        # the code they measure, keeping analysis below serve in the
+        # layering; until then CostModel.lookup_cost falls back to a
+        # memory-rate estimate and scattered direct batches price
+        # c_qgroup at zero.
         return cls(
             c_mem=c_mem, c_point=c_point, c_cell=c_cell, c_batch=c_batch,
             c_pair=c_pair, c_tile=c_tile,
@@ -277,6 +298,87 @@ class CostModel:
 
     def init_parallel(self, P: int) -> float:
         return self.init_seconds() / self._bw.effective_procs(P)
+
+    # ------------------------------------------------------------------
+    # Query-serving predictors (repro.serve planner)
+    # ------------------------------------------------------------------
+    @property
+    def lookup_cost(self) -> float:
+        """Seconds per trilinear volume sample.
+
+        Calibrated (``c_lookup``) when available; otherwise eight gathered
+        reads approximated at 4x the streaming write rate.
+        """
+        m = self.machine
+        return m.c_lookup if m.c_lookup > 0.0 else 32.0 * m.c_mem
+
+    def predict_direct_query(
+        self,
+        n_queries: int,
+        total_candidates: int,
+        n_groups: Optional[int] = None,
+    ) -> float:
+        """Predicted seconds to answer a point batch by direct kernel sums.
+
+        One engine-shaped dispatch for the batch, one ``c_qgroup`` per
+        query cell-group (scattered batches pay ~one per query, co-located
+        batches amortise; ``n_groups=None`` assumes fully scattered), a
+        per-query residue at the per-point rate, and the (query,
+        candidate) pairs at the shared tabulation's per-pair rate — the
+        direct analogue of :meth:`batch_cost` for reads.
+        """
+        m = self.machine
+        groups = n_queries if n_groups is None else n_groups
+        return (
+            m.c_batch
+            + groups * m.c_qgroup
+            + n_queries * m.c_point
+            + total_candidates * m.c_pair
+        )
+
+    def predict_volume_lookup(self, n_queries: int, volume_ready: bool) -> float:
+        """Predicted seconds to answer a point batch by volume sampling.
+
+        A cold volume charges the full PB-SYM materialisation up front —
+        which is exactly what a large enough batch amortises, and what a
+        warm (already-served) volume skips.
+        """
+        build = 0.0 if volume_ready else self.predict_pb_sym()
+        return build + n_queries * self.lookup_cost
+
+    def predict_direct_region(self, window) -> float:
+        """Predicted seconds to stamp one served region directly.
+
+        Prices the region buffer's first touch plus one engine batch over
+        the events whose clipped stamps actually reach the window — the
+        same clipping the engine performs, so sparse windows are charged
+        for the few stamps they absorb, not for ``n``.
+        """
+        m = self.machine
+        X0, X1, Y0, Y1, T0, T1 = batch_windows(
+            self.grid, self.points.coords, window
+        )
+        cells = (
+            np.maximum(X1 - X0, 0)
+            * np.maximum(Y1 - Y0, 0)
+            * np.maximum(T1 - T0, 0)
+        )
+        reaching = int(np.count_nonzero(cells))
+        return (
+            m.c_mem * window.volume
+            + m.c_batch
+            + reaching * m.c_point
+            + float(cells.sum()) * m.c_cell
+        )
+
+    def predict_lookup_region(self, window, volume_ready: bool) -> float:
+        """Predicted seconds to serve a region as a view of the volume.
+
+        A warm volume serves the window as a zero-copy view (one lookup's
+        worth of bookkeeping); a cold one pays materialisation first.
+        """
+        build = 0.0 if volume_ready else self.predict_pb_sym()
+        return build + self.lookup_cost
 
     # ------------------------------------------------------------------
     # Per-strategy predictions

@@ -12,6 +12,10 @@ Subcommands
     ASCII-render a time slice of a saved volume.
 ``select``
     Ask the Section 6.5 cost model for the best strategy on an instance.
+``query``
+    Serve point / slice / region density queries from a CSV of events
+    through :class:`repro.serve.DensityService` (direct kernel sums or
+    volume lookups, planner-chosen by default).
 """
 
 from __future__ import annotations
@@ -104,6 +108,72 @@ def _cmd_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _npy_path(out: str) -> str:
+    """The path ``np.save`` actually wrote (it appends ``.npy``)."""
+    return out if out.endswith(".npy") else out + ".npy"
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .core.stkde import infer_domain
+    from .core.grid import GridSpec
+    from .serve import DensityService
+
+    pts = load_points_csv(args.points)
+    domain = infer_domain(
+        pts, sres=args.sres, tres=args.tres, hs=args.hs, ht=args.ht
+    )
+    grid = GridSpec(domain, hs=args.hs, ht=args.ht)
+    service = DensityService(
+        pts, grid, kernel=args.kernel, backend=args.backend
+    )
+    print(f"serving n={pts.n}{' (weighted)' if pts.weighted else ''} on "
+          f"grid {grid.Gx}x{grid.Gy}x{grid.Gt} (backend={args.backend})")
+
+    if args.queries is not None:
+        q = load_points_csv(args.queries)
+        # Only plan (which calibrates the machine model) when the backend
+        # is actually the planner's to choose.
+        plans: list = []
+        plan_out = plans if args.backend == "auto" else None
+        dens = service.query_points(q.coords, plan_out=plan_out)
+        if plans:
+            print(f"plan: {plans[-1].describe()}")
+        if args.out:
+            np.savetxt(
+                args.out,
+                np.column_stack([q.coords, dens]),
+                delimiter=",", header="x,y,t,density", comments="", fmt="%.17g",
+            )
+            print(f"{dens.size} densities written to {args.out}")
+        else:
+            for row, d in zip(q.coords, dens):
+                print(f"{row[0]:.6g},{row[1]:.6g},{row[2]:.6g},{d:.6e}")
+    elif args.slice is not None:
+        res = service.query_slice(args.slice)
+        sl = res.time_slice()
+        X, Y = np.unravel_index(int(np.argmax(sl)), sl.shape)
+        print(f"slice T={args.slice}: backend={res.backend} "
+              f"max={sl.max():.4e} at voxel ({X},{Y}) mean={sl.mean():.4e}")
+        if args.out:
+            np.save(args.out, np.asarray(sl))
+            print(f"slice written to {_npy_path(args.out)}")
+    elif args.region is not None:
+        res = service.query_region(tuple(args.region))
+        print(f"region {args.region}: backend={res.backend} "
+              f"shape={res.data.shape} max={res.data.max():.4e} "
+              f"mass={res.data.sum() * grid.domain.sres**2 * grid.domain.tres:.4e}")
+        if args.out:
+            np.save(args.out, np.asarray(res.data))
+            print(f"region written to {_npy_path(args.out)}")
+    else:
+        raise SystemExit("one of --queries / --slice / --region is required")
+    stats = service.stats()
+    print(f"stats: backends={stats['backend_calls']} cache={stats['cache']}")
+    return 0
+
+
 def _cmd_select(args: argparse.Namespace) -> int:
     inst = get_instance(args.instance, args.scale)
     best, ranked = select_strategy(
@@ -162,6 +232,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=72)
     p.add_argument("--height", type=int, default=28)
     p.set_defaults(fn=_cmd_render)
+
+    p = sub.add_parser("query", help="serve density queries from a CSV of events")
+    p.add_argument("--points", required=True, help="events CSV (x,y,t[,w])")
+    p.add_argument("--hs", type=float, required=True)
+    p.add_argument("--ht", type=float, required=True)
+    p.add_argument("--sres", type=float, default=1.0)
+    p.add_argument("--tres", type=float, default=1.0)
+    p.add_argument("--kernel", default="epanechnikov")
+    p.add_argument("--backend", default="auto", choices=("auto", "direct", "lookup"))
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--queries", default=None,
+                       help="CSV of query locations (x,y,t)")
+    group.add_argument("--slice", type=int, default=None, metavar="T",
+                       help="serve the full spatial slice at voxel time T")
+    group.add_argument("--region", type=int, nargs=6, default=None,
+                       metavar=("X0", "X1", "Y0", "Y1", "T0", "T1"),
+                       help="serve the voxel window [X0:X1)x[Y0:Y1)x[T0:T1)")
+    p.add_argument("--out", default=None,
+                   help="write densities CSV (--queries) or .npy (--slice/--region)")
+    p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("select", help="cost-model strategy selection (Section 6.5)")
     p.add_argument("--instance", required=True, choices=instance_names(), metavar="NAME")

@@ -324,11 +324,17 @@ class PointSet:
 
     Wraps an ``(n, 3)`` float64 array with columns ``(x, y, t)`` in domain
     coordinates.  All algorithms consume a :class:`PointSet`.
+
+    Events may carry optional non-negative ``weights`` (case multiplicities,
+    report confidences).  The grid-stamping algorithms treat every event as
+    unit weight; the query-serving subsystem's direct kernel summation
+    (:mod:`repro.serve`) honours the weights, and the CSV I/O round-trips
+    them so serving snapshots persist multiplicity.
     """
 
-    __slots__ = ("coords",)
+    __slots__ = ("coords", "weights")
 
-    def __init__(self, coords: np.ndarray) -> None:
+    def __init__(self, coords: np.ndarray, weights: np.ndarray | None = None) -> None:
         arr = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
         if arr.ndim != 2 or arr.shape[1] != 3:
             raise ValueError(f"expected (n, 3) array of (x, y, t), got {arr.shape}")
@@ -336,16 +342,40 @@ class PointSet:
             raise ValueError("point coordinates must be finite")
         arr.setflags(write=False)
         self.coords = arr
+        if weights is None:
+            self.weights = None
+        else:
+            w = np.ascontiguousarray(np.asarray(weights, dtype=np.float64)).reshape(-1)
+            if w.shape[0] != arr.shape[0]:
+                raise ValueError(
+                    f"weights length {w.shape[0]} does not match {arr.shape[0]} points"
+                )
+            if not np.all(np.isfinite(w)) or np.any(w < 0):
+                raise ValueError("weights must be finite and non-negative")
+            w.setflags(write=False)
+            self.weights = w
 
     @classmethod
-    def from_columns(cls, xs, ys, ts) -> "PointSet":
+    def from_columns(cls, xs, ys, ts, weights=None) -> "PointSet":
         """Build from separate coordinate columns."""
-        return cls(np.column_stack([xs, ys, ts]))
+        return cls(np.column_stack([xs, ys, ts]), weights)
 
     @property
     def n(self) -> int:
         """Number of events."""
         return self.coords.shape[0]
+
+    @property
+    def weighted(self) -> bool:
+        """Whether the events carry explicit (possibly non-uniform) weights."""
+        return self.weights is not None
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of event weights (``n`` when unweighted)."""
+        if self.weights is None:
+            return float(self.n)
+        return float(self.weights.sum())
 
     @property
     def xs(self) -> np.ndarray:
@@ -368,14 +398,25 @@ class PointSet:
 
     def subset(self, index) -> "PointSet":
         """PointSet restricted to the given integer/boolean index."""
-        return PointSet(self.coords[index])
+        w = None if self.weights is None else self.weights[index]
+        return PointSet(self.coords[index], w)
 
     def concat(self, other: "PointSet") -> "PointSet":
-        """Concatenation of two point sets."""
-        return PointSet(np.vstack([self.coords, other.coords]))
+        """Concatenation of two point sets.
+
+        Weights survive when either side carries them; the unweighted side
+        contributes unit weights.
+        """
+        coords = np.vstack([self.coords, other.coords])
+        if self.weights is None and other.weights is None:
+            return PointSet(coords)
+        wa = self.weights if self.weights is not None else np.ones(self.n)
+        wb = other.weights if other.weights is not None else np.ones(other.n)
+        return PointSet(coords, np.concatenate([wa, wb]))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"PointSet(n={self.n})"
+        tag = ", weighted" if self.weights is not None else ""
+        return f"PointSet(n={self.n}{tag})"
 
 
 @dataclass

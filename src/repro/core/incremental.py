@@ -58,6 +58,12 @@ from .stamping import stamp_batch
 __all__ = ["IncrementalSTKDE"]
 
 
+def _row_keys(coords: np.ndarray) -> np.ndarray:
+    """``(n,)`` opaque byte keys for exact (bitwise) row matching."""
+    a = np.ascontiguousarray(coords, dtype=np.float64)
+    return a.view(np.dtype((np.void, a.dtype.itemsize * a.shape[1]))).reshape(-1)
+
+
 @dataclass
 class _TrackedBatch:
     """A live event batch and (when affordable) its cached region stamp."""
@@ -103,11 +109,35 @@ class IncrementalSTKDE:
         self.counter.init_writes += self._acc.size
         self._n = 0
         self._live: List[_TrackedBatch] = []  # event batches currently included
+        self._version = 0
 
     @property
     def n(self) -> int:
         """Number of events currently contributing."""
         return self._n
+
+    @property
+    def version(self) -> int:
+        """Monotonic dataset version, bumped on every mutation.
+
+        ``add``, ``remove``, and ``slide_window`` each advance it, so any
+        derived artifact (query caches, serving indexes) keyed on the
+        version is invalidated the moment the live window changes — this is
+        the invalidation contract :mod:`repro.serve` relies on.
+        """
+        return self._version
+
+    @property
+    def live_coords(self) -> np.ndarray:
+        """``(n, 3)`` coordinates of all currently-live events (copy).
+
+        The concatenation of the tracked batches; what a serving layer
+        indexes to answer direct kernel-sum queries against the current
+        window without materialising a volume.
+        """
+        if not self._live:
+            return np.empty((0, 3), dtype=np.float64)
+        return np.vstack([tb.coords for tb in self._live])
 
     @property
     def cached_buffer_cells(self) -> int:
@@ -147,14 +177,21 @@ class IncrementalSTKDE:
         self._live.append(self._stamp_tracked(batch))
         self.counter.points_processed += len(batch)
         self._n += len(batch)
+        self._version += 1
 
     def remove(self, points: PointSet | np.ndarray) -> None:
         """Retire events by stamping their negative contribution.
 
-        The caller is responsible for removing only events previously
-        added; removing unknown events silently yields a density that no
-        event set generates (it may go negative, which :meth:`volume`
-        clamps is *not* — validation stays honest).
+        Removed rows that match tracked events (bit-identical
+        coordinates) are also dropped from the live tracking, so
+        :attr:`live_coords` stays consistent and a later
+        :meth:`slide_window` cannot double-retire them; a batch that
+        loses members forfeits its cached region stamp (the cache would
+        no longer match the survivors).  The caller remains responsible
+        for removing only events previously added: unknown rows are
+        stamped negative as requested, which yields a density no event
+        set generates (it may go negative, which :meth:`volume` clamps
+        is *not* — validation stays honest).
         """
         coords = points.coords if isinstance(points, PointSet) else np.asarray(points, dtype=np.float64)
         if coords.size == 0:
@@ -167,6 +204,55 @@ class IncrementalSTKDE:
             self._acc, self.grid, self.kernel, coords, -1.0, self.counter
         )
         self._n -= len(coords)
+        self._untrack(np.ascontiguousarray(coords, dtype=np.float64))
+        self._version += 1
+
+    def _untrack(self, coords: np.ndarray) -> None:
+        """Drop removed rows from the tracked batches (vectorised multiset).
+
+        Rows are matched bit-exactly (byte view of the float triples); at
+        most one tracked occurrence is dropped per removed row, first
+        batches first.  Which instance of duplicated identical rows is
+        dropped is immaterial — they are indistinguishable.
+        """
+        uniq, counts = np.unique(_row_keys(coords), return_counts=True)
+        remaining = int(counts.sum())
+        kept: List[_TrackedBatch] = []
+        for tb in self._live:
+            if remaining == 0:
+                kept.append(tb)
+                continue
+            bk = _row_keys(tb.coords)
+            pos = np.minimum(np.searchsorted(uniq, bk), uniq.size - 1)
+            matches = uniq[pos] == bk
+            if not matches.any():
+                kept.append(tb)
+                continue
+            # Rank only the matching rows (usually a handful) within each
+            # run of equal keys and drop the first `counts[key]` of each
+            # run; decrement the budget for later batches.
+            midx = np.flatnonzero(matches)
+            order = midx[np.argsort(bk[midx], kind="stable")]
+            sbk = bk[order]
+            new_run = np.concatenate(([True], sbk[1:] != sbk[:-1]))
+            run_starts = np.flatnonzero(new_run)
+            occ = np.arange(sbk.size) - run_starts[np.cumsum(new_run) - 1]
+            drop_sorted = occ < counts[pos[order]]
+            if not drop_sorted.any():
+                kept.append(tb)
+                continue
+            dec = np.bincount(pos[order][drop_sorted], minlength=uniq.size)
+            counts = counts - dec
+            remaining -= int(dec.sum())
+            drop = np.zeros(bk.size, dtype=bool)
+            drop[order] = drop_sorted
+            survivors = tb.coords[~drop]
+            if len(survivors):
+                # The cached buffer still holds the departed stamps; the
+                # accumulator is already correct (negative stamp above),
+                # only the cache is stale — retire it.
+                kept.append(_TrackedBatch(survivors, None))
+        self._live = kept
 
     def slide_window(self, new_points: PointSet | np.ndarray, t_horizon: float) -> int:
         """Add ``new_points`` and retire all tracked events with
@@ -206,11 +292,28 @@ class IncrementalSTKDE:
                 if len(kept):
                     kept_batches.append(self._stamp_tracked(kept))
             else:
-                self.remove(tb.coords[old_mask])
+                # Inline negative stamp (not remove(): this loop manages
+                # the tracking itself, so the multiset untrack would be a
+                # redundant O(live) scan per batch).
+                old = tb.coords[old_mask]
+                if len(old) > self._n:
+                    raise ValueError(
+                        f"cannot remove {len(old)} events; only {self._n} present"
+                    )
+                stamp_batch(
+                    self._acc, self.grid, self.kernel, old, -1.0, self.counter
+                )
+                self._n -= len(old)
                 if len(kept):
                     kept_batches.append(_TrackedBatch(kept, None))
         self._live = kept_batches
         self.add(new_points)
+        # add() bumped the version for non-empty feeds; a pure-retirement
+        # slide must still invalidate version-keyed consumers — but a
+        # quiet tick (nothing retired, nothing added) changes nothing and
+        # must not force caches and serving indexes to rebuild.
+        if retired:
+            self._version += 1
         return retired
 
     def volume(self) -> Volume:

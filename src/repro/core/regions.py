@@ -247,22 +247,50 @@ class ShardPlan:
         return (min(w.x0 for w in self.windows), max(w.x1 for w in self.windows))
 
 
-def _balanced_spans(cells: np.ndarray, n_shards: int) -> List[slice]:
-    """Contiguous spans of near-equal cumulative cell count."""
+def _balanced_bounds(cells: np.ndarray, n_shards: int) -> np.ndarray:
+    """Cut positions of near-equal cumulative cell count (``n_shards + 1``)."""
     cum = np.cumsum(cells, dtype=np.float64)
     total = float(cum[-1]) if cum.size else 0.0
     if total <= 0.0:
-        bounds = np.linspace(0, cells.size, n_shards + 1).astype(np.int64)
-    else:
-        targets = total * np.arange(1, n_shards) / n_shards
-        bounds = np.concatenate(
-            ([0], np.searchsorted(cum, targets), [cells.size])
-        ).astype(np.int64)
-    return [
-        slice(int(bounds[p]), int(bounds[p + 1]))
-        for p in range(n_shards)
-        if bounds[p + 1] > bounds[p]
-    ]
+        return np.linspace(0, cells.size, n_shards + 1).astype(np.int64)
+    targets = total * np.arange(1, n_shards) / n_shards
+    return np.concatenate(
+        ([0], np.searchsorted(cum, targets), [cells.size])
+    ).astype(np.int64)
+
+
+def _snap_bounds_to_gaps(
+    bounds: np.ndarray, X0o: np.ndarray, X1o: np.ndarray
+) -> np.ndarray:
+    """Nudge interior cuts onto x-disjoint gaps when one is nearby.
+
+    With points in stamp-origin order, ``X0o`` is nondecreasing, so a cut
+    at position ``j`` separates the two shards' bounding boxes along x iff
+    every stamp before ``j`` ends by the time the first stamp from ``j``
+    begins (prefix max of ``X1o``).  Disjoint boxes unlock the executors'
+    per-shard merge (no slab sweep, no empty intersections), so each
+    balanced cut moves to the nearest disjoint position within ~10% of a
+    shard — clustered batches get provably non-overlapping buffers at a
+    bounded balance cost, and batches with no gap keep the exact balanced
+    cuts.
+    """
+    n = X0o.size
+    if n == 0 or bounds.size <= 2:
+        return bounds
+    pmax = np.maximum.accumulate(X1o)
+    out = bounds.copy()
+    tol = max(2, n // (10 * (bounds.size - 1)))
+    for k in range(1, bounds.size - 1):
+        b = int(out[k])
+        lo = max(int(out[k - 1]) + 1, b - tol)
+        hi = min(int(out[k + 1]) - 1, b + tol, n - 1)
+        if hi < lo:
+            continue
+        ok = X0o[lo : hi + 1] >= pmax[lo - 1 : hi]
+        js = np.nonzero(ok)[0] + lo
+        if js.size:
+            out[k] = js[np.argmin(np.abs(js - b))]
+    return out
 
 
 def plan_stamp_shards(
@@ -278,7 +306,11 @@ def plan_stamp_shards(
     bounding boxes, then cut into ``n_shards`` spans balanced on stamped
     cell count — boundary-clipped (cheap) and interior (full-stamp) points
     balance, exactly as the previous full-volume sharding did, but each
-    shard now knows the only region of the grid it can write.
+    shard now knows the only region of the grid it can write.  Balanced
+    cuts additionally snap to nearby x-gaps in the ordered stamps
+    (:func:`_snap_bounds_to_gaps`), so clustered batches yield pairwise
+    **disjoint** shard boxes and the threaded executor can merge each
+    buffer independently instead of slab-sweeping their union.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be >= 1")
@@ -294,10 +326,14 @@ def plan_stamp_shards(
     if live.size == 0:
         return ShardPlan([], [])
     order = live[np.lexsort((T0[live], Y0[live], X0[live]))]
+    bounds = _balanced_bounds(cells[order], n_shards)
+    bounds = _snap_bounds_to_gaps(bounds, X0[order], X1[order])
     shards: List[np.ndarray] = []
     windows: List[VoxelWindow] = []
-    for span in _balanced_spans(cells[order], n_shards):
-        sel = order[span]
+    for p in range(n_shards):
+        if bounds[p + 1] <= bounds[p]:
+            continue
+        sel = order[int(bounds[p]) : int(bounds[p + 1])]
         shards.append(sel)
         windows.append(
             VoxelWindow(

@@ -1,11 +1,13 @@
 """Point and volume I/O.
 
 Events travel as CSV (``x,y,t`` columns, header line) — the universal
-interchange format for the GIS tooling this library sits next to.  Density
-volumes travel as ``.npy`` with a JSON sidecar capturing the full
-:class:`~repro.core.grid.DomainSpec` and bandwidths, so a saved volume can
-be reloaded into a correctly georeferenced :class:`~repro.core.grid.Volume`
-without guessing.
+interchange format for the GIS tooling this library sits next to.  Weighted
+events (case multiplicities, report confidences) round-trip through an
+optional fourth ``w`` column, so query-serving snapshots persist their
+weights.  Density volumes travel as ``.npy`` with a JSON sidecar capturing
+the full :class:`~repro.core.grid.DomainSpec` and bandwidths, so a saved
+volume can be reloaded into a correctly georeferenced
+:class:`~repro.core.grid.Volume` without guessing.
 """
 
 from __future__ import annotations
@@ -29,31 +31,51 @@ PathLike = Union[str, Path]
 
 
 def save_points_csv(points: PointSet, path: PathLike) -> None:
-    """Write events as ``x,y,t`` CSV with a header row."""
+    """Write events as ``x,y,t`` CSV (``x,y,t,w`` when weighted)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    if points.weights is not None:
+        table = np.column_stack([points.coords, points.weights])
+        header = "x,y,t,w"
+    else:
+        table = points.coords
+        header = "x,y,t"
     np.savetxt(
         path,
-        points.coords,
+        table,
         delimiter=",",
-        header="x,y,t",
+        header=header,
         comments="",
         fmt="%.17g",
     )
 
 
 def load_points_csv(path: PathLike) -> PointSet:
-    """Read events from ``x,y,t`` CSV (header row optional)."""
+    """Read events from ``x,y,t[,w]`` CSV (header row optional).
+
+    A fourth column is interpreted as per-event weights and preserved on
+    the returned :class:`~repro.core.grid.PointSet`, so a weighted save
+    round-trips exactly.
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no such point file: {path}")
     with open(path, "r", encoding="utf-8") as fh:
         first = fh.readline()
-    skip = 1 if any(c.isalpha() for c in first) else 0
+    # Header iff the first row isn't parseable as numbers ("x,y,t" is,
+    # "1.2e-03" is not a header despite containing a letter).
+    try:
+        [float(tok) for tok in first.strip().split(",") if tok != ""]
+        skip = 0
+    except ValueError:
+        skip = 1
     arr = np.loadtxt(path, delimiter=",", skiprows=skip, ndmin=2)
+    if arr.shape[1] == 4:
+        return PointSet(arr[:, :3], arr[:, 3])
     if arr.shape[1] != 3:
         raise ValueError(
-            f"{path}: expected 3 columns (x, y, t), found {arr.shape[1]}"
+            f"{path}: expected 3 columns (x, y, t) or 4 (x, y, t, w), "
+            f"found {arr.shape[1]}"
         )
     return PointSet(arr)
 

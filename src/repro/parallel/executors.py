@@ -202,6 +202,19 @@ def resolve_shard_count(P: "int | str | None") -> int:
     return P
 
 
+def _windows_pairwise_disjoint(windows: Sequence[VoxelWindow]) -> bool:
+    """Whether no two shard bounding boxes share a voxel (O(P^2), tiny P).
+
+    Pairwise-disjoint boxes admit the per-shard merge: concurrent
+    whole-buffer merges can never write the same output voxel.
+    """
+    for i in range(len(windows)):
+        for j in range(i + 1, len(windows)):
+            if not windows[i].intersect(windows[j]).empty:
+                return False
+    return True
+
+
 def run_threaded_stamping(
     vol: np.ndarray,
     grid: GridSpec,
@@ -223,8 +236,12 @@ def run_threaded_stamping(
     accumulates its shard into a **bounding-box** :class:`RegionBuffer`
     covering only the grid region its stamps can touch (so concurrent
     stamps never race, and every heavy operation is a GIL-releasing NumPy
-    kernel), and the buffers are merged into ``vol`` by a slab-parallel
-    reduction over the union of the boxes.  This keeps the no-shared-write
+    kernel), and the buffers are merged into ``vol``: **per shard** when
+    the bounding boxes are pairwise disjoint (one merge task per buffer,
+    released the moment its own stamp finishes — no slab sweep over empty
+    intersections), otherwise by a slab-parallel reduction over the union
+    of the boxes in which each slab visits only the shards whose x-extent
+    reaches it.  This keeps the no-shared-write
     structure of the DR trade while shrinking its memory tax from ``P``
     full volumes to the shards' joint bounding boxes — on clustered data a
     small fraction of the grid — and shrinking the reduction traffic by
@@ -270,37 +287,70 @@ def run_threaded_stamping(
 
         return fn
 
-    # Slab-parallel reduction over the union x-extent of the shard boxes:
-    # each reducer owns an x-slab, so concurrent merges never write the
-    # same voxel, and voxels no shard touched are never read or written.
-    ux0, ux1 = plan.union_x_range()
-    span = ux1 - ux0
-    slab_bounds = [ux0 + (span * p) // P for p in range(P + 1)]
-    slabs = [
-        (slab_bounds[p], slab_bounds[p + 1])
-        for p in range(P)
-        if slab_bounds[p + 1] > slab_bounds[p]
-    ]
-    reduce_counters = [WorkCounter() for _ in slabs]
+    # Reduction strategy.  Shard bounding boxes that are pairwise disjoint
+    # (the normal shape for clustered data under origin-ordered sharding)
+    # can be merged **per shard**: one task per buffer, each writing only
+    # its own box — no slab sweep over the union extent, no empty
+    # intersections visited.  Overlapping boxes fall back to the
+    # slab-parallel reduction over the union x-extent (each reducer owns
+    # an x-slab, so concurrent merges never write the same voxel), where
+    # each slab pre-filters to the shards that actually reach it.
+    per_shard_merge = n_shards > 1 and _windows_pairwise_disjoint(plan.windows)
+    if per_shard_merge:
+        reduce_counters = [WorkCounter() for _ in range(n_shards)]
 
-    def make_reduce(r: int):
-        def fn() -> None:
-            lo, hi = slabs[r]
-            added = 0
-            for q in range(n_shards):
-                added += buffers[q].add_into(vol, lo, hi)  # type: ignore[union-attr]
-            reduce_counters[r].reduce_adds += added
+        def make_reduce(r: int):
+            def fn() -> None:
+                added = buffers[r].add_into(vol)  # type: ignore[union-attr]
+                reduce_counters[r].reduce_adds += added
 
-        return fn
+            return fn
+
+        n_merges = n_shards
+    else:
+        ux0, ux1 = plan.union_x_range()
+        span = ux1 - ux0
+        slab_bounds = [ux0 + (span * p) // P for p in range(P + 1)]
+        slabs = [
+            (slab_bounds[p], slab_bounds[p + 1])
+            for p in range(P)
+            if slab_bounds[p + 1] > slab_bounds[p]
+        ]
+        # Shards whose x-extent misses a slab contribute nothing to it;
+        # skip them instead of bouncing off add_into's empty check.
+        slab_shards = [
+            [
+                q
+                for q in range(n_shards)
+                if plan.windows[q].x0 < hi and plan.windows[q].x1 > lo
+            ]
+            for lo, hi in slabs
+        ]
+        reduce_counters = [WorkCounter() for _ in slabs]
+
+        def make_reduce(r: int):
+            def fn() -> None:
+                lo, hi = slabs[r]
+                added = 0
+                for q in slab_shards[r]:
+                    added += buffers[q].add_into(vol, lo, hi)  # type: ignore[union-attr]
+                reduce_counters[r].reduce_adds += added
+
+            return fn
+
+        n_merges = len(slabs)
 
     tasks = [ExecTask(make_shard(p), label=("stamp", p)) for p in range(n_shards)]
-    tasks += [ExecTask(make_reduce(r), label=("merge", r)) for r in range(len(slabs))]
+    tasks += [ExecTask(make_reduce(r), label=("merge", r)) for r in range(n_merges)]
     n_t = len(tasks)
     succs: List[List[int]] = [[] for _ in range(n_t)]
     preds: List[List[int]] = [[] for _ in range(n_t)]
-    # Every merge slab waits on every stamp shard (it reads all buffers).
-    for p in range(n_shards):
-        for r in range(len(slabs)):
+    # A merge waits only on the stamps whose buffers it reads: its own
+    # shard on the per-shard path (so disjoint merges start the moment
+    # their shard finishes), the slab's reaching shards otherwise.
+    for r in range(n_merges):
+        readers = [r] if per_shard_merge else slab_shards[r]
+        for p in readers:
             succs[p].append(n_shards + r)
             preds[n_shards + r].append(p)
     wall = run_threaded(tasks, TaskGraph([t.weight_hint for t in tasks], succs, preds), P)

@@ -1,0 +1,47 @@
+"""Query-serving subsystem: answer density queries, don't scan volumes.
+
+The compute engines (:mod:`repro.core`, :mod:`repro.parallel`) produce
+whole density volumes; this package serves *queries* against either those
+volumes or the raw events:
+
+* :class:`~repro.serve.index.BucketIndex` — ``hs x hs x ht`` bucket index
+  enabling O(neighbours) direct kernel sums;
+* :mod:`~repro.serve.engine` — vectorised batch execution (direct sums,
+  trilinear lookups, slice/region extraction over region-buffer views);
+* :class:`~repro.serve.planner.QueryPlanner` — prices direct-sum vs
+  volume-lookup through the Section 6.5 cost model, per batch;
+* :class:`~repro.serve.cache.QueryCache` — version-keyed LRU over results,
+  invalidated by live-source mutations (``slide_window``);
+* :class:`~repro.serve.service.DensityService` — the facade tying them
+  together (also exposed as ``repro query`` on the CLI).
+"""
+
+from .cache import QueryCache, digest_queries
+from .calibrate import calibrate_serving
+from .engine import (
+    RegionResult,
+    direct_region,
+    direct_sum,
+    region_view,
+    sample_volume,
+    slice_window,
+)
+from .index import BucketIndex
+from .planner import QueryPlan, QueryPlanner
+from .service import DensityService
+
+__all__ = [
+    "BucketIndex",
+    "DensityService",
+    "QueryCache",
+    "QueryPlan",
+    "QueryPlanner",
+    "RegionResult",
+    "calibrate_serving",
+    "digest_queries",
+    "direct_region",
+    "direct_sum",
+    "region_view",
+    "sample_volume",
+    "slice_window",
+]

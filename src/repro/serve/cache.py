@@ -1,0 +1,164 @@
+"""LRU result cache for the query-serving layer.
+
+Serving workloads repeat themselves: dashboards re-request the newest time
+slice, map tiles re-request the same bbox, monitoring re-polls the same
+sentinel locations.  :class:`QueryCache` is a size-bounded LRU over
+*immutable* query results, keyed by ``(dataset_version, kind, params)``:
+
+* the **version** comes from the data source
+  (:attr:`repro.core.incremental.IncrementalSTKDE.version` for live
+  sources, a constant for static snapshots).  Every mutation bumps it, so
+  stale entries can never be served — and
+  :meth:`drop_stale` removes them eagerly when the service observes a
+  version change (the ``slide_window`` invalidation wiring);
+* the **params** identify the query: a slice index, a window tuple, or a
+  content digest of a point batch.
+
+Entries are bounded both by count and by payload bytes; eviction is
+least-recently-used.  Hit/miss/eviction counters feed the service stats
+(and the cache-hit acceptance row of ``BENCH_query.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["QueryCache", "digest_queries"]
+
+
+def digest_queries(queries: np.ndarray) -> str:
+    """Stable content digest of a query batch (cache key for point sets)."""
+    q = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
+    h = hashlib.sha1(q.tobytes())
+    h.update(str(q.shape).encode())
+    return h.hexdigest()
+
+
+class QueryCache:
+    """Version-keyed LRU cache of query results.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of live entries (least recently used evicted).
+    max_bytes:
+        Optional ceiling on the summed payload ``nbytes``; inserting past
+        it evicts LRU entries first.  A single payload larger than the
+        ceiling is simply not cached.
+    """
+
+    def __init__(
+        self, max_entries: int = 128, max_bytes: Optional[int] = None
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._bytes: Dict[Tuple, int] = {}
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_key(version: int, kind: str, *params: Hashable) -> Tuple:
+        """Canonical cache key: dataset version first, then query identity."""
+        return (int(version), kind) + params
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple) -> Any:
+        """Cached value for ``key`` (marks it most-recent), else ``None``."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def get_first(self, keys) -> Any:
+        """First cached value among ``keys`` — one logical lookup.
+
+        Lets the service probe every backend variant of a query before
+        paying for planning, while counting a single hit or miss (the
+        caller asked one question, not ``len(keys)``).
+        """
+        for key in keys:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Tuple, value: Any, nbytes: int = 0) -> bool:
+        """Insert a result; returns False when it cannot fit at all."""
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            return False
+        if key in self._entries:
+            self.total_bytes -= self._bytes.pop(key)
+            del self._entries[key]
+        while len(self._entries) >= self.max_entries or (
+            self.max_bytes is not None
+            and self._entries
+            and self.total_bytes + nbytes > self.max_bytes
+        ):
+            self._evict_lru()
+        self._entries[key] = value
+        self._bytes[key] = nbytes
+        self.total_bytes += nbytes
+        return True
+
+    def _evict_lru(self) -> None:
+        key, _ = self._entries.popitem(last=False)
+        self.total_bytes -= self._bytes.pop(key)
+        self.evictions += 1
+
+    def drop_stale(self, current_version: int) -> int:
+        """Remove every entry whose key version differs from ``current``.
+
+        Called by the service when its source's version advances (add /
+        remove / ``slide_window``): version-mismatched entries could never
+        hit again, so reclaim their memory immediately.  Returns the
+        number of entries dropped.
+        """
+        stale = [k for k in self._entries if k[0] != current_version]
+        for k in stale:
+            self.total_bytes -= self._bytes.pop(k)
+            del self._entries[k]
+        self.invalidations += len(stale)
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (counts as invalidation, not eviction)."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+        self._bytes.clear()
+        self.total_bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters snapshot for service/bench reporting."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"QueryCache(entries={len(self._entries)}/{self.max_entries}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,93 @@
+"""Serving-side calibration of the machine model's query unit costs.
+
+:meth:`repro.analysis.model.MachineModel.calibrate` probes the *write*
+paths (stamping, tiles); the serving layer's two unit costs are probed
+here, next to the code they measure, so the analysis package never
+reaches up into ``repro.serve``:
+
+``c_lookup``
+    Seconds per trilinear volume sample: slope of
+    :func:`~repro.serve.engine.sample_volume` over two batch sizes.
+``c_qgroup``
+    Seconds per query cell-group of the direct-sum path (candidate
+    gather + one small tabulation): slope of
+    :func:`~repro.serve.engine.direct_sum` over two scattered batches,
+    per *group* — the dominant per-query cost for scattered traffic.
+
+:class:`~repro.serve.service.DensityService` runs this lazily the first
+time its planner is needed; callers with a pre-calibrated write-side
+model pass it in to extend rather than re-probe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..analysis.model import MachineModel
+from ..core.grid import DomainSpec, GridSpec
+from ..core.kernels import get_kernel
+from .engine import direct_sum, sample_volume
+from .index import BucketIndex
+
+__all__ = ["calibrate_serving"]
+
+
+def calibrate_serving(
+    machine: Optional[MachineModel] = None, seed: int = 0
+) -> MachineModel:
+    """A machine model with the query unit costs probed (~0.05 s).
+
+    Starts from ``machine`` (or a fresh write-side
+    :meth:`MachineModel.calibrate`) and fills ``c_lookup`` / ``c_qgroup``
+    from micro-probes of the actual serving code paths.
+    """
+    machine = machine if machine is not None else MachineModel.calibrate(seed)
+    rng = np.random.default_rng(seed)
+
+    # Trilinear lookup rate: two batch sizes, slope = per-query cost.
+    g_tile = GridSpec(DomainSpec.from_voxels(16, 16, 16), hs=4.0, ht=4.0)
+    vol = rng.random(g_tile.shape)
+    span = np.array([g_tile.domain.gx, g_tile.domain.gy, g_tile.domain.gt])
+
+    def lookup_probe(n_q: int) -> float:
+        qs = rng.uniform(0, span, size=(n_q, 3))
+        best = math.inf
+        for _ in range(3):
+            t0 = time.perf_counter()
+            sample_volume(vol, g_tile, qs)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    lookup_probe(8)  # warm the sampling code path
+    q_small, q_large = 256, 4096
+    t_lk_small = lookup_probe(q_small)
+    t_lk_large = lookup_probe(q_large)
+    c_lookup = max((t_lk_large - t_lk_small) / (q_large - q_small), 1e-12)
+
+    # Direct-sum per-group dispatch: scattered batches (~one cell-group
+    # per query) at two sizes, slope per *group*.
+    g_q = GridSpec(DomainSpec.from_voxels(64, 64, 64), hs=4.0, ht=4.0)
+    q_span = np.array([g_q.domain.gx, g_q.domain.gy, g_q.domain.gt])
+    idx = BucketIndex(g_q, rng.uniform(0, q_span, size=(2048, 3)))
+    kern = get_kernel("epanechnikov")
+
+    def group_probe(n_q: int) -> Tuple[float, int]:
+        qs = rng.uniform(0, q_span, size=(n_q, 3))
+        best = math.inf
+        for _ in range(3):
+            t0 = time.perf_counter()
+            direct_sum(idx, qs, kern, 1.0)
+            best = min(best, time.perf_counter() - t0)
+        return best, idx.group_count(qs)
+
+    group_probe(8)  # warm the direct-sum code path
+    t_g_small, g_small = group_probe(64)
+    t_g_large, g_large = group_probe(512)
+    c_qgroup = max((t_g_large - t_g_small) / max(g_large - g_small, 1), 1e-12)
+
+    return dataclasses.replace(machine, c_lookup=c_lookup, c_qgroup=c_qgroup)

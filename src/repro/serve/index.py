@@ -1,0 +1,218 @@
+"""Spatial bucket index for direct kernel-sum density queries.
+
+The grid algorithms answer "what is the density *everywhere*" by
+materialising a volume; a serving layer must also answer "what is the
+density *here, now*" without touching ``Theta(Gx * Gy * Gt)`` memory.
+Following the bucketed evaluation idea of hashing-based KDE estimators
+(Charikar & Siminelakis), :class:`BucketIndex` partitions the events into
+cells of size ``hs x hs x ht`` — exactly one bandwidth per axis — so the
+kernel support of any query location is covered by the 3 x 3 x 3 cell
+neighbourhood around it:
+
+* a point within ``hs`` of the query along x differs by less than one
+  cell width, hence lands in an adjacent cell (same for y and t),
+* therefore ``candidates(q)`` has **no false negatives**: every event
+  whose kernel reaches ``q`` is returned, and the exact ``d < hs`` /
+  ``|dt| <= ht`` masks of the engine discard the rest.
+
+The index is a CSR layout over cell ids (counts + offsets + one
+permutation array), built in O(n) with three vectorised passes and costing
+O(n) memory — no per-cell Python objects.  Query batches are grouped by
+cell (:meth:`group_queries`) so concurrent queries landing in the same
+neighbourhood share one candidate gather, the shared-computation batching
+of the multiple-query KDE literature.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.grid import GridSpec
+
+__all__ = ["BucketIndex"]
+
+
+class BucketIndex:
+    """CSR bucket index over events, cells of size ``hs x hs x ht``.
+
+    Parameters
+    ----------
+    grid:
+        The grid specification supplying the domain box and bandwidths
+        (only the *domain* and bandwidths matter — the index never touches
+        voxels).
+    coords:
+        ``(n, 3)`` event coordinates in domain space.
+    weights:
+        Optional ``(n,)`` per-event weights, carried alongside the
+        permuted coordinates so weighted direct sums gather them in the
+        same pass.
+    """
+
+    __slots__ = (
+        "grid", "coords", "weights", "nx", "ny", "nt",
+        "_offsets", "_order", "_cell_counts", "_box_counts",
+    )
+
+    def __init__(
+        self,
+        grid: GridSpec,
+        coords: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        self.grid = grid
+        coords = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) coordinates, got {coords.shape}")
+        self.coords = coords
+        if weights is not None:
+            weights = np.ascontiguousarray(np.asarray(weights, dtype=np.float64))
+            if weights.shape != (coords.shape[0],):
+                raise ValueError("weights must be (n,) matching coords")
+        self.weights = weights
+        d = grid.domain
+        self.nx = max(1, math.ceil(d.gx / grid.hs))
+        self.ny = max(1, math.ceil(d.gy / grid.hs))
+        self.nt = max(1, math.ceil(d.gt / grid.ht))
+        cell = self.cell_of(coords)
+        counts = np.bincount(cell, minlength=self.n_cells)
+        self._cell_counts = counts
+        self._offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        # Stable sort keeps insertion order within a cell: deterministic
+        # candidate (and hence accumulation) order for the direct sums.
+        self._order = np.argsort(cell, kind="stable").astype(np.int64)
+        self._box_counts: Optional[np.ndarray] = None  # lazy, immutable
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of indexed events."""
+        return self.coords.shape[0]
+
+    @property
+    def n_cells(self) -> int:
+        """Total bucket count ``nx * ny * nt``."""
+        return self.nx * self.ny * self.nt
+
+    @property
+    def occupied_cells(self) -> int:
+        """Number of buckets holding at least one event."""
+        return int(np.count_nonzero(self._cell_counts))
+
+    @property
+    def nbytes(self) -> int:
+        """Index overhead beyond the coordinates (offsets + permutation)."""
+        return self._offsets.nbytes + self._order.nbytes + self._cell_counts.nbytes
+
+    # ------------------------------------------------------------------
+    def cell_coords(self, queries: np.ndarray) -> np.ndarray:
+        """``(m, 3)`` integer cell coordinates of query locations (clamped)."""
+        q = np.asarray(queries, dtype=np.float64)
+        d = self.grid.domain
+        out = np.empty((q.shape[0], 3), dtype=np.int64)
+        out[:, 0] = (q[:, 0] - d.x0) / self.grid.hs
+        out[:, 1] = (q[:, 1] - d.y0) / self.grid.hs
+        out[:, 2] = (q[:, 2] - d.t0) / self.grid.ht
+        np.clip(out[:, 0], 0, self.nx - 1, out=out[:, 0])
+        np.clip(out[:, 1], 0, self.ny - 1, out=out[:, 1])
+        np.clip(out[:, 2], 0, self.nt - 1, out=out[:, 2])
+        return out
+
+    def cell_of(self, queries: np.ndarray) -> np.ndarray:
+        """Flat cell id of each query location."""
+        cc = self.cell_coords(queries)
+        return (cc[:, 0] * self.ny + cc[:, 1]) * self.nt + cc[:, 2]
+
+    def candidates(self, cx: int, cy: int, ct: int) -> np.ndarray:
+        """Event indices whose kernel can reach cell ``(cx, cy, ct)``.
+
+        The union of the 27-cell neighbourhood, as original point indices
+        (ascending within each cell).  No false negatives for any query
+        location inside the cell; callers apply the exact masks.
+        """
+        chunks: List[np.ndarray] = []
+        off = self._offsets
+        for ix in range(max(0, cx - 1), min(self.nx, cx + 2)):
+            for iy in range(max(0, cy - 1), min(self.ny, cy + 2)):
+                t_lo = max(0, ct - 1)
+                t_hi = min(self.nt, ct + 2)
+                # Cells contiguous in t are contiguous in the flat id, so
+                # one (ix, iy) row of the neighbourhood is a single slice.
+                c0 = (ix * self.ny + iy) * self.nt + t_lo
+                c1 = (ix * self.ny + iy) * self.nt + t_hi
+                lo, hi = int(off[c0]), int(off[c1])
+                if hi > lo:
+                    chunks.append(self._order[lo:hi])
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(chunks)
+
+    def candidate_counts(self, queries: np.ndarray) -> np.ndarray:
+        """Exact candidate-set size per query, vectorised (planner input).
+
+        Reads a 27-neighbourhood box-sum table built once per index (the
+        per-cell counts are immutable) — O(cells) on first use, O(m) per
+        batch after, no candidate gathering — so repeated planning costs
+        the lookups, not the grid.
+        """
+        if self._box_counts is None:
+            counts3 = self._cell_counts.reshape(self.nx, self.ny, self.nt)
+            # 3-wide box sums via padded prefix sums, one axis at a time.
+            box = counts3
+            for axis, size in ((0, self.nx), (1, self.ny), (2, self.nt)):
+                cum = np.concatenate(
+                    [np.zeros_like(box.take([0], axis=axis)),
+                     np.cumsum(box, axis=axis)],
+                    axis=axis,
+                )
+                hi = np.minimum(np.arange(size) + 2, size)
+                lo = np.maximum(np.arange(size) - 1, 0)
+                box = cum.take(hi, axis=axis) - cum.take(lo, axis=axis)
+            self._box_counts = box
+        cc = self.cell_coords(queries)
+        return self._box_counts[cc[:, 0], cc[:, 1], cc[:, 2]]
+
+    def group_count(self, queries: np.ndarray) -> int:
+        """Number of distinct home cells a query batch occupies.
+
+        The number of gather-and-tabulate rounds :meth:`group_queries`
+        will run — the unit the cost model's ``c_qgroup`` prices.
+        """
+        q = np.asarray(queries, dtype=np.float64)
+        if q.shape[0] == 0:
+            return 0
+        return int(np.unique(self.cell_of(q)).size)
+
+    def group_queries(
+        self, queries: np.ndarray
+    ) -> Iterator[Tuple[Tuple[int, int, int], np.ndarray]]:
+        """Group a query batch by home cell: ``((cx, cy, ct), query_rows)``.
+
+        Queries in the same cell share one candidate gather and one
+        vectorised kernel tabulation — the batching that amortises index
+        walks across concurrent queries.
+        """
+        q = np.asarray(queries, dtype=np.float64)
+        if q.shape[0] == 0:
+            return
+        cell = self.cell_of(q)
+        order = np.argsort(cell, kind="stable")
+        sorted_cells = cell[order]
+        starts = np.flatnonzero(
+            np.concatenate(([True], sorted_cells[1:] != sorted_cells[:-1]))
+        )
+        bounds = np.concatenate((starts, [sorted_cells.size]))
+        for s, e in zip(bounds[:-1], bounds[1:]):
+            cid = int(sorted_cells[s])
+            cx, rem = divmod(cid, self.ny * self.nt)
+            cy, ct = divmod(rem, self.nt)
+            yield (cx, cy, ct), order[s:e]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"BucketIndex(n={self.n}, cells={self.nx}x{self.ny}x{self.nt}, "
+            f"occupied={self.occupied_cells})"
+        )

@@ -1,0 +1,152 @@
+"""Query planner: price direct-sum against volume-lookup, pick per batch.
+
+The serving layer has two physical plans for every logical query (see
+:mod:`repro.serve.engine`) with opposite cost shapes:
+
+* **direct-sum** costs O(candidates) per query and needs no volume;
+* **volume-lookup** costs O(1) per query *after* an O(n * stamp + voxels)
+  materialisation (already paid when the service holds a fresh volume).
+
+Which wins is exactly the kind of combinatorial question the paper's
+Section 6.5 model answers for the compute strategies, so the planner
+reuses :class:`repro.analysis.model.CostModel` — same calibrated machine
+constants, same batched-cost shapes — extended with the query-side
+predictors (``predict_direct_query``, ``predict_volume_lookup``,
+``predict_direct_region``, ``predict_lookup_region``).  The decision is
+per query batch: a handful of probes against a sparse window stays on the
+index walk; a dense 10k-query batch triggers materialisation and serves
+from the volume (and every batch thereafter rides the already-built
+volume for near-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..analysis.model import CostModel
+from ..core.grid import VoxelWindow
+from .index import BucketIndex
+
+__all__ = ["QueryPlan", "QueryPlanner"]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The planner's verdict for one query batch."""
+
+    backend: str  # "direct" | "lookup"
+    kind: str  # "points" | "region"
+    n_queries: int
+    est_candidates: int  # total candidate pairs a direct plan would touch
+    direct_seconds: float
+    lookup_seconds: float
+    volume_ready: bool
+    reason: str
+
+    @property
+    def speedup(self) -> float:
+        """Predicted advantage of the chosen backend over the other."""
+        lo = min(self.direct_seconds, self.lookup_seconds)
+        hi = max(self.direct_seconds, self.lookup_seconds)
+        return hi / max(lo, 1e-12)
+
+    def describe(self) -> str:
+        return (
+            f"{self.kind}[{self.n_queries}] -> {self.backend}  "
+            f"(direct {self.direct_seconds * 1e3:.3f} ms vs lookup "
+            f"{self.lookup_seconds * 1e3:.3f} ms, volume "
+            f"{'ready' if self.volume_ready else 'cold'}; {self.reason})"
+        )
+
+
+class QueryPlanner:
+    """Chooses the physical plan for each query batch via the cost model.
+
+    ``force`` short-circuits planning for callers that pin a backend
+    (benchmarks, tests, operators); the estimates are still reported so a
+    pinned plan stays observable.
+    """
+
+    def __init__(self, model: CostModel) -> None:
+        self.model = model
+
+    # ------------------------------------------------------------------
+    def plan_points(
+        self,
+        index: BucketIndex,
+        queries: np.ndarray,
+        *,
+        volume_ready: bool,
+        force: Optional[str] = None,
+        force_reason: Optional[str] = None,
+    ) -> QueryPlan:
+        """Plan a point-query batch against the given index."""
+        q = np.asarray(queries, dtype=np.float64)
+        m = q.shape[0]
+        cand = int(index.candidate_counts(q).sum()) if m else 0
+        direct = self.model.predict_direct_query(
+            m, cand, n_groups=index.group_count(q)
+        )
+        lookup = self.model.predict_volume_lookup(m, volume_ready)
+        return self._verdict("points", m, cand, direct, lookup,
+                             volume_ready, force, force_reason)
+
+    def plan_region(
+        self,
+        window: VoxelWindow,
+        *,
+        volume_ready: bool,
+        force: Optional[str] = None,
+        force_reason: Optional[str] = None,
+    ) -> QueryPlan:
+        """Plan a region (or slice) extract over a voxel window."""
+        direct = self.model.predict_direct_region(window)
+        lookup = self.model.predict_lookup_region(window, volume_ready)
+        return self._verdict("region", window.volume, 0, direct, lookup,
+                             volume_ready, force, force_reason)
+
+    # ------------------------------------------------------------------
+    def _verdict(
+        self,
+        kind: str,
+        n_queries: int,
+        cand: int,
+        direct: float,
+        lookup: float,
+        volume_ready: bool,
+        force: Optional[str],
+        force_reason: Optional[str] = None,
+    ) -> QueryPlan:
+        if force is not None:
+            if force not in ("direct", "lookup"):
+                raise ValueError(
+                    f"backend must be 'direct' or 'lookup', got {force!r}"
+                )
+            backend, reason = force, (force_reason or "forced by caller")
+        elif direct <= lookup:
+            backend = "direct"
+            reason = (
+                "index walk beats lookup"
+                if volume_ready
+                else "batch too small to amortise materialisation"
+            )
+        else:
+            backend = "lookup"
+            reason = (
+                "volume already materialised"
+                if volume_ready
+                else "batch amortises materialisation"
+            )
+        return QueryPlan(
+            backend=backend,
+            kind=kind,
+            n_queries=n_queries,
+            est_candidates=cand,
+            direct_seconds=direct,
+            lookup_seconds=lookup,
+            volume_ready=volume_ready,
+            reason=reason,
+        )

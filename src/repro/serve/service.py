@@ -1,0 +1,427 @@
+"""DensityService: the query-serving facade.
+
+One object that answers *point*, *slice*, and *region* density queries
+against either a static event snapshot (:class:`~repro.core.grid.PointSet`)
+or a live sliding window (:class:`~repro.core.incremental.IncrementalSTKDE`),
+choosing the physical plan per batch:
+
+* **direct-sum** — walk the :class:`~repro.serve.index.BucketIndex` and
+  evaluate the estimator definition at the query (exact, O(neighbours),
+  no volume, honours event weights);
+* **volume-lookup** — trilinear sample (points) or zero-copy view
+  (slices/regions) of a lazily materialised volume (O(1) per query after
+  the build).
+
+The :class:`~repro.serve.planner.QueryPlanner` prices both through the
+Section 6.5 cost model; ``backend="direct"``/``"lookup"`` pins the choice.
+Results are cached in a version-keyed LRU (:class:`~repro.serve.cache
+.QueryCache`): every mutation of a live source bumps its ``version``
+(``add``/``remove``/``slide_window``), which both re-keys and eagerly
+drops stale entries — repeat dashboard queries between slides are served
+from cache.
+
+Example::
+
+    service = DensityService(points, grid)
+    dens = service.query_points(np.array([[x, y, t]]))
+    hot = service.query_slice(T).time_slice()
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..analysis.model import CostModel, MachineModel
+from ..core.grid import GridSpec, PointSet, Volume, VoxelWindow
+from ..core.incremental import IncrementalSTKDE
+from ..core.instrument import WorkCounter
+from ..core.kernels import KernelPair, get_kernel
+from ..core.stamping import stamp_batch
+from .cache import QueryCache, digest_queries
+from .engine import (
+    RegionResult,
+    direct_region,
+    direct_sum,
+    region_view,
+    sample_volume,
+    slice_window,
+)
+from .index import BucketIndex
+from .planner import QueryPlan, QueryPlanner
+
+__all__ = ["DensityService"]
+
+Source = Union[PointSet, np.ndarray, IncrementalSTKDE]
+
+
+class DensityService:
+    """Serve density queries for one dataset (static or live).
+
+    Parameters
+    ----------
+    source:
+        A :class:`PointSet` / ``(n, 3)`` array (static snapshot) or an
+        :class:`IncrementalSTKDE` (live window; the service re-syncs its
+        index, volume, and cache whenever the source's version advances).
+    grid:
+        Required for static sources; taken from the estimator for live
+        ones.
+    kernel:
+        Kernel pair used for direct sums and materialisation.  Must match
+        the live estimator's kernel (checked).
+    backend:
+        Default physical plan: ``"auto"`` (planner decides per batch),
+        ``"direct"``, or ``"lookup"``.  Per-call ``backend=`` overrides.
+    cache:
+        Result cache; defaults to a 128-entry LRU.  Pass ``None``-ops by
+        constructing with ``max_entries=1`` if caching is unwanted.
+    machine:
+        Calibrated :class:`MachineModel` for the planner; calibrated
+        lazily on first ``auto`` plan when omitted.
+    """
+
+    def __init__(
+        self,
+        source: Source,
+        grid: Optional[GridSpec] = None,
+        *,
+        kernel: str | KernelPair = "epanechnikov",
+        backend: str = "auto",
+        cache: Optional[QueryCache] = None,
+        machine: Optional[MachineModel] = None,
+        counter: Optional[WorkCounter] = None,
+    ) -> None:
+        if backend not in ("auto", "direct", "lookup"):
+            raise ValueError(
+                f"backend must be 'auto', 'direct' or 'lookup', got {backend!r}"
+            )
+        self.kernel = get_kernel(kernel)
+        self.backend = backend
+        self.cache = cache if cache is not None else QueryCache()
+        self.counter = counter if counter is not None else WorkCounter()
+        self._machine = machine
+        self._inc: Optional[IncrementalSTKDE] = None
+        self._static_coords: Optional[np.ndarray] = None
+        self._static_weights: Optional[np.ndarray] = None
+        if isinstance(source, IncrementalSTKDE):
+            if grid is not None and grid is not source.grid:
+                raise ValueError("grid is taken from the live estimator")
+            if source.kernel.name != self.kernel.name:
+                raise ValueError(
+                    f"service kernel {self.kernel.name!r} disagrees with the "
+                    f"estimator's {source.kernel.name!r}"
+                )
+            self.grid = source.grid
+            self._inc = source
+        else:
+            if grid is None:
+                raise ValueError("static sources require an explicit grid")
+            pts = source if isinstance(source, PointSet) else PointSet(source)
+            self.grid = grid
+            self._static_coords = pts.coords
+            self._static_weights = pts.weights
+        # Lazily built, re-synced on version change.
+        self._index: Optional[BucketIndex] = None
+        self._volume: Optional[np.ndarray] = None
+        self._planner: Optional[QueryPlanner] = None
+        self._live_coords: Optional[np.ndarray] = None
+        self._synced_version: Optional[int] = None
+        self._backend_calls: Dict[str, int] = {"direct": 0, "lookup": 0}
+        self._volume_builds = 0
+
+    # ------------------------------------------------------------------
+    # Source state
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Dataset version currently served (0 forever for static sources)."""
+        return self._inc.version if self._inc is not None else 0
+
+    @property
+    def weighted(self) -> bool:
+        """Whether the served events carry non-uniform weights."""
+        return self._static_weights is not None
+
+    @property
+    def volume_ready(self) -> bool:
+        """Whether a materialised volume for the current version exists."""
+        self._sync()
+        return self._volume is not None
+
+    def _coords(self) -> np.ndarray:
+        """Current event coordinates (live sources cached per version —
+        ``live_coords`` concatenates every tracked batch on each call)."""
+        if self._inc is None:
+            return self._static_coords  # type: ignore[return-value]
+        self._sync()
+        if self._live_coords is None:
+            self._live_coords = self._inc.live_coords
+        return self._live_coords
+
+    def _norm(self) -> float:
+        """Estimator prefactor ``1 / (W hs^2 ht)`` (0 for an empty window)."""
+        if self._inc is not None:
+            w = float(self._inc.n)
+        elif self._static_weights is not None:
+            w = float(self._static_weights.sum())
+        else:
+            w = float(self._static_coords.shape[0])  # type: ignore[union-attr]
+        if w <= 0.0:
+            return 0.0
+        return 1.0 / (w * self.grid.hs * self.grid.hs * self.grid.ht)
+
+    def _sync(self) -> None:
+        """Re-key derived state when the live source has mutated.
+
+        The ``slide_window`` invalidation wiring: a version change drops
+        the index, the materialised volume, and every stale cache entry
+        before the next query is answered.
+        """
+        v = self.version
+        if v == self._synced_version:
+            return
+        self._index = None
+        self._volume = None
+        self._planner = None
+        self._live_coords = None
+        self.cache.drop_stale(v)
+        self._synced_version = v
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def index(self) -> BucketIndex:
+        """The bucket index over the current events (built lazily)."""
+        self._sync()
+        if self._index is None:
+            self._index = BucketIndex(
+                self.grid, self._coords(), self._static_weights
+            )
+        return self._index
+
+    def materialize(self) -> Volume:
+        """Force-build (or fetch) the volume backing the lookup plan."""
+        self._sync()
+        if self.weighted:
+            raise NotImplementedError(
+                "volume materialisation of weighted events is not supported; "
+                "weighted services answer via backend='direct'"
+            )
+        if self._volume is None:
+            if self._inc is not None:
+                self._volume = self._inc.volume().data
+            else:
+                vol = self.grid.allocate()
+                self.counter.init_writes += vol.size
+                coords = self._coords()
+                if coords.shape[0]:
+                    stamp_batch(
+                        vol, self.grid, self.kernel, coords,
+                        self._norm(), self.counter,
+                    )
+                self._volume = vol
+            self._volume_builds += 1
+        return Volume(self._volume, self.grid)
+
+    def planner(self) -> QueryPlanner:
+        """The query planner (calibrates the machine model on first use)."""
+        self._sync()
+        if self._planner is None:
+            if self._machine is None:
+                from .calibrate import calibrate_serving
+
+                self._machine = calibrate_serving()
+            model = CostModel(self.grid, PointSet(self._coords()), self._machine)
+            self._planner = QueryPlanner(model)
+        return self._planner
+
+    def _resolve_backend(
+        self, backend: Optional[str]
+    ) -> Tuple[Optional[str], Optional[str]]:
+        """``(pinned_backend, why)``; ``(None, None)`` = planner's choice."""
+        choice = backend if backend is not None else self.backend
+        if choice == "auto":
+            # Weighted events only exist on the direct path.
+            if self.weighted:
+                return "direct", "weighted events require direct"
+            return None, None
+        if choice not in ("direct", "lookup"):
+            raise ValueError(
+                f"backend must be 'auto', 'direct' or 'lookup', got {choice!r}"
+            )
+        if choice == "lookup" and self.weighted:
+            raise NotImplementedError(
+                "weighted events cannot be served from a volume; "
+                "use backend='direct'"
+            )
+        return choice, "forced by caller"
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_points(
+        self,
+        queries: np.ndarray,
+        *,
+        backend: Optional[str] = None,
+        plan_out: Optional[list] = None,
+    ) -> np.ndarray:
+        """Densities at ``(m, 3)`` query locations.
+
+        ``plan_out``, when a list, receives the :class:`QueryPlan` used —
+        observability without changing the return type.
+        """
+        self._sync()
+        q = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
+        if q.ndim != 2 or q.shape[1] != 3:
+            raise ValueError(f"expected (m, 3) queries, got {q.shape}")
+        if q.shape[0] == 0:
+            return np.empty(0, dtype=np.float64)
+        force, force_reason = self._resolve_backend(backend)
+        # Cache before planning: a hit must not pay the planner's O(n)
+        # estimates.  Off voxel centers the two backends differ (exact vs
+        # interpolated), so auto mode keys its own entries — a repeated
+        # auto query always returns the same answer within a version,
+        # never a pinned call's value from the other physical plan.
+        digest = digest_queries(q)
+        cache_tag = force if force is not None else "auto"
+        key = QueryCache.make_key(self.version, "points", cache_tag, digest)
+        cached = self.cache.get(key)
+        if cached is not None and plan_out is None:
+            return cached
+        plan = self.planner().plan_points(
+            self.index(), q, volume_ready=self._volume is not None,
+            force=force, force_reason=force_reason,
+        ) if force is None or plan_out is not None else None
+        if plan is not None and plan_out is not None:
+            plan_out.append(plan)
+        if cached is not None:
+            return cached
+        chosen = plan.backend if plan is not None else force
+        if chosen == "direct":
+            out = direct_sum(
+                self.index(), q, self.kernel, self._norm(), self.counter
+            )
+        else:
+            out = sample_volume(self.materialize().data, self.grid, q)
+            out = self._patch_off_domain(q, out)
+        self._backend_calls[chosen] += 1
+        out.flags.writeable = False
+        self.cache.put(key, out, out.nbytes)
+        return out
+
+    def _patch_off_domain(self, q: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Direct-sum the queries outside the domain box on the lookup path.
+
+        Trilinear sampling clamps to the edge voxel, which would serve the
+        boundary plateau forever off-domain while the direct backend
+        returns the true (decaying-to-zero) estimator value — the same
+        sentinel would flip answers with the planner's choice.  Routing
+        the off-domain rows through the index keeps the two backends
+        interchangeable everywhere.
+        """
+        d = self.grid.domain
+        outside = (
+            (q[:, 0] < d.x0) | (q[:, 0] > d.x0 + d.gx)
+            | (q[:, 1] < d.y0) | (q[:, 1] > d.y0 + d.gy)
+            | (q[:, 2] < d.t0) | (q[:, 2] > d.t0 + d.gt)
+        )
+        if outside.any():
+            out = out.copy()
+            out[outside] = direct_sum(
+                self.index(), q[outside], self.kernel, self._norm(),
+                self.counter,
+            )
+        return out
+
+    def query_slice(
+        self, T: int, *, backend: Optional[str] = None
+    ) -> RegionResult:
+        """The full ``(Gx, Gy)`` density slice at voxel time ``T``."""
+        return self.query_region(slice_window(self.grid, T), backend=backend)
+
+    def query_region(
+        self,
+        window: VoxelWindow | Tuple[int, int, int, int, int, int],
+        *,
+        backend: Optional[str] = None,
+        plan_out: Optional[list] = None,
+    ) -> RegionResult:
+        """Density over a voxel window ``[x0:x1) x [y0:y1) x [t0:t1)``.
+
+        Lookup plans return a **view** of the materialised volume (zero
+        copy); direct plans stamp a fresh
+        :class:`~repro.core.regions.RegionBuffer` covering only the
+        window.  Both are read-only and cache-shared.
+        """
+        self._sync()
+        if not isinstance(window, VoxelWindow):
+            window = VoxelWindow(*window)
+        window = window.intersect(self.grid.full_window())
+        if window.empty:
+            raise ValueError(f"region window is empty on this grid: {window}")
+        if self.weighted:
+            # The stamp engine is unweighted; region/slice serving of
+            # weighted events would silently drop the weights.
+            raise NotImplementedError(
+                "region and slice queries on weighted events are not "
+                "supported; query_points(backend='direct') honours weights"
+            )
+        force, force_reason = self._resolve_backend(backend)
+        # Cache before planning (see query_points): hits skip the
+        # planner's O(n) region estimate entirely.  Unlike point queries,
+        # region extracts are bit-identical across backends (both are the
+        # stamped grid values), so auto mode may reuse any variant.
+        wkey = (window.x0, window.x1, window.y0, window.y1, window.t0, window.t1)
+        variants = (force,) if force is not None else ("direct", "lookup")
+        cached = self.cache.get_first(
+            [QueryCache.make_key(self.version, "region", b, wkey)
+             for b in variants]
+        )
+        if cached is not None and plan_out is None:
+            return cached
+        plan = self.planner().plan_region(
+            window, volume_ready=self._volume is not None,
+            force=force, force_reason=force_reason,
+        ) if force is None or plan_out is not None else None
+        if plan is not None and plan_out is not None:
+            plan_out.append(plan)
+        if cached is not None:
+            return cached
+        chosen = plan.backend if plan is not None else force
+        if chosen == "direct":
+            result = direct_region(
+                self.grid, self.kernel, self._coords(), window,
+                self._norm(), self.counter,
+            )
+        else:
+            result = region_view(self.materialize().data, window)
+        self._backend_calls[chosen] += 1
+        # Views alias the materialised volume: no extra payload bytes.
+        self.cache.put(
+            QueryCache.make_key(self.version, "region", chosen, wkey),
+            result, 0 if result.is_view else result.data.nbytes,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Serving counters: cache behaviour, backend mix, builds."""
+        return {
+            "version": self.version,
+            "events": int(self._coords().shape[0]),
+            "weighted": self.weighted,
+            "volume_ready": self._volume is not None,
+            "volume_builds": self._volume_builds,
+            "backend_calls": dict(self._backend_calls),
+            "cache": self.cache.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        src = "live" if self._inc is not None else "static"
+        return (
+            f"DensityService({src}, n={self._coords().shape[0]}, "
+            f"grid={self.grid.shape}, backend={self.backend!r})"
+        )

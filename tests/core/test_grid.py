@@ -229,6 +229,54 @@ class TestPointSet:
         np.testing.assert_array_equal(both.coords, pts.coords)
 
 
+class TestPointSetWeights:
+    def test_unweighted_defaults(self, rng):
+        pts = PointSet(rng.normal(size=(6, 3)))
+        assert pts.weights is None
+        assert not pts.weighted
+        assert pts.total_weight == 6.0
+
+    def test_weighted_construction(self, rng):
+        w = np.array([1.0, 2.0, 0.5])
+        pts = PointSet(rng.normal(size=(3, 3)), w)
+        assert pts.weighted
+        np.testing.assert_array_equal(pts.weights, w)
+        assert pts.total_weight == pytest.approx(3.5)
+
+    def test_weights_immutable(self, rng):
+        pts = PointSet(rng.normal(size=(3, 3)), np.ones(3))
+        with pytest.raises((ValueError, RuntimeError)):
+            pts.weights[0] = 9.0
+
+    def test_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="weights length"):
+            PointSet(rng.normal(size=(4, 3)), np.ones(3))
+
+    def test_negative_and_nonfinite_rejected(self, rng):
+        coords = rng.normal(size=(3, 3))
+        with pytest.raises(ValueError, match="non-negative"):
+            PointSet(coords, [1.0, -0.1, 1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            PointSet(coords, [1.0, np.nan, 1.0])
+
+    def test_subset_carries_weights(self, rng):
+        pts = PointSet(rng.normal(size=(5, 3)), np.arange(5, dtype=float))
+        sub = pts.subset([1, 3])
+        np.testing.assert_array_equal(sub.weights, [1.0, 3.0])
+
+    def test_concat_mixed_fills_unit_weights(self, rng):
+        a = PointSet(rng.normal(size=(2, 3)), [2.0, 3.0])
+        b = PointSet(rng.normal(size=(2, 3)))
+        both = a.concat(b)
+        np.testing.assert_array_equal(both.weights, [2.0, 3.0, 1.0, 1.0])
+        plain = b.concat(b)
+        assert plain.weights is None
+
+    def test_from_columns_with_weights(self):
+        pts = PointSet.from_columns([1, 2], [3, 4], [5, 6], [0.5, 1.5])
+        np.testing.assert_array_equal(pts.weights, [0.5, 1.5])
+
+
 class TestVolume:
     def test_shape_mismatch_rejected(self, small_grid):
         with pytest.raises(ValueError, match="does not match"):

@@ -217,18 +217,65 @@ class TestRegionCacheReuse:
         with pytest.raises(ValueError, match="cache_fraction"):
             IncrementalSTKDE(grid, cache_fraction=-0.1)
 
-    def test_cached_retirement_guards_like_remove(self, grid):
-        """Out-of-band remove() then sliding past the same cached batch
-        must fail loudly (as the uncached path always did), not drive
-        the event count negative."""
+    def test_remove_untracks_so_slide_cannot_double_retire(self, grid):
+        """remove() of previously-added events drops them from tracking:
+        a later slide past the same span retires nothing (no double
+        subtraction) and the estimator is exactly empty."""
         rng = np.random.default_rng(26)
         slab = self._time_slab(grid, rng, 0.0, 5.0)
         inc = IncrementalSTKDE(grid)
         inc.add(slab)
         assert inc.cached_buffer_cells > 0
-        inc.remove(slab)  # legal on its own: n drops to 0
+        inc.remove(slab)  # n drops to 0 and the batch is untracked
+        assert inc.live_coords.shape == (0, 3)
+        assert inc.slide_window(np.empty((0, 3)), t_horizon=10.0) == 0
+        assert np.allclose(inc.volume().data, 0.0, atol=1e-12)
+
+    def test_cached_retirement_guards_against_unknown_removals(self, grid):
+        """Removing events that were never added leaves the tracking
+        intact, so sliding past a tracked batch the count can no longer
+        cover must fail loudly, not drive the event count negative."""
+        rng = np.random.default_rng(26)
+        slab = self._time_slab(grid, rng, 0.0, 5.0)
+        inc = IncrementalSTKDE(grid)
+        inc.add(slab)
+        assert inc.cached_buffer_cells > 0
+        unknown = self._time_slab(grid, rng, 0.0, 5.0)
+        inc.remove(unknown)  # legal on its own: n drops to 0
         with pytest.raises(ValueError, match="only 0 present"):
             inc.slide_window(np.empty((0, 3)), t_horizon=10.0)
+
+    def test_remove_duplicated_rows_drops_one_instance_each(self, grid):
+        """Multiset semantics: removing one copy of a duplicated event
+        leaves the other tracked (and the density exact)."""
+        row = np.array([[3.3, 4.4, 5.5]])
+        inc = IncrementalSTKDE(grid)
+        inc.add(np.vstack([row, row, row]))
+        inc.remove(row)
+        assert inc.n == 2
+        assert inc.live_coords.shape == (2, 3)
+        ref = pb_sym(PointSet(np.vstack([row, row])), grid)
+        np.testing.assert_allclose(
+            inc.volume().data, ref.data, rtol=1e-9, atol=1e-15
+        )
+
+    def test_partial_remove_untracks_and_stays_exact(self, grid):
+        """A batch that loses members via remove() forfeits its cache but
+        keeps serving exact densities, including through a later slide."""
+        rng = np.random.default_rng(27)
+        slab = self._time_slab(grid, rng, 0.0, 5.0)
+        inc = IncrementalSTKDE(grid)
+        inc.add(slab)
+        inc.remove(slab[:10])
+        np.testing.assert_array_equal(inc.live_coords, slab[10:])
+        assert inc.cached_buffer_cells == 0  # stale cache retired
+        ref = pb_sym(PointSet(slab[10:]), grid)
+        np.testing.assert_allclose(
+            inc.volume().data, ref.data, rtol=1e-9, atol=1e-15
+        )
+        inc.slide_window(np.empty((0, 3)), t_horizon=10.0)
+        assert inc.n == 0
+        assert np.allclose(inc.volume().data, 0.0, atol=1e-12)
 
     def test_memory_budget_caps_aggregate_cache(self, grid):
         rng = np.random.default_rng(27)

@@ -260,3 +260,41 @@ class TestThreadedBboxVsSequential:
         )
         assert threaded.counter.shard_bbox_cells > 0
         assert threaded.counter.shard_bbox_cells < 4 * grid.n_voxels
+
+
+class TestGapSnappedShards:
+    """Balanced cuts snap onto x-gaps so clustered shards come out disjoint."""
+
+    def test_clustered_cuts_snap_to_gap(self, grid):
+        rng = np.random.default_rng(30)
+        coords = np.concatenate([
+            rng.normal([4, 4, 4], 0.4, size=(60, 3)),
+            rng.normal([15, 13, 17], 0.4, size=(60, 3)),
+        ]).clip(0, [19.9, 17.9, 21.9])
+        plan = plan_stamp_shards(grid, coords, 2)
+        assert plan.n_shards == 2
+        a, b = plan.windows
+        left, right = (a, b) if a.x0 <= b.x0 else (b, a)
+        assert left.x1 <= right.x0  # x-disjoint boxes
+        # The snap put whole clusters in whole shards.
+        assert [len(s) for s in plan.shards] == [60, 60]
+
+    def test_no_gap_keeps_balanced_cuts(self, grid):
+        coords = make_points(grid, 200, seed=31).coords
+        plan = plan_stamp_shards(grid, coords, 4)
+        sizes = [len(s) for s in plan.shards]
+        assert sum(sizes) == 200
+        assert max(sizes) - min(sizes) <= 20  # still near-balanced
+
+    def test_snapping_preserves_partition_invariants(self, grid):
+        rng = np.random.default_rng(32)
+        coords = np.concatenate([
+            rng.normal([4, 4, 4], 0.4, size=(80, 3)),
+            rng.normal([15, 13, 17], 0.4, size=(40, 3)),
+        ]).clip(0, [19.9, 17.9, 21.9])
+        plan = plan_stamp_shards(grid, coords, 3)
+        all_idx = np.concatenate(plan.shards)
+        assert len(np.unique(all_idx)) == len(all_idx) == len(coords)
+        X0, X1, Y0, Y1, T0, T1 = batch_windows(grid, coords)
+        for sel, w in zip(plan.shards, plan.windows):
+            assert X0[sel].min() >= w.x0 and X1[sel].max() <= w.x1

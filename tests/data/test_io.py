@@ -38,6 +38,14 @@ class TestPointsCSV:
         f.write_text("x,y,t\n1.0,2.0,3.0\n")
         assert load_points_csv(f).n == 1
 
+    def test_scientific_notation_first_row_is_not_a_header(self, tmp_path):
+        """'1.2e-03' contains a letter but is data, not a header row."""
+        f = tmp_path / "sci.csv"
+        f.write_text("1.2e-03,2.5E+01,3.0\n4.0,5.0,6.0\n")
+        back = load_points_csv(f)
+        assert back.n == 2
+        np.testing.assert_allclose(back.coords[0], [1.2e-03, 25.0, 3.0])
+
     def test_missing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_points_csv(tmp_path / "nope.csv")
@@ -52,6 +60,52 @@ class TestPointsCSV:
         f = tmp_path / "a" / "b" / "events.csv"
         save_points_csv(pts, f)
         assert f.exists()
+
+
+class TestWeightedPointsCSV:
+    @pytest.fixture
+    def wpts(self, rng):
+        coords = rng.uniform(0, 100, size=(40, 3))
+        return PointSet(coords, rng.uniform(0.1, 5.0, size=40))
+
+    def test_weighted_round_trip(self, tmp_path, wpts):
+        f = tmp_path / "weighted.csv"
+        save_points_csv(wpts, f)
+        back = load_points_csv(f)
+        assert back.weighted
+        np.testing.assert_allclose(back.coords, wpts.coords, rtol=0, atol=0)
+        np.testing.assert_allclose(back.weights, wpts.weights, rtol=0, atol=0)
+
+    def test_weighted_header(self, tmp_path, wpts):
+        f = tmp_path / "weighted.csv"
+        save_points_csv(wpts, f)
+        assert f.read_text().splitlines()[0] == "x,y,t,w"
+
+    def test_unweighted_load_has_no_weights(self, tmp_path, rng):
+        pts = PointSet(rng.uniform(0, 10, size=(5, 3)))
+        f = tmp_path / "plain.csv"
+        save_points_csv(pts, f)
+        assert load_points_csv(f).weights is None
+
+    def test_headerless_four_column_file(self, tmp_path):
+        f = tmp_path / "raw4.csv"
+        f.write_text("1.0,2.0,3.0,0.5\n4.0,5.0,6.0,2.0\n")
+        back = load_points_csv(f)
+        assert back.n == 2
+        np.testing.assert_allclose(back.weights, [0.5, 2.0])
+
+    def test_five_columns_rejected(self, tmp_path):
+        f = tmp_path / "bad5.csv"
+        f.write_text("1,2,3,4,5\n")
+        with pytest.raises(ValueError, match="column"):
+            load_points_csv(f)
+
+    def test_total_weight_survives(self, tmp_path, wpts):
+        f = tmp_path / "weighted.csv"
+        save_points_csv(wpts, f)
+        assert load_points_csv(f).total_weight == pytest.approx(
+            wpts.total_weight
+        )
 
 
 class TestVolumeNpy:

@@ -329,3 +329,82 @@ class TestRunThreadedStamping:
         res = pb_sym(pts, grid, P=4, backend="threads",
                      memory_budget_bytes=need)
         np.testing.assert_allclose(res.data, serial.data, rtol=1e-12, atol=1e-18)
+
+
+class TestPerShardMerge:
+    """Disjoint shard boxes merge per shard, not per slab (PR-2 follow-on)."""
+
+    def _two_cluster_setup(self):
+        import numpy as np
+
+        from repro.core import DomainSpec, GridSpec, WorkCounter
+        from repro.core.kernels import get_kernel
+
+        grid = GridSpec(DomainSpec.from_voxels(96, 64, 48), hs=3.0, ht=2.0)
+        rng = np.random.default_rng(21)
+        coords = np.vstack([
+            rng.normal([20, 20, 20], 1.5, size=(300, 3)),
+            rng.normal([76, 44, 38], 1.5, size=(300, 3)),
+        ])
+        return np, grid, get_kernel("epanechnikov"), coords, WorkCounter
+
+    def test_cluster_shards_are_disjoint(self):
+        from repro.core.regions import plan_stamp_shards
+        from repro.parallel.executors import _windows_pairwise_disjoint
+
+        np, grid, kern, coords, WC = self._two_cluster_setup()
+        plan = plan_stamp_shards(grid, coords, 2)
+        assert plan.n_shards == 2
+        assert _windows_pairwise_disjoint(plan.windows)
+
+    def test_disjoint_merge_matches_serial(self):
+        from repro.core.stamping import stamp_batch
+        from repro.parallel.executors import run_threaded_stamping
+
+        np, grid, kern, coords, WC = self._two_cluster_setup()
+        serial = np.zeros(grid.shape)
+        stamp_batch(serial, grid, kern, coords, 1.0, WC())
+        for P in (2, 4):
+            vol = np.zeros(grid.shape)
+            run_threaded_stamping(vol, grid, kern, coords, 1.0, WC(), P)
+            np.testing.assert_allclose(vol, serial, rtol=1e-12, atol=1e-18)
+
+    def test_disjoint_merge_accounting_unchanged(self):
+        """Each buffer cell reduces exactly once on either merge path."""
+        from repro.core.regions import plan_stamp_shards
+        from repro.parallel.executors import run_threaded_stamping
+
+        np, grid, kern, coords, WC = self._two_cluster_setup()
+        c = WC()
+        run_threaded_stamping(np.zeros(grid.shape), grid, kern, coords, 1.0, c, 2)
+        plan = plan_stamp_shards(grid, coords, 2)
+        assert c.reduce_adds == plan.buffer_cells
+        assert c.init_writes == plan.buffer_cells
+
+    def test_overlapping_shards_still_slab_merge(self):
+        """Uniform data has no gaps: the slab path remains and is exact."""
+        import numpy as np
+
+        from repro.core import DomainSpec, GridSpec, WorkCounter
+        from repro.core.kernels import get_kernel
+        from repro.core.regions import plan_stamp_shards
+        from repro.core.stamping import stamp_batch
+        from repro.parallel.executors import (
+            _windows_pairwise_disjoint,
+            run_threaded_stamping,
+        )
+
+        grid = GridSpec(DomainSpec.from_voxels(32, 24, 20), hs=2.5, ht=2.0)
+        coords = np.random.default_rng(22).uniform(
+            0, [32, 24, 20], size=(400, 3)
+        )
+        plan = plan_stamp_shards(grid, coords, 4)
+        assert not _windows_pairwise_disjoint(plan.windows)
+        serial = np.zeros(grid.shape)
+        stamp_batch(serial, grid, kern := get_kernel("epanechnikov"),
+                    coords, 1.0, WorkCounter())
+        vol = np.zeros(grid.shape)
+        c = WorkCounter()
+        run_threaded_stamping(vol, grid, kern, coords, 1.0, c, 4)
+        np.testing.assert_allclose(vol, serial, rtol=1e-12, atol=1e-18)
+        assert c.reduce_adds == plan.buffer_cells

@@ -1,0 +1,302 @@
+"""Tests for the LRU query cache and the DensityService facade.
+
+The acceptance-critical properties live here: the cache invalidates on
+``slide_window`` (version-keyed entries are dropped and fresh answers
+match a from-scratch recomputation), and the service answers point /
+slice / region queries with both backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.pb_sym import pb_sym
+from repro.analysis.model import MachineModel
+from repro.core import PointSet
+from repro.core.incremental import IncrementalSTKDE
+from repro.serve import DensityService, QueryCache
+from tests.helpers import make_clustered_points, make_points
+from tests.serve.test_engine import voxel_center_queries
+
+MACHINE = MachineModel(
+    c_mem=1e-9, c_point=1e-7, c_cell=2e-9, c_batch=1e-5,
+    c_pair=2e-9, c_tile=1e-6, c_lookup=5e-8,
+)
+
+
+class TestQueryCache:
+    def test_put_get_roundtrip(self):
+        c = QueryCache(max_entries=4)
+        key = QueryCache.make_key(0, "points", "direct", "abc")
+        assert c.get(key) is None
+        assert c.put(key, np.arange(3), 24)
+        got = c.get(key)
+        np.testing.assert_array_equal(got, np.arange(3))
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction_order(self):
+        c = QueryCache(max_entries=2)
+        c.put(("a",), 1)
+        c.put(("b",), 2)
+        c.get(("a",))  # refresh a: b becomes LRU
+        c.put(("c",), 3)
+        assert c.get(("b",)) is None
+        assert c.get(("a",)) == 1
+        assert c.evictions == 1
+
+    def test_byte_ceiling_evicts_and_rejects(self):
+        c = QueryCache(max_entries=10, max_bytes=100)
+        assert c.put(("a",), "x", 60)
+        assert c.put(("b",), "y", 60)  # evicts a to fit
+        assert c.get(("a",)) is None
+        assert c.total_bytes == 60
+        assert not c.put(("huge",), "z", 1000)  # never fits: not cached
+        assert len(c) == 1
+
+    def test_drop_stale_versions(self):
+        c = QueryCache()
+        c.put(QueryCache.make_key(0, "points", "k1"), 1)
+        c.put(QueryCache.make_key(0, "region", "k2"), 2)
+        c.put(QueryCache.make_key(1, "points", "k1"), 3)
+        assert c.drop_stale(1) == 2
+        assert c.get(QueryCache.make_key(1, "points", "k1")) == 3
+        assert c.get(QueryCache.make_key(0, "points", "k1")) is None
+        assert c.invalidations == 2
+
+    def test_replace_updates_bytes(self):
+        c = QueryCache(max_bytes=100)
+        c.put(("a",), 1, 40)
+        c.put(("a",), 2, 70)
+        assert c.total_bytes == 70
+        assert c.get(("a",)) == 2
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            QueryCache(max_entries=0)
+
+
+class TestServiceStatic:
+    def test_repeat_point_query_hits_cache(self, small_grid):
+        pts = make_points(small_grid, 80, seed=50)
+        svc = DensityService(pts, small_grid, machine=MACHINE)
+        q = pts.coords[:10]
+        a = svc.query_points(q, backend="direct")
+        b = svc.query_points(q, backend="direct")
+        assert svc.cache.hits == 1
+        np.testing.assert_array_equal(a, b)
+        assert svc.stats()["backend_calls"]["direct"] == 1  # computed once
+
+    def test_slice_and_region_both_backends(self, small_grid):
+        pts = make_clustered_points(small_grid, 100, seed=51)
+        svc = DensityService(pts, small_grid, machine=MACHINE)
+        ref = pb_sym(pts, small_grid)
+        for backend in ("direct", "lookup"):
+            s = svc.query_slice(4, backend=backend)
+            np.testing.assert_allclose(
+                s.time_slice(), ref.data[:, :, 4], rtol=1e-6, atol=1e-18
+            )
+            r = svc.query_region((1, 7, 2, 9, 3, 10), backend=backend)
+            np.testing.assert_allclose(
+                r.data, ref.data[1:7, 2:9, 3:10], rtol=1e-6, atol=1e-18
+            )
+
+    def test_lookup_slice_is_view_of_materialised_volume(self, small_grid):
+        pts = make_points(small_grid, 50, seed=52)
+        svc = DensityService(pts, small_grid, machine=MACHINE)
+        s = svc.query_slice(3, backend="lookup")
+        assert s.is_view
+        assert s.data.base is svc.materialize().data
+        assert svc.stats()["volume_builds"] == 1  # one build serves both
+
+    def test_static_requires_grid(self, small_grid):
+        pts = make_points(small_grid, 10, seed=53)
+        with pytest.raises(ValueError, match="grid"):
+            DensityService(pts)
+
+    def test_rejects_unknown_backend(self, small_grid):
+        pts = make_points(small_grid, 10, seed=54)
+        with pytest.raises(ValueError, match="backend"):
+            DensityService(pts, small_grid, backend="warp")
+        svc = DensityService(pts, small_grid, machine=MACHINE)
+        with pytest.raises(ValueError, match="backend"):
+            svc.query_points(pts.coords[:2], backend="warp")
+
+    def test_empty_source_serves_zeros(self, small_grid):
+        svc = DensityService(PointSet(np.empty((0, 3))), small_grid,
+                             machine=MACHINE)
+        out = svc.query_points(np.array([[1.0, 1.0, 1.0]]), backend="direct")
+        np.testing.assert_array_equal(out, [0.0])
+        s = svc.query_slice(0, backend="lookup")
+        assert not s.data.any()
+
+    def test_results_are_read_only(self, small_grid):
+        pts = make_points(small_grid, 30, seed=55)
+        svc = DensityService(pts, small_grid, machine=MACHINE)
+        out = svc.query_points(pts.coords[:3], backend="direct")
+        with pytest.raises(ValueError):
+            out[0] = 1.0
+        reg = svc.query_region((0, 4, 0, 4, 0, 4), backend="lookup")
+        with pytest.raises(ValueError):
+            reg.data[0, 0, 0] = 1.0
+
+
+class TestServiceWeighted:
+    def test_weighted_direct_only(self, small_grid):
+        pts = make_points(small_grid, 40, seed=56)
+        w = np.linspace(0.5, 2.0, 40)
+        svc = DensityService(PointSet(pts.coords, w), small_grid,
+                             machine=MACHINE)
+        out = svc.query_points(pts.coords[:5])  # auto resolves to direct
+        assert out.shape == (5,)
+        with pytest.raises(NotImplementedError, match="direct"):
+            svc.query_points(pts.coords[:5], backend="lookup")
+        with pytest.raises(NotImplementedError):
+            svc.query_slice(2)
+        with pytest.raises(NotImplementedError):
+            svc.materialize()
+
+    def test_uniform_weights_match_unweighted(self, small_grid):
+        pts = make_points(small_grid, 40, seed=57)
+        weighted = DensityService(
+            PointSet(pts.coords, np.full(40, 2.0)), small_grid, machine=MACHINE
+        )
+        plain = DensityService(pts, small_grid, machine=MACHINE)
+        q = pts.coords[:8]
+        # Constant weights cancel in the normalised estimator.
+        np.testing.assert_allclose(
+            weighted.query_points(q),
+            plain.query_points(q, backend="direct"),
+            rtol=1e-12,
+        )
+
+
+class TestServiceLive:
+    def make_live(self, grid, n=120):
+        pts = make_clustered_points(grid, n, seed=58)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts.coords)
+        return pts, inc, DensityService(inc, machine=MACHINE)
+
+    def test_live_matches_batch(self, small_grid):
+        pts, _, svc = self.make_live(small_grid)
+        ref = pb_sym(pts, small_grid)
+        q, vox = voxel_center_queries(small_grid)
+        for backend in ("direct", "lookup"):
+            out = svc.query_points(q, backend=backend)
+            np.testing.assert_allclose(
+                out, ref.data[vox[:, 0], vox[:, 1], vox[:, 2]],
+                rtol=1e-6, atol=1e-15,
+            )
+
+    def test_slide_window_invalidates_and_reanswers(self, small_grid):
+        """Acceptance: cache invalidates on slide_window, and post-slide
+        answers match a from-scratch estimate of the new window."""
+        pts, inc, svc = self.make_live(small_grid)
+        q, vox = voxel_center_queries(small_grid)
+        before = svc.query_points(q, backend="direct")
+        svc.query_points(q, backend="direct")
+        assert svc.cache.hits == 1
+        entries_before = len(svc.cache)
+        assert entries_before > 0
+
+        horizon = float(np.median(pts.coords[:, 2]))
+        fresh = make_points(small_grid, 40, seed=59).coords
+        inc.slide_window(PointSet(fresh), t_horizon=horizon)
+
+        after = svc.query_points(q, backend="direct")
+        assert svc.cache.invalidations >= entries_before  # stale dropped
+        live = np.vstack([pts.coords[pts.coords[:, 2] >= horizon], fresh])
+        ref = pb_sym(PointSet(live), small_grid)
+        np.testing.assert_allclose(
+            after, ref.data[vox[:, 0], vox[:, 1], vox[:, 2]],
+            rtol=1e-6, atol=1e-15,
+        )
+        assert not np.allclose(after, before)  # the window really moved
+
+    def test_volume_rebuilt_after_slide(self, small_grid):
+        pts, inc, svc = self.make_live(small_grid)
+        assert not svc.volume_ready
+        svc.query_slice(2, backend="lookup")
+        assert svc.volume_ready
+        horizon = float(np.median(pts.coords[:, 2]))
+        assert inc.slide_window(np.empty((0, 3)), t_horizon=horizon) > 0
+        assert not svc.volume_ready  # dropped on version change
+        svc.query_slice(2, backend="lookup")
+        assert svc.stats()["volume_builds"] == 2
+
+    def test_quiet_slide_keeps_caches_warm(self, small_grid):
+        """A tick that retires and adds nothing must not invalidate: the
+        dashboard keeps its volume, index, and cache entries."""
+        pts, inc, svc = self.make_live(small_grid)
+        svc.query_slice(2, backend="lookup")
+        v = svc.version
+        assert inc.slide_window(
+            np.empty((0, 3)), t_horizon=float("-inf")
+        ) == 0
+        assert svc.version == v
+        assert svc.volume_ready
+        svc.query_slice(2, backend="lookup")
+        assert svc.cache.hits == 1
+        assert svc.stats()["volume_builds"] == 1
+
+    def test_cache_hit_skips_planning(self, small_grid):
+        """Auto-mode repeats must not pay the planner: a warm hit works
+        even with a machine model that was never calibrated (planner
+        construction would need one)."""
+        pts = make_clustered_points(small_grid, 60, seed=61)
+        svc = DensityService(pts, small_grid, machine=MACHINE)
+        q = pts.coords[:6]
+        first = svc.query_points(q)  # auto: plans, computes, caches
+        planner = svc._planner
+        svc._planner = None  # a second plan would rebuild this
+        again = svc.query_points(q)
+        np.testing.assert_array_equal(first, again)
+        assert svc._planner is None  # hit never touched the planner
+        svc._planner = planner
+
+    def test_off_domain_queries_agree_across_backends(self, small_grid):
+        """Outside the domain box the lookup backend routes through the
+        index, so a sentinel cannot flip answers with the plan."""
+        pts = make_clustered_points(small_grid, 80, seed=62)
+        svc = DensityService(pts, small_grid, machine=MACHINE)
+        d = small_grid.domain
+        q = np.array([
+            [d.x0 + d.gx + 0.5 * small_grid.hs, d.y0 + 1.0, d.t0 + 1.0],
+            [d.x0 - 100.0, d.y0 - 100.0, d.t0 - 100.0],
+            [d.x0 + 1.0, d.y0 + 1.0, d.t0 + 1.0],  # inside, still lookup
+        ])
+        direct = svc.query_points(q, backend="direct")
+        lookup = svc.query_points(q, backend="lookup")
+        np.testing.assert_allclose(lookup[:2], direct[:2], rtol=1e-12)
+        assert lookup[1] == 0.0  # far outside: true zero, not a plateau
+
+    def test_backends_agree_after_remove(self, small_grid):
+        """Regression: remove() untracks events, so the direct backend's
+        index (rebuilt from live_coords) matches the volume backend."""
+        pts, inc, svc = self.make_live(small_grid)
+        inc.remove(pts.coords[:40])
+        q, vox = voxel_center_queries(small_grid)
+        d = svc.query_points(q, backend="direct")
+        l = svc.query_points(q, backend="lookup")
+        np.testing.assert_allclose(d, l, rtol=1e-6, atol=1e-12)
+        ref = pb_sym(PointSet(pts.coords[40:]), small_grid)
+        np.testing.assert_allclose(
+            d, ref.data[vox[:, 0], vox[:, 1], vox[:, 2]],
+            rtol=1e-6, atol=1e-12,
+        )
+
+    def test_kernel_mismatch_rejected(self, small_grid):
+        inc = IncrementalSTKDE(small_grid, kernel="quartic")
+        with pytest.raises(ValueError, match="kernel"):
+            DensityService(inc, kernel="epanechnikov")
+
+    def test_stats_shape(self, small_grid):
+        _, _, svc = self.make_live(small_grid)
+        svc.query_points(np.array([[1.0, 1.0, 1.0]]), backend="direct")
+        stats = svc.stats()
+        assert stats["events"] == 120
+        assert stats["backend_calls"]["direct"] == 1
+        assert set(stats["cache"]) == {
+            "entries", "bytes", "hits", "misses", "evictions", "invalidations"
+        }

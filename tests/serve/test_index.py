@@ -1,0 +1,127 @@
+"""Tests for the bucket index: no false negatives, exact counts, batching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DomainSpec, GridSpec
+from repro.serve.index import BucketIndex
+from tests.helpers import make_clustered_points, make_points
+
+
+@pytest.fixture
+def index(small_grid):
+    pts = make_points(small_grid, 120, seed=4)
+    return BucketIndex(small_grid, pts.coords)
+
+
+class TestConstruction:
+    def test_cell_grid_is_one_bandwidth_per_axis(self, small_grid, index):
+        d = small_grid.domain
+        assert index.nx == int(np.ceil(d.gx / small_grid.hs))
+        assert index.ny == int(np.ceil(d.gy / small_grid.hs))
+        assert index.nt == int(np.ceil(d.gt / small_grid.ht))
+
+    def test_rejects_bad_shapes(self, small_grid):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            BucketIndex(small_grid, np.zeros((4, 2)))
+        with pytest.raises(ValueError, match="weights"):
+            BucketIndex(small_grid, np.zeros((4, 3)), np.ones(3))
+
+    def test_empty_index(self, small_grid):
+        idx = BucketIndex(small_grid, np.empty((0, 3)))
+        assert idx.n == 0
+        assert idx.occupied_cells == 0
+        assert idx.candidates(0, 0, 0).size == 0
+
+    def test_overhead_is_linear_not_per_cell_objects(self, small_grid):
+        pts = make_points(small_grid, 500, seed=5)
+        idx = BucketIndex(small_grid, pts.coords)
+        # CSR arrays only: offsets + counts (cells) and order (n).
+        assert idx.nbytes <= 8 * (2 * (idx.n_cells + 1) + idx.n) + 64
+
+
+class TestCandidates:
+    def test_no_false_negatives(self, small_grid):
+        """Every event within bandwidth of a query is in its candidate set
+        — the correctness contract of the 3x3x3 neighbourhood walk."""
+        pts = make_clustered_points(small_grid, 200, seed=6)
+        idx = BucketIndex(small_grid, pts.coords)
+        rng = np.random.default_rng(7)
+        d = small_grid.domain
+        qs = rng.uniform(
+            [d.x0, d.y0, d.t0],
+            [d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt],
+            size=(50, 3),
+        )
+        hs, ht = small_grid.hs, small_grid.ht
+        for q in qs:
+            dx = pts.coords[:, 0] - q[0]
+            dy = pts.coords[:, 1] - q[1]
+            dt = pts.coords[:, 2] - q[2]
+            inside = ((dx * dx + dy * dy) < hs * hs) & (np.abs(dt) <= ht)
+            cc = idx.cell_coords(q[None, :])[0]
+            cand = set(idx.candidates(*(int(c) for c in cc)).tolist())
+            missing = set(np.nonzero(inside)[0].tolist()) - cand
+            assert not missing, f"index missed events {missing} for query {q}"
+
+    def test_candidates_unique(self, index):
+        for cx in range(index.nx):
+            for cy in range(index.ny):
+                cand = index.candidates(cx, cy, 0)
+                assert len(np.unique(cand)) == cand.size
+
+    def test_candidate_counts_match_gather(self, small_grid):
+        pts = make_clustered_points(small_grid, 150, seed=8)
+        idx = BucketIndex(small_grid, pts.coords)
+        qs = make_points(small_grid, 40, seed=9).coords
+        counts = idx.candidate_counts(qs)
+        cells = idx.cell_coords(qs)
+        for q_cell, n_exp in zip(cells, counts):
+            got = idx.candidates(*(int(c) for c in q_cell)).size
+            assert got == n_exp
+
+    def test_off_domain_queries_clamp(self, small_grid):
+        pts = make_points(small_grid, 50, seed=10)
+        idx = BucketIndex(small_grid, pts.coords)
+        d = small_grid.domain
+        far = np.array([[d.x0 + d.gx + 100.0, d.y0 - 100.0, d.t0 + d.gt + 100.0]])
+        assert idx.candidate_counts(far).shape == (1,)  # no crash, clamped
+
+
+class TestGrouping:
+    def test_groups_partition_the_batch(self, index, small_grid):
+        qs = make_points(small_grid, 64, seed=11).coords
+        seen = np.concatenate(
+            [rows for _, rows in index.group_queries(qs)]
+        )
+        assert sorted(seen.tolist()) == list(range(64))
+
+    def test_same_cell_queries_share_a_group(self, small_grid):
+        pts = make_points(small_grid, 30, seed=12)
+        idx = BucketIndex(small_grid, pts.coords)
+        q = np.array([[1.0, 1.0, 1.0], [1.1, 1.2, 1.05], [1.05, 0.9, 0.95]])
+        groups = list(idx.group_queries(q))
+        assert len(groups) == 1
+        assert groups[0][1].size == 3
+
+    def test_empty_batch(self, index):
+        assert list(index.group_queries(np.empty((0, 3)))) == []
+
+
+class TestWeights:
+    def test_weights_carried(self, small_grid):
+        pts = make_points(small_grid, 20, seed=13)
+        w = np.linspace(0.5, 2.0, 20)
+        idx = BucketIndex(small_grid, pts.coords, w)
+        np.testing.assert_array_equal(idx.weights, w)
+
+
+def test_degenerate_tiny_domain():
+    """A domain smaller than one bandwidth still indexes (one cell)."""
+    grid = GridSpec(DomainSpec(gx=1.0, gy=1.0, gt=1.0, sres=0.5, tres=0.5),
+                    hs=5.0, ht=5.0)
+    idx = BucketIndex(grid, np.array([[0.5, 0.5, 0.5]]))
+    assert idx.n_cells == 1
+    assert idx.candidates(0, 0, 0).size == 1
