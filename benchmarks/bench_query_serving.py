@@ -1,6 +1,6 @@
 """Benchmark: the query-serving subsystem.
 
-Measures the serving layer's two core trades on a clustered instance:
+Measures the serving layer's core trades on a clustered instance:
 
 1. **Direct-sum vs volume-lookup crossover**: answering ``m`` point
    queries by index-walk kernel sums (O(candidates) per query, no volume)
@@ -8,11 +8,20 @@ Measures the serving layer's two core trades on a clustered instance:
    query after the build).  Small batches favour direct, large batches
    amortise the build — the planner must land on the right side at both
    ends of the sweep.
-2. **Cache-hit speedup**: a repeated dashboard slice served from the
+2. **Cohort speedup**: the cohort-vectorised direct-sum engine vs the
+   retained per-group walk on a scattered batch — the read-side analogue
+   of the stamping engine's cohort batching (PR-4 acceptance: >= 2x on
+   the 50k scattered batch at clustered n=1e5).
+3. **Slide-then-query**: a live sliding window served across
+   ``slide_window`` — the incremental index re-buckets only the arriving
+   batch (O(batch), measured by ``index_events_bucketed``) while a cold
+   service re-buckets all n live events.
+4. **Cache-hit speedup**: a repeated dashboard slice served from the
    version-keyed LRU vs recomputed.
 
 Every cell re-verifies that direct sums match the stamped volume at
-queried voxel centers (``rtol=1e-6`` acceptance, measured slack ~1e-12).
+queried voxel centers (``rtol=1e-6`` acceptance, measured slack ~1e-12),
+and the cohort engine is re-verified against the group walk.
 
 Writes ``BENCH_query.json`` at the repository root (override with
 ``--out``).  ``--smoke`` runs a seconds-scale subset with the same schema.
@@ -31,6 +40,7 @@ import numpy as np
 
 from repro.analysis.model import CostModel, MachineModel
 from repro.core import DomainSpec, GridSpec, PointSet, WorkCounter
+from repro.core.incremental import IncrementalSTKDE
 from repro.core.stamping import stamp_batch
 from repro.core.kernels import get_kernel
 from repro.serve import (
@@ -39,6 +49,7 @@ from repro.serve import (
     QueryPlanner,
     calibrate_serving,
     direct_sum,
+    direct_sum_grouped,
     sample_volume,
 )
 
@@ -136,6 +147,112 @@ def crossover_rows(grid: GridSpec, n: int, query_counts, repeats: int,
     return rows
 
 
+def cohort_row(grid: GridSpec, n: int, m: int, repeats: int) -> dict:
+    """Cohort-vectorised engine vs the per-group walk, scattered batch."""
+    kern = get_kernel("epanechnikov")
+    coords = make_coords(grid, n)
+    norm = grid.normalization(n)
+    index = BucketIndex(grid, coords)
+    rng = np.random.default_rng(7)
+    span = np.array([grid.domain.gx, grid.domain.gy, grid.domain.gt])
+    q = rng.uniform(0, span, size=(m, 3))
+
+    t_grouped = best_of(lambda: direct_sum_grouped(index, q, kern, norm),
+                        repeats)
+    counter = WorkCounter()
+    t_cohort = best_of(lambda: direct_sum(index, q, kern, norm, counter),
+                       repeats)
+    a = direct_sum(index, q, kern, norm)
+    b = direct_sum_grouped(index, q, kern, norm)
+    equiv = bool(np.allclose(a, b, rtol=1e-12, atol=0.0))
+    row = {
+        "path": "cohort-speedup",
+        "n_events": n,
+        "n_queries": m,
+        "groups": index.group_count(q),
+        "cohorts": index.cohort_count(q),
+        "grouped_seconds": t_grouped,
+        "cohort_seconds": t_cohort,
+        "cohort_speedup": t_grouped / max(t_cohort, 1e-12),
+        "cohort_matches_grouped_rtol_1e12": equiv,
+    }
+    print(
+        f"cohort       n={n} m={m:>6d}  grouped {t_grouped:8.4f}s "
+        f"({row['groups']} groups)  cohort {t_cohort:8.4f}s "
+        f"({row['cohorts']} cohorts)  {row['cohort_speedup']:.2f}x "
+        f"equiv={equiv}"
+    )
+    return row
+
+
+def slide_row(grid: GridSpec, n: int, n_batches: int, m: int,
+              machine: MachineModel) -> dict:
+    """Slide-then-query under a live window: O(batch) index sync.
+
+    A service holding a warm incremental index absorbs a ``slide_window``
+    by retiring the expired batch's segment and bucketing only the
+    arriving one; a cold service re-buckets all live events.  Measures
+    both latencies and the re-bucketed event counts.
+    """
+    batch = n // n_batches
+    kern_name = "epanechnikov"
+    inc = IncrementalSTKDE(grid)
+    rng = np.random.default_rng(11)
+    span = np.array([grid.domain.gx, grid.domain.gy, grid.domain.gt])
+    t_slab = grid.domain.gt / (n_batches + 1)
+
+    def feed(i: int) -> np.ndarray:
+        pts = make_coords(grid, batch, seed=40 + i)
+        pts[:, 2] = rng.uniform(i * t_slab, (i + 1) * t_slab, size=batch)
+        return pts
+
+    for i in range(n_batches):
+        inc.add(feed(i))
+    svc = DensityService(inc, kernel=kern_name, machine=machine)
+    q = rng.uniform(0, span, size=(m, 3))
+    svc.query_points(q, backend="direct")  # warm the index
+    bucketed_before = svc.counter.index_events_bucketed
+
+    t0 = time.perf_counter()
+    retired = inc.slide_window(feed(n_batches), t_horizon=t_slab)
+    t_slide = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = svc.query_points(q, backend="direct")
+    t_warm_query = time.perf_counter() - t0
+    rebucketed = svc.counter.index_events_bucketed - bucketed_before
+
+    # Cold reference: a fresh service must re-bucket every live event.
+    cold_svc = DensityService(inc, kernel=kern_name, machine=machine)
+    t0 = time.perf_counter()
+    cold = cold_svc.query_points(q, backend="direct")
+    t_cold_query = time.perf_counter() - t0
+    equiv = bool(np.allclose(warm, cold, rtol=1e-9, atol=1e-18))
+
+    row = {
+        "path": "slide-sync",
+        "n_live_events": inc.n,
+        "batch_size": batch,
+        "n_batches": n_batches,
+        "n_queries": m,
+        "retired": retired,
+        "slide_seconds": t_slide,
+        "warm_query_seconds": t_warm_query,
+        "cold_query_seconds": t_cold_query,
+        "events_rebucketed_after_slide": rebucketed,
+        "events_rebucketed_cold": cold_svc.counter.index_events_bucketed,
+        "sync_obatch": rebucketed <= 1.5 * batch,
+        "warm_matches_cold_rtol_1e9": equiv,
+        "index_segments": svc.index().segment_count,
+    }
+    print(
+        f"slide-sync   live={inc.n} batch={batch}  warm sync re-bucketed "
+        f"{rebucketed} events (cold: {row['events_rebucketed_cold']})  "
+        f"slide {t_slide:0.4f}s  query warm {t_warm_query:0.4f}s vs cold "
+        f"{t_cold_query:0.4f}s  equiv={equiv}"
+    )
+    return row
+
+
 def cache_row(grid: GridSpec, n: int, machine: MachineModel) -> dict:
     """A repeated dashboard slice: computed once, then served from LRU."""
     coords = make_coords(grid, n, seed=1)
@@ -173,17 +290,24 @@ def main(argv=None) -> int:
 
     grid = make_grid()
     if args.smoke:
-        n, query_counts, repeats = 20_000, (10, 5_000), 1
+        n, query_counts, repeats = 20_000, (10, 100_000), 1
+        cohort_m, slide_batches, slide_m = 20_000, 4, 2_000
     else:
-        n, query_counts, repeats = 100_000, (10, 100, 1_000, 10_000, 50_000), 2
+        n, query_counts, repeats = (
+            100_000, (10, 100, 1_000, 10_000, 50_000, 200_000), 2
+        )
+        cohort_m, slide_batches, slide_m = 50_000, 10, 10_000
 
     machine = calibrate_serving()
     rows = crossover_rows(grid, n, query_counts, repeats, machine)
-    rows.append(cache_row(grid, n, machine))
+    smallest, largest = rows[0], rows[-1]
+    cohort = cohort_row(grid, n, cohort_m, repeats)
+    rows.append(cohort)
+    slide = slide_row(grid, n, slide_batches, slide_m, machine)
+    rows.append(slide)
+    cache = cache_row(grid, n, machine)
+    rows.append(cache)
 
-    smallest = rows[0]
-    largest = rows[len(query_counts) - 1]
-    cache = rows[-1]
     acceptance = {
         "case": f"clustered n={n}, grid {'x'.join(map(str, GRID_VOXELS))}",
         "direct_sum_matches_stamp_rtol_1e6": all(
@@ -194,6 +318,14 @@ def main(argv=None) -> int:
         "lookup_wins_largest_batch": largest["measured_winner"] == "lookup",
         "planner_picks_direct_for_few": smallest["planner_choice"] == "direct",
         "planner_picks_lookup_for_many": largest["planner_choice"] == "lookup",
+        "cohort_matches_grouped_rtol_1e12":
+            cohort["cohort_matches_grouped_rtol_1e12"],
+        "cohort_speedup": cohort["cohort_speedup"],
+        "cohort_not_slower_than_grouped": cohort["cohort_speedup"] >= 1.0,
+        "cohort_speedup_ge_2x": cohort["cohort_speedup"] >= 2.0,
+        "index_sync_rebucketed_events": slide["events_rebucketed_after_slide"],
+        "index_sync_obatch": slide["sync_obatch"],
+        "slide_warm_matches_cold": slide["warm_matches_cold_rtol_1e9"],
         "cache_hit_speedup": cache["cache_hit_speedup"],
         "cache_hit_faster": cache["cache_hit_speedup"] > 2.0,
     }
@@ -207,15 +339,21 @@ def main(argv=None) -> int:
             "ht": HT,
             "n_events": n,
             "query_counts": list(query_counts),
+            "cohort_queries": cohort_m,
+            "slide_batches": slide_batches,
             "kernel": "epanechnikov",
         },
         "note": (
             "crossover = answering m voxel-center point queries by direct "
             "kernel sums over the bucket index vs materialising the volume "
             "once (build) and trilinearly sampling it; lookup_cold = build "
-            "+ sample, the planner's cold-volume comparison.  cache-hit = "
-            "a repeated dashboard slice served from the version-keyed LRU "
-            "vs its first computation."
+            "+ sample, the planner's cold-volume comparison.  "
+            "cohort-speedup = the cohort-vectorised direct-sum engine vs "
+            "the retained per-group walk on one scattered batch.  "
+            "slide-sync = a slide_window absorbed by the incremental "
+            "per-batch index (re-bucketed events ~ batch) vs a cold "
+            "rebuild (~ n).  cache-hit = a repeated dashboard slice "
+            "served from the version-keyed LRU vs its first computation."
         ),
         "results": rows,
         "acceptance": acceptance,

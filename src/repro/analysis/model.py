@@ -95,12 +95,23 @@ class MachineModel:
         cost of the serving layer's volume-lookup backend (eight gathered
         reads plus the blend).
     c_qgroup:
-        Fixed cost of one query cell-group in the direct-sum path
-        (:func:`repro.serve.engine.direct_sum`): candidate gather plus the
-        dispatch of one small tabulation.  Queries sharing an index cell
-        share one group, so scattered batches pay ~one group per query
-        while co-located dashboards amortise it — mirroring ``c_batch``
-        for the write path.
+        Fixed cost of one query cell-group in the *per-group* direct-sum
+        walk (:func:`repro.serve.engine.direct_sum_grouped`): candidate
+        gather plus the dispatch of one small tabulation.  Retained for
+        pricing the legacy walk; the cohort engine's dispatch is priced by
+        ``c_qcohort`` / ``c_qprobe`` instead.
+    c_qcohort:
+        Fixed cost of one candidate-count cohort in the cohort-vectorised
+        direct-sum engine (:func:`repro.serve.engine.direct_sum`): one
+        flat gather assembly plus one tabulation dispatch.  Cells (and all
+        their queries) sharing a candidate count share one cohort, so
+        scattered batches pay ~#distinct-counts dispatches instead of
+        ~one per query — the read-side analogue of ``c_batch``.
+    c_qprobe:
+        Per-(cell-group x segment) cost of probing the index's CSR runs
+        (vectorised ``searchsorted`` into one segment's sorted cells).
+        Charged ``groups * segments`` per batch: the price of keeping the
+        index incremental as per-batch segments rather than one monolith.
     """
 
     c_mem: float
@@ -112,6 +123,8 @@ class MachineModel:
     bandwidth_cap: float = 3.0
     c_lookup: float = 0.0
     c_qgroup: float = 0.0
+    c_qcohort: float = 0.0
+    c_qprobe: float = 0.0
 
     @classmethod
     def calibrate(cls, seed: int = 0) -> "MachineModel":
@@ -213,12 +226,12 @@ class MachineModel:
             (t_tile_large - t_tile_small) / (n_vox * (p_large - p_small)), 1e-12
         )
         c_tile = max(t_tile_small - n_vox * p_small * c_pair, 0.0)
-        # The serving-side unit costs (c_lookup, c_qgroup) are probed by
-        # repro.serve.calibrate.calibrate_serving — the probes live with
-        # the code they measure, keeping analysis below serve in the
-        # layering; until then CostModel.lookup_cost falls back to a
-        # memory-rate estimate and scattered direct batches price
-        # c_qgroup at zero.
+        # The serving-side unit costs (c_lookup, c_qgroup, c_qcohort,
+        # c_qprobe) are probed by repro.serve.calibrate.calibrate_serving
+        # — the probes live with the code they measure, keeping analysis
+        # below serve in the layering; until then CostModel.lookup_cost
+        # falls back to a memory-rate estimate and direct batches price
+        # the per-cohort/per-probe dispatch at zero.
         return cls(
             c_mem=c_mem, c_point=c_point, c_cell=c_cell, c_batch=c_batch,
             c_pair=c_pair, c_tile=c_tile,
@@ -257,6 +270,7 @@ class CostModel:
         self.machine = machine or MachineModel.calibrate()
         self.memory_budget_bytes = memory_budget_bytes
         self._bw = BandwidthModel(cap=self.machine.bandwidth_cap)
+        self._materialize_cache: Dict[Optional[int], float] = {}
         disk, bar = stamp_extent(grid)
         #: Cells touched per interior point stamp: disk eval + bar eval +
         #: cylinder multiply-add.
@@ -317,15 +331,41 @@ class CostModel:
         n_queries: int,
         total_candidates: int,
         n_groups: Optional[int] = None,
+        n_cohorts: Optional[int] = None,
+        n_segments: int = 1,
     ) -> float:
         """Predicted seconds to answer a point batch by direct kernel sums.
 
-        One engine-shaped dispatch for the batch, one ``c_qgroup`` per
-        query cell-group (scattered batches pay ~one per query, co-located
-        batches amortise; ``n_groups=None`` assumes fully scattered), a
+        The cohort-engine cost shape: one engine-shaped dispatch for the
+        batch, one ``c_qcohort`` per candidate-count cohort (scattered
+        batches collapse to ~#distinct-counts dispatches;
+        ``n_cohorts=None`` conservatively assumes one per group), one
+        ``c_qprobe`` per (cell-group x index segment) CSR probe, a
         per-query residue at the per-point rate, and the (query,
         candidate) pairs at the shared tabulation's per-pair rate — the
         direct analogue of :meth:`batch_cost` for reads.
+        """
+        m = self.machine
+        groups = n_queries if n_groups is None else n_groups
+        cohorts = groups if n_cohorts is None else n_cohorts
+        return (
+            m.c_batch
+            + cohorts * m.c_qcohort
+            + groups * max(1, n_segments) * m.c_qprobe
+            + n_queries * m.c_point
+            + total_candidates * m.c_pair
+        )
+
+    def predict_grouped_query(
+        self,
+        n_queries: int,
+        total_candidates: int,
+        n_groups: Optional[int] = None,
+    ) -> float:
+        """Predicted seconds for the legacy per-group direct-sum walk.
+
+        One ``c_qgroup`` dispatch per cell group — what the cohort engine
+        collapses; kept so the cohort-vs-grouped trade stays priceable.
         """
         m = self.machine
         groups = n_queries if n_groups is None else n_groups
@@ -336,14 +376,48 @@ class CostModel:
             + total_candidates * m.c_pair
         )
 
+    def predict_materialize(self, P: Optional[int] = None) -> float:
+        """Predicted seconds to materialise the volume for the lookup plan.
+
+        The serving layer routes big builds through the bbox-sharded
+        threads path when it wins (``P=None`` resolves to the machine's
+        CPU count), so the lookup plans are priced against the build the
+        service will actually run: the cheaper of serial PB-SYM and the
+        feasible threaded prediction.
+
+        Memoized per instance: the threaded prediction plans real bbox
+        shards over all ``n`` events (O(n log n)), while the answer is
+        batch-independent — without the cache every cold-volume point
+        plan would pay the shard planning, swamping the small direct
+        batches planning is meant to keep cheap.  (Instances are rebuilt
+        whenever the event set changes, so the cache cannot go stale.)
+        """
+        cached = self._materialize_cache.get(P)
+        if cached is not None:
+            return cached
+        serial = self.predict_pb_sym()
+        eff_P = P
+        if eff_P is None:
+            from ..parallel.executors import resolve_shard_count
+
+            eff_P = resolve_shard_count("auto")
+        best = serial
+        if eff_P > 1:
+            threaded = self.predict_pb_sym_threads(eff_P)
+            if threaded.feasible:
+                best = min(serial, threaded.seconds)
+        self._materialize_cache[P] = best
+        return best
+
     def predict_volume_lookup(self, n_queries: int, volume_ready: bool) -> float:
         """Predicted seconds to answer a point batch by volume sampling.
 
-        A cold volume charges the full PB-SYM materialisation up front —
-        which is exactly what a large enough batch amortises, and what a
-        warm (already-served) volume skips.
+        A cold volume charges the full materialisation up front (threaded
+        when that is what the service would run) — which is exactly what a
+        large enough batch amortises, and what a warm (already-served)
+        volume skips.
         """
-        build = 0.0 if volume_ready else self.predict_pb_sym()
+        build = 0.0 if volume_ready else self.predict_materialize()
         return build + n_queries * self.lookup_cost
 
     def predict_direct_region(self, window) -> float:
@@ -375,9 +449,10 @@ class CostModel:
         """Predicted seconds to serve a region as a view of the volume.
 
         A warm volume serves the window as a zero-copy view (one lookup's
-        worth of bookkeeping); a cold one pays materialisation first.
+        worth of bookkeeping); a cold one pays materialisation first
+        (threaded when that is what the service would run).
         """
-        build = 0.0 if volume_ready else self.predict_pb_sym()
+        build = 0.0 if volume_ready else self.predict_materialize()
         return build + self.lookup_cost
 
     # ------------------------------------------------------------------

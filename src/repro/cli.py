@@ -170,7 +170,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("one of --queries / --slice / --region is required")
     stats = service.stats()
-    print(f"stats: backends={stats['backend_calls']} cache={stats['cache']}")
+    if args.stats:
+        # Machine-readable serving observability: cache hit/miss ratios,
+        # index segment gauges, planner decisions — what a load balancer
+        # or dashboard scrapes.
+        import json
+
+        print(json.dumps(stats, indent=2, default=str))
+    else:
+        print(f"stats: backends={stats['backend_calls']} cache={stats['cache']}")
     return 0
 
 
@@ -251,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve the voxel window [X0:X1)x[Y0:Y1)x[T0:T1)")
     p.add_argument("--out", default=None,
                    help="write densities CSV (--queries) or .npy (--slice/--region)")
+    p.add_argument("--stats", action="store_true",
+                   help="print a JSON blob of serving stats (cache hit/miss "
+                        "ratios, index segments, planner decisions)")
     p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("select", help="cost-model strategy selection (Section 6.5)")

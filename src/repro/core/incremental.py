@@ -45,7 +45,7 @@ negative-norm removal, so memory stays bounded for global batches.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -66,8 +66,16 @@ def _row_keys(coords: np.ndarray) -> np.ndarray:
 
 @dataclass
 class _TrackedBatch:
-    """A live event batch and (when affordable) its cached region stamp."""
+    """A live event batch and (when affordable) its cached region stamp.
 
+    ``batch_id`` is unique for the life of the estimator and changes
+    whenever the batch's *membership* changes (partial retirement,
+    untracking): downstream consumers keyed on it — the serving layer's
+    per-batch index segments — treat an id as an immutable event set, so
+    survivors of a split are a brand-new batch.
+    """
+
+    batch_id: int
     coords: np.ndarray
     buffer: Optional[RegionBuffer]
 
@@ -110,6 +118,7 @@ class IncrementalSTKDE:
         self._n = 0
         self._live: List[_TrackedBatch] = []  # event batches currently included
         self._version = 0
+        self._next_batch_id = 0
 
     @property
     def n(self) -> int:
@@ -140,6 +149,17 @@ class IncrementalSTKDE:
         return np.vstack([tb.coords for tb in self._live])
 
     @property
+    def live_batches(self) -> Tuple[Tuple[int, np.ndarray], ...]:
+        """Currently-live ``(batch_id, coords)`` pairs, in tracking order.
+
+        The incremental-index hook: each pair is an immutable event set
+        (ids change when membership does), so a consumer holding per-batch
+        derived state — :meth:`repro.serve.index.BucketIndex.sync` — can
+        reconcile by id and touch only the batches that actually changed.
+        """
+        return tuple((tb.batch_id, tb.coords) for tb in self._live)
+
+    @property
     def cached_buffer_cells(self) -> int:
         """Cells currently held in per-batch region caches (memory gauge)."""
         return sum(b.buffer.cells for b in self._live if b.buffer is not None)
@@ -155,6 +175,10 @@ class IncrementalSTKDE:
         )
         return footprint <= self.memory_budget_bytes
 
+    def _new_batch_id(self) -> int:
+        self._next_batch_id += 1
+        return self._next_batch_id
+
     def _stamp_tracked(self, coords: np.ndarray) -> _TrackedBatch:
         """Stamp a batch through the region engine, caching when affordable."""
         bbox = batch_bbox(self.grid, coords)
@@ -164,9 +188,9 @@ class IncrementalSTKDE:
             self.counter.shard_bbox_cells += buf.cells
             buf.stamp(self.grid, self.kernel, coords, 1.0, self.counter)
             self.counter.reduce_adds += buf.add_into(self._acc)
-            return _TrackedBatch(coords, buf)
+            return _TrackedBatch(self._new_batch_id(), coords, buf)
         stamp_batch(self._acc, self.grid, self.kernel, coords, 1.0, self.counter)
-        return _TrackedBatch(coords, None)
+        return _TrackedBatch(self._new_batch_id(), coords, None)
 
     def add(self, points: PointSet | np.ndarray) -> None:
         """Insert events (stamps their cylinders; O(batch * stamp))."""
@@ -250,8 +274,9 @@ class IncrementalSTKDE:
             if len(survivors):
                 # The cached buffer still holds the departed stamps; the
                 # accumulator is already correct (negative stamp above),
-                # only the cache is stale — retire it.
-                kept.append(_TrackedBatch(survivors, None))
+                # only the cache is stale — retire it.  Membership changed,
+                # so the survivors are a new batch id.
+                kept.append(_TrackedBatch(self._new_batch_id(), survivors, None))
         self._live = kept
 
     def slide_window(self, new_points: PointSet | np.ndarray, t_horizon: float) -> int:
@@ -305,7 +330,9 @@ class IncrementalSTKDE:
                 )
                 self._n -= len(old)
                 if len(kept):
-                    kept_batches.append(_TrackedBatch(kept, None))
+                    kept_batches.append(
+                        _TrackedBatch(self._new_batch_id(), kept, None)
+                    )
         self._live = kept_batches
         self.add(new_points)
         # add() bumped the version for non-empty feeds; a pure-retirement

@@ -71,6 +71,19 @@ class WorkCounter:
         shards and incremental batch caches.  Compare against
         ``P * Gx * Gy * Gt`` to see the memory the bbox shards save over
         full private volumes.
+    ``query_cohorts``
+        Candidate-count cohorts tabulated by the cohort-vectorised
+        direct-sum engine (:func:`repro.serve.engine.direct_sum`) — the
+        number of vectorised gather/tabulate rounds the read path ran,
+        the unit the cost model's ``c_qcohort`` prices.
+    ``index_events_bucketed``
+        Events bucketed (cell keys computed and sorted) into
+        :class:`repro.serve.index.BucketIndex` CSR segments.  After a
+        window slide this should be ~the arriving batch size, not the
+        live event count — the O(batch) index-sync contract.
+    ``index_events_retired``
+        Events whose index segment was retired (no re-bucketing; rows go
+        dead until compaction).
 
     The batching statistics are bookkeeping (like ``points_processed``):
     they are excluded from :meth:`total_ops` and :meth:`flop_estimate`.
@@ -87,6 +100,9 @@ class WorkCounter:
     stamp_cohorts: int = 0
     tile_batches: int = 0
     shard_bbox_cells: int = 0
+    query_cohorts: int = 0
+    index_events_bucketed: int = 0
+    index_events_retired: int = 0
 
     def merge(self, other: "WorkCounter") -> "WorkCounter":
         """Accumulate another counter into this one (returns self)."""
@@ -101,6 +117,9 @@ class WorkCounter:
         self.stamp_cohorts += other.stamp_cohorts
         self.tile_batches += other.tile_batches
         self.shard_bbox_cells += other.shard_bbox_cells
+        self.query_cohorts += other.query_cohorts
+        self.index_events_bucketed += other.index_events_bucketed
+        self.index_events_retired += other.index_events_retired
         return self
 
     def total_ops(self) -> int:
@@ -138,6 +157,9 @@ class WorkCounter:
             "stamp_cohorts": self.stamp_cohorts,
             "tile_batches": self.tile_batches,
             "shard_bbox_cells": self.shard_bbox_cells,
+            "query_cohorts": self.query_cohorts,
+            "index_events_bucketed": self.index_events_bucketed,
+            "index_events_retired": self.index_events_retired,
         }
 
     def copy(self) -> "WorkCounter":
@@ -169,6 +191,9 @@ class _NullCounter(WorkCounter):
             "stamp_cohorts",
             "tile_batches",
             "shard_bbox_cells",
+            "query_cohorts",
+            "index_events_bucketed",
+            "index_events_retired",
         ):
             return 0
         return object.__getattribute__(self, name)

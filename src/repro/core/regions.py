@@ -167,18 +167,20 @@ class RegionBuffer:
         *,
         mode: str = "sym",
         clip: Optional[VoxelWindow] = None,
+        weights: Optional[np.ndarray] = None,
     ) -> None:
         """Stamp a point batch into the buffer through the engine.
 
         Stamps are clipped to the buffer's window (intersected with any
         caller ``clip``); windows already inside the buffer are unchanged,
         so the accumulated values are bit-identical to stamping the same
-        points into a full volume.
+        points into a full volume.  ``weights`` scales each point's
+        kernel product (the engine's weighted stamp mode).
         """
         clip_w = self.window if clip is None else self.window.intersect(clip)
         stamp_batch(
             self.data, grid, kernel, coords, norm, counter,
-            mode=mode, clip=clip_w, vol_origin=self.origin,
+            mode=mode, clip=clip_w, vol_origin=self.origin, weights=weights,
         )
 
     def add_into(

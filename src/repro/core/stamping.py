@@ -298,6 +298,7 @@ def stamp_batch(
     clip: Optional[VoxelWindow] = None,
     vol_origin: Tuple[int, int, int] = (0, 0, 0),
     slab_cells: int = _SLAB_CELLS,
+    weights: Optional[np.ndarray] = None,
 ) -> None:
     """Stamp a batch of points through the cohort-vectorised engine.
 
@@ -319,12 +320,24 @@ def stamp_batch(
     slab_cells:
         Upper bound on contribution cells materialised at once; cohorts
         larger than this are processed in slabs of consecutive points.
+    weights:
+        Optional ``(n,)`` per-point weights: each point's kernel product
+        is scaled by its weight before the scatter, so a weighted batch
+        accumulates ``sum_i w_i * norm * k_s * k_t`` — the weighted
+        estimator (callers normalise by total weight instead of ``n``).
+        ``None`` keeps the unit-weight paths byte-for-byte unchanged.
     """
     if mode not in STAMP_MODES:
         raise ValueError(f"unknown stamp mode {mode!r}; expected one of {STAMP_MODES}")
     counter = counter if counter is not None else null_counter()
     coords = np.asarray(coords, dtype=np.float64)
     n = coords.shape[0]
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n,):
+            raise ValueError(
+                f"weights must be ({n},) matching coords, got {weights.shape}"
+            )
     if n == 0:
         return
     X0, X1, Y0, Y1, T0, T1 = batch_windows(grid, coords, clip)
@@ -367,4 +380,6 @@ def stamp_batch(
             contrib = _cohort_tables(
                 grid, kernel, mode, norm, dx, dy, dt, counter
             )
+            if weights is not None:
+                contrib *= weights[sel][:, None, None, None]
             _scatter_slab(vol, contrib, X0[sel], Y0[sel], T0[sel], vol_origin)

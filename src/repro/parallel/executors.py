@@ -227,6 +227,7 @@ def run_threaded_stamping(
     mode: str = "sym",
     clip: Optional[VoxelWindow] = None,
     memory_budget_bytes: Optional[int] = None,
+    weights: Optional[np.ndarray] = None,
 ) -> float:
     """Stamp a point batch on ``P`` threads through the region engine.
 
@@ -259,6 +260,10 @@ def run_threaded_stamping(
     coords = np.asarray(coords, dtype=np.float64)
     if coords.shape[0] == 0:
         return 0.0
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (coords.shape[0],):
+            raise ValueError("weights must be (n,) matching coords")
     plan = plan_stamp_shards(grid, coords, P, clip)
     n_shards = plan.n_shards
     if n_shards == 0:
@@ -273,6 +278,7 @@ def run_threaded_stamping(
 
     def make_shard(p: int):
         chunk = coords[plan.shards[p]]
+        chunk_w = weights[plan.shards[p]] if weights is not None else None
         window = plan.windows[p]
 
         def fn() -> None:
@@ -281,7 +287,7 @@ def run_threaded_stamping(
             shard_counters[p].shard_bbox_cells += buf.cells
             buf.stamp(
                 grid, kernel, chunk, norm, shard_counters[p],
-                mode=mode, clip=clip,
+                mode=mode, clip=clip, weights=chunk_w,
             )
             buffers[p] = buf
 

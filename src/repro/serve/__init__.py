@@ -22,6 +22,7 @@ from .engine import (
     RegionResult,
     direct_region,
     direct_sum,
+    direct_sum_grouped,
     region_view,
     sample_volume,
     slice_window,
@@ -41,6 +42,7 @@ __all__ = [
     "digest_queries",
     "direct_region",
     "direct_sum",
+    "direct_sum_grouped",
     "region_view",
     "sample_volume",
     "slice_window",

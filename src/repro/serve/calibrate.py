@@ -1,18 +1,28 @@
 """Serving-side calibration of the machine model's query unit costs.
 
 :meth:`repro.analysis.model.MachineModel.calibrate` probes the *write*
-paths (stamping, tiles); the serving layer's two unit costs are probed
-here, next to the code they measure, so the analysis package never
-reaches up into ``repro.serve``:
+paths (stamping, tiles); the serving layer's unit costs are probed here,
+next to the code they measure, so the analysis package never reaches up
+into ``repro.serve``:
 
 ``c_lookup``
     Seconds per trilinear volume sample: slope of
     :func:`~repro.serve.engine.sample_volume` over two batch sizes.
 ``c_qgroup``
-    Seconds per query cell-group of the direct-sum path (candidate
-    gather + one small tabulation): slope of
-    :func:`~repro.serve.engine.direct_sum` over two scattered batches,
-    per *group* — the dominant per-query cost for scattered traffic.
+    Seconds per query cell-group of the *per-group* walk
+    (:func:`~repro.serve.engine.direct_sum_grouped`): slope over two
+    scattered batches, per group — prices the legacy walk the cohort
+    engine replaced.
+``c_qcohort``
+    Seconds per candidate-count cohort of the cohort-vectorised engine
+    (:func:`~repro.serve.engine.direct_sum`): slope over two scattered
+    batches, per *cohort* — the dominant dispatch cost of scattered
+    traffic after cohort batching.
+``c_qprobe``
+    Seconds per (cell-group x segment) CSR probe: slope of the cohort
+    engine between a single-segment and a many-segment index over the
+    same batch — what pricing an *incremental* index costs per extra
+    live batch segment.
 
 :class:`~repro.serve.service.DensityService` runs this lazily the first
 time its planner is needed; callers with a pre-calibrated write-side
@@ -24,14 +34,14 @@ from __future__ import annotations
 import dataclasses
 import math
 import time
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from ..analysis.model import MachineModel
 from ..core.grid import DomainSpec, GridSpec
 from ..core.kernels import get_kernel
-from .engine import direct_sum, sample_volume
+from .engine import direct_sum, direct_sum_grouped, sample_volume
 from .index import BucketIndex
 
 __all__ = ["calibrate_serving"]
@@ -40,11 +50,12 @@ __all__ = ["calibrate_serving"]
 def calibrate_serving(
     machine: Optional[MachineModel] = None, seed: int = 0
 ) -> MachineModel:
-    """A machine model with the query unit costs probed (~0.05 s).
+    """A machine model with the query unit costs probed (~0.1 s).
 
     Starts from ``machine`` (or a fresh write-side
     :meth:`MachineModel.calibrate`) and fills ``c_lookup`` / ``c_qgroup``
-    from micro-probes of the actual serving code paths.
+    / ``c_qcohort`` / ``c_qprobe`` from micro-probes of the actual
+    serving code paths.
     """
     machine = machine if machine is not None else MachineModel.calibrate(seed)
     rng = np.random.default_rng(seed)
@@ -69,25 +80,66 @@ def calibrate_serving(
     t_lk_large = lookup_probe(q_large)
     c_lookup = max((t_lk_large - t_lk_small) / (q_large - q_small), 1e-12)
 
-    # Direct-sum per-group dispatch: scattered batches (~one cell-group
-    # per query) at two sizes, slope per *group*.
+    # Direct-sum dispatch rates: scattered batches over a shared index.
     g_q = GridSpec(DomainSpec.from_voxels(64, 64, 64), hs=4.0, ht=4.0)
     q_span = np.array([g_q.domain.gx, g_q.domain.gy, g_q.domain.gt])
-    idx = BucketIndex(g_q, rng.uniform(0, q_span, size=(2048, 3)))
+    events = rng.uniform(0, q_span, size=(2048, 3))
+    idx = BucketIndex(g_q, events)
     kern = get_kernel("epanechnikov")
 
-    def group_probe(n_q: int) -> Tuple[float, int]:
+    def sum_probe(
+        fn: Callable, index: BucketIndex, n_q: int
+    ) -> Tuple[float, np.ndarray]:
         qs = rng.uniform(0, q_span, size=(n_q, 3))
         best = math.inf
         for _ in range(3):
             t0 = time.perf_counter()
-            direct_sum(idx, qs, kern, 1.0)
+            fn(index, qs, kern, 1.0)
             best = min(best, time.perf_counter() - t0)
-        return best, idx.group_count(qs)
+        return best, qs
 
-    group_probe(8)  # warm the direct-sum code path
-    t_g_small, g_small = group_probe(64)
-    t_g_large, g_large = group_probe(512)
+    # Per-group dispatch of the legacy walk (slope per group).
+    sum_probe(direct_sum_grouped, idx, 8)  # warm
+    t_g_small, qs_small = sum_probe(direct_sum_grouped, idx, 64)
+    t_g_large, qs_large = sum_probe(direct_sum_grouped, idx, 512)
+    g_small = idx.group_count(qs_small)
+    g_large = idx.group_count(qs_large)
     c_qgroup = max((t_g_large - t_g_small) / max(g_large - g_small, 1), 1e-12)
 
-    return dataclasses.replace(machine, c_lookup=c_lookup, c_qgroup=c_qgroup)
+    # Per-cohort dispatch of the cohort engine (slope per cohort).
+    sum_probe(direct_sum, idx, 8)  # warm
+    t_c_small, qs_small = sum_probe(direct_sum, idx, 64)
+    t_c_large, qs_large = sum_probe(direct_sum, idx, 1024)
+    k_small = idx.cohort_count(qs_small)
+    k_large = idx.cohort_count(qs_large)
+    c_qcohort = max((t_c_large - t_c_small) / max(k_large - k_small, 1), 1e-12)
+
+    # Per-(group x segment) probe cost: same batch, same events, the
+    # index split into many per-batch segments vs one — the incremental
+    # index's marginal cost per live segment.
+    n_segs = 8
+    idx_multi = BucketIndex(g_q)
+    for s in range(n_segs):
+        idx_multi.add_segment(s, events[s::n_segs])
+    qs = rng.uniform(0, q_span, size=(512, 3))
+    groups = idx.group_count(qs)
+
+    def seg_probe(index: BucketIndex) -> float:
+        best = math.inf
+        for _ in range(3):
+            t0 = time.perf_counter()
+            direct_sum(index, qs, kern, 1.0)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    seg_probe(idx_multi)  # warm the multi-segment gather shape
+    t_multi = seg_probe(idx_multi)
+    t_single = seg_probe(idx)
+    c_qprobe = max(
+        (t_multi - t_single) / max(groups * (n_segs - 1), 1), 1e-12
+    )
+
+    return dataclasses.replace(
+        machine, c_lookup=c_lookup, c_qgroup=c_qgroup,
+        c_qcohort=c_qcohort, c_qprobe=c_qprobe,
+    )

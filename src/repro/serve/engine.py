@@ -9,17 +9,25 @@ Two ways to answer a density query, with opposite cost shapes:
     the same masked ``k_s * k_t`` tabulation every grid write path uses, so
     a direct sum at a voxel center reproduces the stamped volume's value
     to fp round-off.  O(neighbours) per query, zero grid memory, exact at
-    arbitrary (off-grid) coordinates, and the only backend that honours
-    per-event weights.
+    arbitrary (off-grid) coordinates; per-event weights gather alongside
+    the candidates.
 
 ``volume-lookup``
     Trilinearly sample a materialised volume at the query location.  O(1)
     per query after an O(n * stamp) build, which is what wins for large
     query batches — the planner prices the crossover.
 
-Queries grouped by index cell share one candidate gather and one
-``(queries x candidates)`` kernel tabulation (shared-computation batching
-across concurrent queries).  Slice and region extraction reuse
+Concurrent queries share work at two levels.  Queries in the same index
+cell share one candidate set; cells with the same candidate *count* share
+one vectorised gather-and-tabulate round (**cohort batching**, the same
+tabulate+scatter amortisation :mod:`repro.core.stamping` applies to the
+write path): the cohort's candidate rows are assembled into one ``(Q, K)``
+block straight from the index's run table, so a scattered 50k-query batch
+runs a handful of NumPy kernels instead of ~one Python dispatch per cell
+group.  The per-group walk is retained as :func:`direct_sum_grouped` —
+the equivalence reference the tests pin the cohort engine against.
+
+Slice and region extraction reuse
 :class:`~repro.core.regions.RegionBuffer` machinery on the direct path and
 **views** (never copies) of the materialised volume on the lookup path.
 """
@@ -40,12 +48,26 @@ from .index import BucketIndex
 
 __all__ = [
     "direct_sum",
+    "direct_sum_grouped",
     "sample_volume",
     "direct_region",
     "region_view",
     "slice_window",
     "RegionResult",
 ]
+
+#: Cap on (query, candidate) pairs tabulated per cohort slab (~4 MB of f8
+#: per offset array).  Mirrors the stamping engine's slab cap: cohorts
+#: bigger than this are processed in query-row chunks so the tabulation
+#: temporaries stay cache-sized regardless of batch size.
+_QUERY_SLAB_PAIRS = 1 << 19
+
+
+def _validate_queries(queries: np.ndarray) -> np.ndarray:
+    q = np.asarray(queries, dtype=np.float64)
+    if q.ndim != 2 or q.shape[1] != 3:
+        raise ValueError(f"expected (m, 3) queries, got {q.shape}")
+    return q
 
 
 def direct_sum(
@@ -54,6 +76,8 @@ def direct_sum(
     kernel: KernelPair,
     norm: float,
     counter: Optional[WorkCounter] = None,
+    *,
+    slab_pairs: int = _QUERY_SLAB_PAIRS,
 ) -> np.ndarray:
     """Exact STKDE at arbitrary query locations by direct kernel summation.
 
@@ -61,11 +85,98 @@ def direct_sum(
     return is ``(m,)`` densities ``norm * sum_i w_i k_s k_t`` over the
     index's events (unit ``w_i`` for unweighted indexes).  Queries with an
     empty candidate neighbourhood cost O(1).
+
+    Cohort-vectorised: the batch's home cells are grouped by candidate
+    count ``K``; each cohort's candidate rows are materialised as one
+    ``(cells, K)`` block straight from the index's run table (one
+    ``repeat`` + ``arange`` pass over the flat permutation — no per-group
+    Python walk), expanded to the cohort's queries, and evaluated with a
+    single :func:`~repro.core.stamping.masked_kernel_product` tabulation
+    per cohort slab.  Candidate order inside a row is identical to
+    :func:`direct_sum_grouped`'s concatenation order, so both paths add
+    the same numbers in the same order.
     """
     counter = counter if counter is not None else null_counter()
-    q = np.asarray(queries, dtype=np.float64)
-    if q.ndim != 2 or q.shape[1] != 3:
-        raise ValueError(f"expected (m, 3) queries, got {q.shape}")
+    q = _validate_queries(queries)
+    m = q.shape[0]
+    out = np.zeros(m, dtype=np.float64)
+    if m == 0 or index.segment_count == 0:
+        out *= norm
+        return out
+    grid = index.grid
+    coords = index.coords
+    weights = index.weights
+    order_store = index.order_store
+
+    cc = index.cell_coords(q)
+    cid = (cc[:, 0] * index.ny + cc[:, 1]) * index.nt + cc[:, 2]
+    ucells, inv = np.unique(cid, return_inverse=True)
+    # Decode distinct cells and fetch their candidate runs in one pass.
+    ux, rem = np.divmod(ucells, index.ny * index.nt)
+    uy, ut = np.divmod(rem, index.nt)
+    starts, lengths = index.candidate_runs(np.column_stack([ux, uy, ut]))
+    K_cell = lengths.sum(axis=1)
+
+    # Cohorts: distinct candidate counts.  All cells (and their queries)
+    # with the same K gather into one (rows, K) block.
+    uK, cell_cohort = np.unique(K_cell, return_inverse=True)
+    q_cohort = cell_cohort[inv]
+    cell_pos = np.empty(ucells.size, dtype=np.int64)
+
+    for k_idx in range(uK.size):
+        K = int(uK[k_idx])
+        if K == 0:
+            continue  # empty neighbourhoods: O(1), stay zero
+        cell_rows = np.flatnonzero(cell_cohort == k_idx)
+        q_rows = np.flatnonzero(q_cohort == k_idx)
+        counter.query_cohorts += 1
+        # Flatten the cohort's runs into one gather: runs are ordered
+        # row-major per cell and each cell's lengths sum to exactly K, so
+        # the concatenated gather *is* the (cells, K) candidate matrix.
+        L = lengths[cell_rows].ravel()
+        S = starts[cell_rows].ravel()
+        live = L > 0
+        L = L[live]
+        S = S[live]
+        cum = np.cumsum(L) - L
+        flat = np.repeat(S - cum, L) + np.arange(int(L.sum()), dtype=np.int64)
+        cand = order_store[flat].reshape(cell_rows.size, K)
+        cell_pos[cell_rows] = np.arange(cell_rows.size)
+        qpos = cell_pos[inv[q_rows]]
+
+        step = max(1, slab_pairs // K)
+        for s in range(0, q_rows.size, step):
+            sel = q_rows[s : s + step]
+            rows = cand[qpos[s : s + step]]
+            pts = coords[rows]
+            dx = q[sel, 0][:, None] - pts[:, :, 0]
+            dy = q[sel, 1][:, None] - pts[:, :, 1]
+            dt = q[sel, 2][:, None] - pts[:, :, 2]
+            contrib = masked_kernel_product(grid, kernel, dx, dy, dt, counter)
+            if weights is not None:
+                out[sel] = (contrib * weights[rows]).sum(axis=1)
+            else:
+                out[sel] = contrib.sum(axis=1)
+    out *= norm
+    return out
+
+
+def direct_sum_grouped(
+    index: BucketIndex,
+    queries: np.ndarray,
+    kernel: KernelPair,
+    norm: float,
+    counter: Optional[WorkCounter] = None,
+) -> np.ndarray:
+    """Direct kernel sums via the per-cell-group walk (legacy hot path).
+
+    One candidate gather and one tabulation per distinct home cell — the
+    ~15 µs/group Python dispatch the cohort engine eliminates.  Retained
+    as the equivalence reference (the tests pin cohort vs grouped at
+    ``rtol=1e-12``) and as the measured baseline of the serving benchmark.
+    """
+    counter = counter if counter is not None else null_counter()
+    q = _validate_queries(queries)
     out = np.zeros(q.shape[0], dtype=np.float64)
     grid = index.grid
     for (cx, cy, ct), rows in index.group_queries(q):
@@ -78,7 +189,9 @@ def direct_sum(
         dt = q[rows, 2][:, None] - pts[None, :, 2]
         contrib = masked_kernel_product(grid, kernel, dx, dy, dt, counter)
         if index.weights is not None:
-            out[rows] = contrib @ index.weights[cand]
+            # Same scale-then-pairwise-sum reduction as the cohort engine
+            # (a matmul here would reassociate the additions).
+            out[rows] = (contrib * index.weights[cand][None, :]).sum(axis=1)
         else:
             out[rows] = contrib.sum(axis=1)
     out *= norm
@@ -185,6 +298,7 @@ def direct_region(
     window: VoxelWindow,
     norm: float,
     counter: Optional[WorkCounter] = None,
+    weights: Optional[np.ndarray] = None,
 ) -> RegionResult:
     """Compute a region of density directly from the events.
 
@@ -193,12 +307,16 @@ def direct_region(
     events whose cylinders miss the window are skipped wholesale).  Exact
     — bit-identical to the same window of a full-grid stamp — at
     O(window + reaching stamps) cost, no full volume required.
+    ``weights`` routes through the engine's weighted stamp mode.
     """
     if window.empty:
         raise ValueError(f"cannot serve an empty region: {window}")
     counter = counter if counter is not None else null_counter()
     buf = RegionBuffer(window)
     counter.init_writes += buf.cells
-    buf.stamp(grid, kernel, np.asarray(coords, dtype=np.float64), norm, counter)
+    buf.stamp(
+        grid, kernel, np.asarray(coords, dtype=np.float64), norm, counter,
+        weights=weights,
+    )
     buf.data.flags.writeable = False
     return RegionResult(window, buf.data, "direct")

@@ -15,28 +15,78 @@ neighbourhood around it:
   whose kernel reaches ``q`` is returned, and the exact ``d < hs`` /
   ``|dt| <= ht`` masks of the engine discard the rest.
 
-The index is a CSR layout over cell ids (counts + offsets + one
-permutation array), built in O(n) with three vectorised passes and costing
-O(n) memory — no per-cell Python objects.  Query batches are grouped by
-cell (:meth:`group_queries`) so concurrent queries landing in the same
-neighbourhood share one candidate gather, the shared-computation batching
-of the multiple-query KDE literature.
+Incremental segments
+--------------------
+The index is a collection of **per-batch CSR segments** mirroring the
+tracked-batch design of :class:`repro.core.incremental.IncrementalSTKDE`:
+each segment owns a contiguous row span of the shared coordinate storage
+plus one sorted-cell permutation, built in O(batch) with three vectorised
+passes.  :meth:`sync` diffs the estimator's live batches against the
+registered segments and appends/retires only the delta — the batches
+whose *membership* changed.  For a time-stratified feed (the normal
+sliding-window shape: each ``add`` is one time slab) a slide re-buckets
+only the arriving batch; a batch the horizon cuts *through* is split by
+the estimator (survivors get a new batch id) and its survivors are
+re-bucketed too, so the true bound is O(arriving + straddling batches),
+degrading toward O(n) only when every live batch mixes old and new
+timestamps.  The ``index_events_bucketed`` work counter records exactly
+what was re-bucketed (the CI smoke gates on it).  Retired
+rows are left dead in the storage and compacted away (an O(live) copy
+with **no** re-bucketing) once they outnumber the live ones, so memory
+stays bounded at 2x under any retirement pattern.
+
+Query batches are grouped by cell (:meth:`group_queries`) so concurrent
+queries landing in the same neighbourhood share one candidate gather, and
+:meth:`candidate_runs` exposes every cell's 27-neighbourhood as
+``(start, length)`` runs into one flat permutation array
+(:attr:`order_store`) — the gather layout the cohort-vectorised engine
+(:func:`repro.serve.engine.direct_sum`) turns into ``(Q, K)`` candidate
+blocks without any per-group Python dispatch.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.grid import GridSpec
+from ..core.instrument import WorkCounter, null_counter
 
 __all__ = ["BucketIndex"]
 
+#: The 3x3x3 neighbourhood collapses to 9 (x, y) rows per segment — cells
+#: contiguous in t are contiguous in the flat cell id, so each row is one
+#: run of the segment's sorted-cell array.
+_RUNS_PER_SEGMENT = 9
+
+
+class _Segment:
+    """One batch's CSR bucket data: a row span plus its cell-sorted view.
+
+    ``start`` is the first row of the segment in the index's coordinate
+    storage (rows of a segment are always contiguous), ``cells_sorted``
+    the ascending flat cell ids of its events, and ``order_base`` the
+    segment's span inside the shared :attr:`BucketIndex.order_store`
+    permutation (global row indices sorted by cell).
+    """
+
+    __slots__ = ("seg_id", "start", "n", "cells_sorted", "order_base")
+
+    def __init__(
+        self, seg_id: object, start: int, n: int,
+        cells_sorted: np.ndarray, order_base: int,
+    ) -> None:
+        self.seg_id = seg_id
+        self.start = start
+        self.n = n
+        self.cells_sorted = cells_sorted
+        self.order_base = order_base
+
 
 class BucketIndex:
-    """CSR bucket index over events, cells of size ``hs x hs x ht``.
+    """Segmented CSR bucket index over events, cells of ``hs x hs x ht``.
 
     Parameters
     ----------
@@ -45,52 +95,107 @@ class BucketIndex:
         (only the *domain* and bandwidths matter — the index never touches
         voxels).
     coords:
-        ``(n, 3)`` event coordinates in domain space.
+        Optional ``(n, 3)`` event coordinates in domain space, registered
+        as one static segment.  ``None`` starts an empty index to be fed
+        through :meth:`add_segment` / :meth:`sync`.
     weights:
         Optional ``(n,)`` per-event weights, carried alongside the
-        permuted coordinates so weighted direct sums gather them in the
-        same pass.
+        coordinates so weighted direct sums gather them in the same pass.
     """
 
     __slots__ = (
-        "grid", "coords", "weights", "nx", "ny", "nt",
-        "_offsets", "_order", "_cell_counts", "_box_counts",
+        "grid", "nx", "ny", "nt",
+        "_coords", "_weights", "_order", "_size", "_dead",
+        "_segments", "_cell_counts", "_box_counts",
+        "events_bucketed", "events_retired",
     )
 
     def __init__(
         self,
         grid: GridSpec,
-        coords: np.ndarray,
+        coords: Optional[np.ndarray] = None,
         weights: Optional[np.ndarray] = None,
+        counter: Optional[WorkCounter] = None,
     ) -> None:
         self.grid = grid
-        coords = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
-        if coords.ndim != 2 or coords.shape[1] != 3:
-            raise ValueError(f"expected (n, 3) coordinates, got {coords.shape}")
-        self.coords = coords
-        if weights is not None:
-            weights = np.ascontiguousarray(np.asarray(weights, dtype=np.float64))
-            if weights.shape != (coords.shape[0],):
-                raise ValueError("weights must be (n,) matching coords")
-        self.weights = weights
         d = grid.domain
         self.nx = max(1, math.ceil(d.gx / grid.hs))
         self.ny = max(1, math.ceil(d.gy / grid.hs))
         self.nt = max(1, math.ceil(d.gt / grid.ht))
-        cell = self.cell_of(coords)
-        counts = np.bincount(cell, minlength=self.n_cells)
-        self._cell_counts = counts
-        self._offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-        # Stable sort keeps insertion order within a cell: deterministic
-        # candidate (and hence accumulation) order for the direct sums.
-        self._order = np.argsort(cell, kind="stable").astype(np.int64)
-        self._box_counts: Optional[np.ndarray] = None  # lazy, immutable
+        self._coords = np.empty((0, 3), dtype=np.float64)
+        self._weights: Optional[np.ndarray] = None
+        self._order = np.empty(0, dtype=np.int64)
+        self._size = 0  # rows used in the storage (live + dead)
+        self._dead = 0  # retired rows awaiting compaction
+        self._segments: Dict[object, _Segment] = {}
+        self._cell_counts = np.zeros(self.n_cells, dtype=np.int64)
+        self._box_counts: Optional[np.ndarray] = None  # lazy 27-box table
+        #: Lifetime sync gauges (mirrored into WorkCounter when passed).
+        self.events_bucketed = 0
+        self.events_retired = 0
+        if coords is not None:
+            self.add_segment("static", coords, weights, counter)
+        elif weights is not None:
+            raise ValueError("weights require coords")
 
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    @property
+    def coords(self) -> np.ndarray:
+        """The shared coordinate storage (may contain retired rows; only
+        rows reachable through a segment's runs are ever gathered)."""
+        return self._coords[: self._size]
+
+    @property
+    def weights(self) -> Optional[np.ndarray]:
+        """Per-row weights aligned with :attr:`coords` (``None`` when no
+        segment ever carried weights)."""
+        if self._weights is None:
+            return None
+        return self._weights[: self._size]
+
+    @property
+    def order_store(self) -> np.ndarray:
+        """The flat cell-sorted permutation all segment runs index into."""
+        return self._order
+
+    def _grow(self, extra: int) -> None:
+        need = self._size + extra
+        cap = self._coords.shape[0]
+        if need > cap:
+            new_cap = max(need, 2 * cap, 64)
+            grown = np.empty((new_cap, 3), dtype=np.float64)
+            grown[: self._size] = self._coords[: self._size]
+            self._coords = grown
+            if self._weights is not None:
+                gw = np.ones(new_cap, dtype=np.float64)
+                gw[: self._size] = self._weights[: self._size]
+                self._weights = gw
+        ocap = self._order.shape[0]
+        used = self._order_high
+        if used + extra > ocap:
+            new_cap = max(used + extra, 2 * ocap, 64)
+            grown = np.empty(new_cap, dtype=np.int64)
+            grown[:used] = self._order[:used]
+            self._order = grown
+
+    @property
+    def _order_high(self) -> int:
+        """High-water mark of the order store (live segments only; a dead
+        span above every live one is reused by the next append)."""
+        hi = 0
+        for s in self._segments.values():
+            hi = max(hi, s.order_base + s.n)
+        return hi
+
+    # ------------------------------------------------------------------
+    # Basic geometry
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
-        """Number of indexed events."""
-        return self.coords.shape[0]
+        """Number of live indexed events."""
+        return sum(s.n for s in self._segments.values())
 
     @property
     def n_cells(self) -> int:
@@ -99,14 +204,179 @@ class BucketIndex:
 
     @property
     def occupied_cells(self) -> int:
-        """Number of buckets holding at least one event."""
+        """Number of buckets holding at least one live event."""
         return int(np.count_nonzero(self._cell_counts))
 
     @property
-    def nbytes(self) -> int:
-        """Index overhead beyond the coordinates (offsets + permutation)."""
-        return self._offsets.nbytes + self._order.nbytes + self._cell_counts.nbytes
+    def segment_count(self) -> int:
+        """Number of live per-batch CSR segments."""
+        return len(self._segments)
 
+    @property
+    def segment_ids(self) -> Tuple[object, ...]:
+        """Registered segment ids, in registration order."""
+        return tuple(self._segments)
+
+    @property
+    def dead_rows(self) -> int:
+        """Retired storage rows awaiting compaction."""
+        return self._dead
+
+    @property
+    def nbytes(self) -> int:
+        """Index overhead beyond the raw coordinates (sorted cells +
+        permutation + per-cell counts)."""
+        per_seg = sum(s.cells_sorted.nbytes for s in self._segments.values())
+        return per_seg + self._order_high * 8 + self._cell_counts.nbytes
+
+    # ------------------------------------------------------------------
+    # Segment maintenance
+    # ------------------------------------------------------------------
+    def add_segment(
+        self,
+        seg_id: object,
+        coords: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        counter: Optional[WorkCounter] = None,
+    ) -> None:
+        """Register one event batch as a CSR segment — O(batch).
+
+        The only operation that *buckets* events (computes cell keys and
+        sorts them); everything else the index does is bookkeeping over
+        already-bucketed segments, which is what makes a window slide
+        O(arriving batch) instead of O(live events).
+        """
+        if seg_id in self._segments:
+            raise ValueError(f"segment {seg_id!r} already registered")
+        counter = counter if counter is not None else null_counter()
+        coords = np.ascontiguousarray(np.asarray(coords, dtype=np.float64))
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise ValueError(f"expected (n, 3) coordinates, got {coords.shape}")
+        m = coords.shape[0]
+        if weights is not None:
+            weights = np.ascontiguousarray(np.asarray(weights, dtype=np.float64))
+            if weights.shape != (m,):
+                raise ValueError("weights must be (n,) matching coords")
+        self._grow(m)
+        start = self._size
+        self._coords[start : start + m] = coords
+        if weights is not None and self._weights is None:
+            w = np.ones(self._coords.shape[0], dtype=np.float64)
+            self._weights = w
+        if self._weights is not None:
+            self._weights[start : start + m] = (
+                weights if weights is not None else 1.0
+            )
+        cell = self.cell_of(coords) if m else np.empty(0, dtype=np.int64)
+        # Stable sort keeps insertion order within a cell: deterministic
+        # candidate (and hence accumulation) order for the direct sums.
+        local = np.argsort(cell, kind="stable").astype(np.int64)
+        order_base = self._order_high
+        self._order[order_base : order_base + m] = start + local
+        seg = _Segment(seg_id, start, m, cell[local], order_base)
+        self._size += m
+        self._segments[seg_id] = seg
+        if m:
+            self._cell_counts += np.bincount(cell, minlength=self.n_cells)
+        self._box_counts = None
+        self.events_bucketed += m
+        counter.index_events_bucketed += m
+
+    def remove_segment(
+        self, seg_id: object, counter: Optional[WorkCounter] = None
+    ) -> None:
+        """Retire one segment — O(batch + cells), no re-bucketing.
+
+        The rows stay dead in the storage until live rows are outnumbered,
+        at which point :meth:`_compact` squeezes them out with one copy.
+        """
+        counter = counter if counter is not None else null_counter()
+        seg = self._segments.pop(seg_id, None)
+        if seg is None:
+            raise KeyError(f"unknown segment {seg_id!r}")
+        if seg.n:
+            self._cell_counts -= np.bincount(
+                seg.cells_sorted, minlength=self.n_cells
+            )
+        self._dead += seg.n
+        self._box_counts = None
+        self.events_retired += seg.n
+        counter.index_events_retired += seg.n
+        if self._dead > max(self.n, 64):
+            self._compact()
+
+    def sync(
+        self,
+        batches: Sequence[Tuple[object, np.ndarray]],
+        counter: Optional[WorkCounter] = None,
+    ) -> Tuple[int, int]:
+        """Reconcile the index with a source's live ``(batch_id, coords)``.
+
+        Appends segments for unseen batch ids, retires segments whose id
+        is gone, and leaves surviving segments untouched — the O(delta)
+        maintenance contract :class:`~repro.serve.service.DensityService`
+        relies on across ``slide_window`` versions.  Returns
+        ``(events_added, events_retired)``.
+        """
+        live_ids = {bid for bid, _ in batches}
+        added = retired = 0
+        for seg_id in [s for s in self._segments if s not in live_ids]:
+            retired += self._segments[seg_id].n
+            self.remove_segment(seg_id, counter)
+        for bid, coords in batches:
+            if bid not in self._segments:
+                self.add_segment(bid, coords, counter=counter)
+                added += len(coords)
+        return added, retired
+
+    def _compact(self) -> None:
+        """Squeeze dead rows out of the stores — O(live), zero bucketing.
+
+        Rows move but segments keep their intra-segment order, so each
+        segment's permutation is remapped by a constant shift: no cell is
+        recomputed, no sort rerun.
+        """
+        live = self.n
+        coords = np.empty((max(live, 64), 3), dtype=np.float64)
+        weights = (
+            np.ones(coords.shape[0], dtype=np.float64)
+            if self._weights is not None else None
+        )
+        order = np.empty(max(live, 64), dtype=np.int64)
+        pos = 0
+        for seg in self._segments.values():
+            coords[pos : pos + seg.n] = self._coords[seg.start : seg.start + seg.n]
+            if weights is not None:
+                weights[pos : pos + seg.n] = (
+                    self._weights[seg.start : seg.start + seg.n]
+                )
+            shift = pos - seg.start
+            order[pos : pos + seg.n] = (
+                self._order[seg.order_base : seg.order_base + seg.n] + shift
+            )
+            seg.start = pos
+            seg.order_base = pos
+            pos += seg.n
+        self._coords = coords
+        self._weights = weights
+        self._order = order
+        self._size = live
+        self._dead = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Gauges for serving observability (``repro query --stats``)."""
+        return {
+            "segments": self.segment_count,
+            "events": self.n,
+            "dead_rows": self._dead,
+            "events_bucketed": self.events_bucketed,
+            "events_retired": self.events_retired,
+            "occupied_cells": self.occupied_cells,
+            "nbytes": self.nbytes,
+        }
+
+    # ------------------------------------------------------------------
+    # Cell geometry and candidate walks
     # ------------------------------------------------------------------
     def cell_coords(self, queries: np.ndarray) -> np.ndarray:
         """``(m, 3)`` integer cell coordinates of query locations (clamped)."""
@@ -126,26 +396,78 @@ class BucketIndex:
         cc = self.cell_coords(queries)
         return (cc[:, 0] * self.ny + cc[:, 1]) * self.nt + cc[:, 2]
 
+    def candidate_runs(
+        self, cell_coords: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate runs of each cell's 27-neighbourhood, vectorised.
+
+        ``cell_coords`` is ``(G, 3)`` integer cells; the return is two
+        ``(G, 9 * segments)`` int64 arrays ``(starts, lengths)``: run ``r``
+        of cell ``g`` covers ``order_store[starts[g, r] :
+        starts[g, r] + lengths[g, r]]``.  Runs are ordered segment-major,
+        then x, then y — the concatenation order :meth:`candidates`
+        produces — so consuming them left-to-right reproduces the exact
+        candidate (and accumulation) order of the per-group walk.
+        """
+        cc = np.asarray(cell_coords, dtype=np.int64)
+        G = cc.shape[0]
+        n_runs = _RUNS_PER_SEGMENT * max(1, len(self._segments))
+        starts = np.zeros((G, n_runs), dtype=np.int64)
+        lengths = np.zeros((G, n_runs), dtype=np.int64)
+        if G == 0 or not self._segments:
+            return starts, lengths
+        t_lo = np.maximum(cc[:, 2] - 1, 0)
+        t_hi = np.minimum(cc[:, 2] + 2, self.nt)
+        r = 0
+        for seg in self._segments.values():
+            for dx in (-1, 0, 1):
+                ix = cc[:, 0] + dx
+                for dy in (-1, 0, 1):
+                    iy = cc[:, 1] + dy
+                    valid = (ix >= 0) & (ix < self.nx) & (iy >= 0) & (iy < self.ny)
+                    row = (ix * self.ny + iy) * self.nt
+                    if seg.n == 0:
+                        r += 1
+                        continue
+                    lo = np.searchsorted(seg.cells_sorted, row + t_lo, side="left")
+                    hi = np.searchsorted(seg.cells_sorted, row + t_hi, side="left")
+                    starts[:, r] = np.where(valid, seg.order_base + lo, 0)
+                    lengths[:, r] = np.where(valid, hi - lo, 0)
+                    r += 1
+        return starts, lengths
+
     def candidates(self, cx: int, cy: int, ct: int) -> np.ndarray:
         """Event indices whose kernel can reach cell ``(cx, cy, ct)``.
 
-        The union of the 27-cell neighbourhood, as original point indices
-        (ascending within each cell).  No false negatives for any query
-        location inside the cell; callers apply the exact masks.
+        The union of the 27-cell neighbourhood across every segment, as
+        storage row indices (ascending within each cell of a segment), in
+        exactly the run order :meth:`candidate_runs` reports.  No false
+        negatives for any query location inside the cell; callers apply
+        the exact masks.
         """
-        chunks: List[np.ndarray] = []
-        off = self._offsets
+        t_lo = max(0, ct - 1)
+        t_hi = min(self.nt, ct + 2)
+        bounds: List[int] = []
+        # Cells contiguous in t are contiguous in the flat id, so one
+        # (ix, iy) row of the neighbourhood is a single [c0, c1) run.
+        # Ordered dx- then dy-major like candidate_runs (in-bounds rows
+        # ascend identically; out-of-bounds rows are zero-length there).
         for ix in range(max(0, cx - 1), min(self.nx, cx + 2)):
             for iy in range(max(0, cy - 1), min(self.ny, cy + 2)):
-                t_lo = max(0, ct - 1)
-                t_hi = min(self.nt, ct + 2)
-                # Cells contiguous in t are contiguous in the flat id, so
-                # one (ix, iy) row of the neighbourhood is a single slice.
-                c0 = (ix * self.ny + iy) * self.nt + t_lo
-                c1 = (ix * self.ny + iy) * self.nt + t_hi
-                lo, hi = int(off[c0]), int(off[c1])
+                row = (ix * self.ny + iy) * self.nt
+                bounds.append(row + t_lo)
+                bounds.append(row + t_hi)
+        chunks: List[np.ndarray] = []
+        for seg in self._segments.values():
+            if seg.n == 0:
+                continue
+            pos = np.searchsorted(seg.cells_sorted, bounds)
+            for k in range(0, pos.size, 2):
+                lo, hi = int(pos[k]), int(pos[k + 1])
                 if hi > lo:
-                    chunks.append(self._order[lo:hi])
+                    chunks.append(
+                        self._order[seg.order_base + lo : seg.order_base + hi]
+                    )
         if not chunks:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(chunks)
@@ -153,10 +475,10 @@ class BucketIndex:
     def candidate_counts(self, queries: np.ndarray) -> np.ndarray:
         """Exact candidate-set size per query, vectorised (planner input).
 
-        Reads a 27-neighbourhood box-sum table built once per index (the
-        per-cell counts are immutable) — O(cells) on first use, O(m) per
-        batch after, no candidate gathering — so repeated planning costs
-        the lookups, not the grid.
+        Reads a 27-neighbourhood box-sum table rebuilt lazily after
+        mutations (the per-cell counts are maintained incrementally) —
+        O(cells) per rebuild, O(m) per batch after, no candidate
+        gathering — so repeated planning costs the lookups, not the grid.
         """
         if self._box_counts is None:
             counts3 = self._cell_counts.reshape(self.nx, self.ny, self.nt)
@@ -178,13 +500,27 @@ class BucketIndex:
     def group_count(self, queries: np.ndarray) -> int:
         """Number of distinct home cells a query batch occupies.
 
-        The number of gather-and-tabulate rounds :meth:`group_queries`
-        will run — the unit the cost model's ``c_qgroup`` prices.
+        The number of candidate neighbourhoods a batch walks — each is
+        probed once per segment, which is the unit the cost model's
+        ``c_qprobe`` prices.
         """
         q = np.asarray(queries, dtype=np.float64)
         if q.shape[0] == 0:
             return 0
         return int(np.unique(self.cell_of(q)).size)
+
+    def cohort_count(self, queries: np.ndarray) -> int:
+        """Number of candidate-count cohorts a batch collapses into.
+
+        Distinct non-zero candidate counts across the batch's home cells
+        — the number of vectorised tabulation rounds the cohort engine
+        runs, the unit the cost model's ``c_qcohort`` prices.
+        """
+        q = np.asarray(queries, dtype=np.float64)
+        if q.shape[0] == 0:
+            return 0
+        counts = self.candidate_counts(q)
+        return int(np.unique(counts[counts > 0]).size)
 
     def group_queries(
         self, queries: np.ndarray
@@ -214,5 +550,5 @@ class BucketIndex:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"BucketIndex(n={self.n}, cells={self.nx}x{self.ny}x{self.nt}, "
-            f"occupied={self.occupied_cells})"
+            f"segments={self.segment_count}, occupied={self.occupied_cells})"
         )

@@ -86,9 +86,17 @@ class QueryPlanner:
         """Plan a point-query batch against the given index."""
         q = np.asarray(queries, dtype=np.float64)
         m = q.shape[0]
-        cand = int(index.candidate_counts(q).sum()) if m else 0
+        if m:
+            counts = index.candidate_counts(q)
+            cand = int(counts.sum())
+            n_cohorts = int(np.unique(counts[counts > 0]).size)
+        else:
+            cand = n_cohorts = 0
         direct = self.model.predict_direct_query(
-            m, cand, n_groups=index.group_count(q)
+            m, cand,
+            n_groups=index.group_count(q),
+            n_cohorts=n_cohorts,
+            n_segments=index.segment_count,
         )
         lookup = self.model.predict_volume_lookup(m, volume_ready)
         return self._verdict("points", m, cand, direct, lookup,

@@ -39,6 +39,7 @@ from ..core.incremental import IncrementalSTKDE
 from ..core.instrument import WorkCounter
 from ..core.kernels import KernelPair, get_kernel
 from ..core.stamping import stamp_batch
+from ..parallel.executors import resolve_shard_count, run_threaded_stamping
 from .cache import QueryCache, digest_queries
 from .engine import (
     RegionResult,
@@ -129,7 +130,9 @@ class DensityService:
         self._live_coords: Optional[np.ndarray] = None
         self._synced_version: Optional[int] = None
         self._backend_calls: Dict[str, int] = {"direct": 0, "lookup": 0}
+        self._plan_decisions: Dict[str, int] = {}
         self._volume_builds = 0
+        self._volume_build_backend: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Source state
@@ -176,13 +179,18 @@ class DensityService:
         """Re-key derived state when the live source has mutated.
 
         The ``slide_window`` invalidation wiring: a version change drops
-        the index, the materialised volume, and every stale cache entry
-        before the next query is answered.
+        the materialised volume and every stale cache entry before the
+        next query is answered.  The bucket index is **not** dropped — it
+        reconciles against the estimator's tracked batches
+        (:meth:`BucketIndex.sync`), appending segments for arriving
+        batches and retiring departed ones, so keeping it warm across
+        versions costs O(changed batches) instead of an O(n) rebuild.
         """
         v = self.version
         if v == self._synced_version:
             return
-        self._index = None
+        if self._index is not None and self._inc is not None:
+            self._index.sync(self._inc.live_batches, counter=self.counter)
         self._volume = None
         self._planner = None
         self._live_coords = None
@@ -193,68 +201,132 @@ class DensityService:
     # Derived structures
     # ------------------------------------------------------------------
     def index(self) -> BucketIndex:
-        """The bucket index over the current events (built lazily)."""
+        """The bucket index over the current events (built lazily).
+
+        Live sources register one CSR segment per tracked batch, so the
+        index stays incrementally maintainable across window slides.
+        """
         self._sync()
         if self._index is None:
-            self._index = BucketIndex(
-                self.grid, self._coords(), self._static_weights
-            )
+            if self._inc is not None:
+                self._index = BucketIndex(self.grid)
+                self._index.sync(self._inc.live_batches, counter=self.counter)
+            else:
+                self._index = BucketIndex(
+                    self.grid, self._coords(), self._static_weights,
+                    counter=self.counter,
+                )
         return self._index
 
+    def _threaded_build_wins(self, coords: np.ndarray, P: int) -> bool:
+        """Whether the bbox-sharded threads path should build the volume.
+
+        Materialisation happens exactly when the planner predicts enough
+        (repeated) lookups to amortise a build, so the build itself is
+        worth planning: with a calibrated machine at hand the cost model
+        prices serial vs threaded stamping.  Without one (pinned-backend
+        callers that never planned) the build stays serial — guessing
+        would either force a calibration or risk allocating shard
+        buffers unpriced.  The feasibility check caps the planned shard
+        buffers at ``max(2, P/2)`` volumes' worth — at least 2x below
+        the ``P`` replicas the DR trade would allocate (clustered shards
+        measure ~1.1 volumes total), so a serving build can never
+        quietly regress to DR-scale transient memory: scattered batches
+        whose bboxes approach ``P`` full grids are refused, not
+        attempted.
+        """
+        if P <= 1 or coords.shape[0] == 0 or self._machine is None:
+            return False
+        model = CostModel(
+            self.grid, PointSet(coords), self._machine,
+            memory_budget_bytes=self._materialize_budget(P),
+        )
+        threaded = model.predict_pb_sym_threads(P)
+        return threaded.feasible and threaded.seconds < model.predict_pb_sym()
+
     def materialize(self) -> Volume:
-        """Force-build (or fetch) the volume backing the lookup plan."""
+        """Force-build (or fetch) the volume backing the lookup plan.
+
+        Static builds route through
+        :func:`~repro.parallel.executors.run_threaded_stamping` (with
+        ``P="auto"`` bbox shards) whenever the cost model predicts the
+        threaded build wins; weighted events stamp through the engine's
+        weighted mode, normalised by total weight.
+        """
         self._sync()
-        if self.weighted:
-            raise NotImplementedError(
-                "volume materialisation of weighted events is not supported; "
-                "weighted services answer via backend='direct'"
-            )
         if self._volume is None:
             if self._inc is not None:
                 self._volume = self._inc.volume().data
+                self._volume_build_backend = "incremental"
             else:
                 vol = self.grid.allocate()
                 self.counter.init_writes += vol.size
                 coords = self._coords()
                 if coords.shape[0]:
-                    stamp_batch(
-                        vol, self.grid, self.kernel, coords,
-                        self._norm(), self.counter,
-                    )
+                    P = resolve_shard_count("auto")
+                    if self._threaded_build_wins(coords, P):
+                        run_threaded_stamping(
+                            vol, self.grid, self.kernel, coords,
+                            self._norm(), self.counter, P,
+                            weights=self._static_weights,
+                        )
+                        self._volume_build_backend = f"threads[{P}]"
+                    else:
+                        stamp_batch(
+                            vol, self.grid, self.kernel, coords,
+                            self._norm(), self.counter,
+                            weights=self._static_weights,
+                        )
+                        self._volume_build_backend = "stamp"
                 self._volume = vol
             self._volume_builds += 1
         return Volume(self._volume, self.grid)
 
+    def _materialize_budget(self, P: int) -> int:
+        """Transient-memory cap for a threaded volume build: shard
+        buffers at most ``max(2, P/2)`` volumes — at least 2x below the
+        ``P`` replicas of the DR trade (clustered shards measure ~1.1
+        volumes total)."""
+        return (1 + max(2, P // 2)) * self.grid.grid_bytes
+
     def planner(self) -> QueryPlanner:
-        """The query planner (calibrates the machine model on first use)."""
+        """The query planner (calibrates the machine model on first use).
+
+        The planner's model carries the same memory budget
+        :meth:`materialize` enforces, so ``predict_materialize`` prices
+        the build the service will *actually* run: a threaded build the
+        budget would refuse is priced serial, never assumed.
+        """
         self._sync()
         if self._planner is None:
             if self._machine is None:
                 from .calibrate import calibrate_serving
 
                 self._machine = calibrate_serving()
-            model = CostModel(self.grid, PointSet(self._coords()), self._machine)
+            model = CostModel(
+                self.grid, PointSet(self._coords()), self._machine,
+                memory_budget_bytes=self._materialize_budget(
+                    resolve_shard_count("auto")
+                ),
+            )
             self._planner = QueryPlanner(model)
         return self._planner
 
     def _resolve_backend(
         self, backend: Optional[str]
     ) -> Tuple[Optional[str], Optional[str]]:
-        """``(pinned_backend, why)``; ``(None, None)`` = planner's choice."""
+        """``(pinned_backend, why)``; ``(None, None)`` = planner's choice.
+
+        Weighted events are no longer pinned to the direct path: the
+        engine's weighted stamp mode materialises ``sum w_i k / (W hs^2
+        ht)`` volumes, so the planner prices both backends for them too.
+        """
         choice = backend if backend is not None else self.backend
         if choice == "auto":
-            # Weighted events only exist on the direct path.
-            if self.weighted:
-                return "direct", "weighted events require direct"
             return None, None
         if choice not in ("direct", "lookup"):
             raise ValueError(
                 f"backend must be 'auto', 'direct' or 'lookup', got {choice!r}"
-            )
-        if choice == "lookup" and self.weighted:
-            raise NotImplementedError(
-                "weighted events cannot be served from a volume; "
-                "use backend='direct'"
             )
         return choice, "forced by caller"
 
@@ -295,8 +367,10 @@ class DensityService:
             self.index(), q, volume_ready=self._volume is not None,
             force=force, force_reason=force_reason,
         ) if force is None or plan_out is not None else None
-        if plan is not None and plan_out is not None:
-            plan_out.append(plan)
+        if plan is not None:
+            self._record_plan(plan)
+            if plan_out is not None:
+                plan_out.append(plan)
         if cached is not None:
             return cached
         chosen = plan.backend if plan is not None else force
@@ -362,13 +436,6 @@ class DensityService:
         window = window.intersect(self.grid.full_window())
         if window.empty:
             raise ValueError(f"region window is empty on this grid: {window}")
-        if self.weighted:
-            # The stamp engine is unweighted; region/slice serving of
-            # weighted events would silently drop the weights.
-            raise NotImplementedError(
-                "region and slice queries on weighted events are not "
-                "supported; query_points(backend='direct') honours weights"
-            )
         force, force_reason = self._resolve_backend(backend)
         # Cache before planning (see query_points): hits skip the
         # planner's O(n) region estimate entirely.  Unlike point queries,
@@ -386,15 +453,17 @@ class DensityService:
             window, volume_ready=self._volume is not None,
             force=force, force_reason=force_reason,
         ) if force is None or plan_out is not None else None
-        if plan is not None and plan_out is not None:
-            plan_out.append(plan)
+        if plan is not None:
+            self._record_plan(plan)
+            if plan_out is not None:
+                plan_out.append(plan)
         if cached is not None:
             return cached
         chosen = plan.backend if plan is not None else force
         if chosen == "direct":
             result = direct_region(
                 self.grid, self.kernel, self._coords(), window,
-                self._norm(), self.counter,
+                self._norm(), self.counter, weights=self._static_weights,
             )
         else:
             result = region_view(self.materialize().data, window)
@@ -407,16 +476,31 @@ class DensityService:
         return result
 
     # ------------------------------------------------------------------
+    def _record_plan(self, plan: QueryPlan) -> None:
+        """Tally a planner verdict for the observability stats."""
+        key = f"{plan.kind}:{plan.backend}"
+        self._plan_decisions[key] = self._plan_decisions.get(key, 0) + 1
+
     def stats(self) -> Dict[str, object]:
-        """Serving counters: cache behaviour, backend mix, builds."""
+        """Serving counters: cache behaviour, backend mix, builds, index
+        segment gauges, and planner decisions — the JSON blob ``repro
+        query --stats`` prints for load balancers and dashboards."""
+        cache = self.cache.stats()
+        lookups = cache["hits"] + cache["misses"]
         return {
             "version": self.version,
             "events": int(self._coords().shape[0]),
             "weighted": self.weighted,
             "volume_ready": self._volume is not None,
             "volume_builds": self._volume_builds,
+            "volume_build_backend": self._volume_build_backend,
             "backend_calls": dict(self._backend_calls),
-            "cache": self.cache.stats(),
+            "planner_decisions": dict(self._plan_decisions),
+            "cache": cache,
+            "cache_hit_ratio": (cache["hits"] / lookups) if lookups else None,
+            "index": (
+                self._index.stats() if self._index is not None else None
+            ),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -142,19 +142,46 @@ class TestServiceStatic:
 
 
 class TestServiceWeighted:
-    def test_weighted_direct_only(self, small_grid):
+    def test_weighted_served_by_both_backends(self, small_grid):
+        """The weighted stamp mode opens the volume backends: lookup
+        point queries, slices, and regions all honour the weights."""
         pts = make_points(small_grid, 40, seed=56)
         w = np.linspace(0.5, 2.0, 40)
         svc = DensityService(PointSet(pts.coords, w), small_grid,
                              machine=MACHINE)
-        out = svc.query_points(pts.coords[:5])  # auto resolves to direct
-        assert out.shape == (5,)
-        with pytest.raises(NotImplementedError, match="direct"):
-            svc.query_points(pts.coords[:5], backend="lookup")
-        with pytest.raises(NotImplementedError):
-            svc.query_slice(2)
-        with pytest.raises(NotImplementedError):
-            svc.materialize()
+        q, vox = voxel_center_queries(small_grid)
+        direct = svc.query_points(q, backend="direct")
+        lookup = svc.query_points(q, backend="lookup")
+        # Both are exact at voxel centers.
+        np.testing.assert_allclose(lookup, direct, rtol=1e-6, atol=1e-18)
+        vol = svc.materialize()
+        np.testing.assert_allclose(
+            direct, vol.data[vox[:, 0], vox[:, 1], vox[:, 2]],
+            rtol=1e-6, atol=1e-18,
+        )
+        for backend in ("direct", "lookup"):
+            s = svc.query_slice(4, backend=backend)
+            np.testing.assert_allclose(
+                s.time_slice(), vol.data[:, :, 4], rtol=1e-6, atol=1e-18
+            )
+
+    def test_weighted_volume_is_weighted_estimator(self, small_grid):
+        """The materialised volume of a weighted set equals the weighted
+        sum of per-event stamps over total weight (brute force)."""
+        pts = make_points(small_grid, 25, seed=60)
+        w = np.linspace(0.2, 3.0, 25)
+        svc = DensityService(PointSet(pts.coords, w), small_grid,
+                             machine=MACHINE)
+        vol = svc.materialize().data
+        from repro.core.stamping import stamp_batch
+
+        brute = small_grid.allocate()
+        for i in range(25):
+            one = np.zeros(small_grid.shape)
+            stamp_batch(one, small_grid, svc.kernel, pts.coords[i : i + 1], 1.0)
+            brute += w[i] * one
+        brute /= w.sum() * small_grid.hs ** 2 * small_grid.ht
+        np.testing.assert_allclose(vol, brute, rtol=1e-12, atol=1e-18)
 
     def test_uniform_weights_match_unweighted(self, small_grid):
         pts = make_points(small_grid, 40, seed=57)
@@ -300,3 +327,100 @@ class TestServiceLive:
         assert set(stats["cache"]) == {
             "entries", "bytes", "hits", "misses", "evictions", "invalidations"
         }
+        assert stats["index"]["segments"] == 1
+        assert stats["cache_hit_ratio"] == 0.0
+
+    def test_slide_syncs_index_incrementally(self, small_grid):
+        """Tentpole acceptance: across a slide the service keeps the
+        index warm — only the arriving batch is re-bucketed, surviving
+        batches keep their segments."""
+        pts, inc, svc = self.make_live(small_grid)
+        idx_before = svc.index()
+        assert svc.counter.index_events_bucketed == 120
+        # Horizon below every event: nothing retires, batches survive.
+        fresh = make_points(small_grid, 25, seed=63).coords
+        inc.slide_window(PointSet(fresh), t_horizon=-1.0)
+        idx_after = svc.index()
+        assert idx_after is idx_before  # same object, synced in place
+        assert idx_after.segment_count == 2
+        assert svc.counter.index_events_bucketed == 145  # +batch, not +n
+        # A full retirement drops exactly the expired segments.
+        inc.slide_window(np.empty((0, 3)), t_horizon=float("inf"))
+        assert svc.index() is idx_before
+        assert svc.index().n == 0
+        assert svc.counter.index_events_bucketed == 145  # retire buckets nothing
+
+    def test_incremental_index_answers_match_rebuild(self, small_grid):
+        """Randomized slide sequence: the warm index's answers equal a
+        cold service's at every step."""
+        rng = np.random.default_rng(64)
+        pts, inc, svc = self.make_live(small_grid)
+        q, _ = voxel_center_queries(small_grid)
+        for step in range(4):
+            horizon = float(np.quantile(inc.live_coords[:, 2], 0.3)) if inc.n else 0.0
+            fresh = make_points(small_grid, int(rng.integers(10, 40)),
+                                seed=65 + step).coords
+            inc.slide_window(PointSet(fresh), t_horizon=horizon)
+            warm = svc.query_points(q, backend="direct")
+            cold = DensityService(
+                PointSet(inc.live_coords), small_grid, machine=MACHINE
+            ).query_points(q, backend="direct")
+            np.testing.assert_allclose(warm, cold, rtol=1e-12, atol=1e-18)
+            assert svc.index().segment_count == len(inc.live_batches)
+
+
+class TestThreadedMaterialize:
+    @staticmethod
+    def _long_grid_points(n=600, seed=66):
+        """An x-elongated instance whose origin-ordered shards have thin,
+        near-disjoint bounding boxes — the geometry the threaded build's
+        memory cap admits."""
+        from repro.core import DomainSpec, GridSpec
+
+        grid = GridSpec(DomainSpec.from_voxels(120, 10, 10), hs=1.0, ht=1.0)
+        rng = np.random.default_rng(seed)
+        coords = np.column_stack([
+            rng.uniform(0, 120, n), rng.uniform(0, 10, n), rng.uniform(0, 10, n)
+        ])
+        return grid, PointSet(coords)
+
+    def test_threaded_build_when_predicted_to_win(self, monkeypatch):
+        """On a multi-core host the service routes big static builds
+        through the bbox-sharded threads path; the volume is unchanged."""
+        import repro.serve.service as service_mod
+
+        grid, pts = self._long_grid_points()
+        ref = DensityService(pts, grid, machine=MACHINE).materialize()
+        monkeypatch.setattr(
+            service_mod, "resolve_shard_count", lambda P: 4
+        )
+        svc = DensityService(pts, grid, machine=MACHINE)
+        vol = svc.materialize()
+        np.testing.assert_allclose(vol.data, ref.data, rtol=1e-12, atol=1e-18)
+        stats = svc.stats()
+        # The pinned machine makes compute dominate, so threads predict a
+        # win and the build is recorded as threaded.
+        assert stats["volume_build_backend"] == "threads[4]"
+
+    def test_memory_cap_refuses_grid_wide_shards(self, small_domain, monkeypatch):
+        """When every stamp covers the whole grid, each shard bbox is the
+        full volume: the buffer cap refuses the threaded build and the
+        service stays serial rather than allocating ~P volumes."""
+        from repro.core import GridSpec
+        import repro.serve.service as service_mod
+
+        grid = GridSpec(small_domain, hs=30.0, ht=30.0)  # grid-wide stamps
+        monkeypatch.setattr(service_mod, "resolve_shard_count", lambda P: 4)
+        pts = make_points(grid, 400, seed=66)
+        svc = DensityService(pts, grid, machine=MACHINE)
+        svc.materialize()
+        assert svc.stats()["volume_build_backend"] == "stamp"
+
+    def test_serial_build_on_single_core(self, small_grid, monkeypatch):
+        import repro.serve.service as service_mod
+
+        monkeypatch.setattr(service_mod, "resolve_shard_count", lambda P: 1)
+        pts = make_points(small_grid, 50, seed=67)
+        svc = DensityService(pts, small_grid, machine=MACHINE)
+        svc.materialize()
+        assert svc.stats()["volume_build_backend"] == "stamp"

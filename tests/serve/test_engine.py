@@ -18,6 +18,7 @@ from repro.core.kernels import available_kernels, get_kernel
 from repro.serve.engine import (
     direct_region,
     direct_sum,
+    direct_sum_grouped,
     region_view,
     sample_volume,
     slice_window,
@@ -113,6 +114,135 @@ class TestDirectSum:
         np.testing.assert_array_equal(out, [0.0])
         with pytest.raises(ValueError, match=r"\(m, 3\)"):
             direct_sum(idx, np.zeros((3, 2)), get_kernel("epanechnikov"), 1.0)
+
+
+class TestCohortEngine:
+    """Satellite acceptance: the cohort-vectorised engine equals the
+    retained per-group walk at ``rtol=1e-12`` on random and adversarial
+    batches (in practice the two add the same numbers in the same order,
+    so they are bit-identical)."""
+
+    def _check(self, index, queries, kernel="epanechnikov", norm=1.0):
+        kern = get_kernel(kernel)
+        a = direct_sum(index, queries, kern, norm)
+        b = direct_sum_grouped(index, queries, kern, norm)
+        np.testing.assert_allclose(a, b, rtol=1e-12, atol=0.0)
+        return a
+
+    @pytest.mark.parametrize("kernel", available_kernels())
+    def test_random_batches(self, small_grid, kernel):
+        pts = make_clustered_points(small_grid, 150, seed=70)
+        idx = BucketIndex(small_grid, pts.coords)
+        rng = np.random.default_rng(71)
+        d = small_grid.domain
+        q = rng.uniform([d.x0, d.y0, d.t0],
+                        [d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt],
+                        size=(300, 3))
+        self._check(idx, q, kernel, small_grid.normalization(pts.n))
+
+    def test_all_same_cell(self, small_grid):
+        """Adversarial: every query in one cell — one group, one cohort."""
+        pts = make_clustered_points(small_grid, 120, seed=72)
+        idx = BucketIndex(small_grid, pts.coords)
+        rng = np.random.default_rng(73)
+        d = small_grid.domain
+        # Strictly inside index cell (1, 1, 1).
+        base = np.array([
+            d.x0 + 1.5 * small_grid.hs,
+            d.y0 + 1.5 * small_grid.hs,
+            d.t0 + 1.5 * small_grid.ht,
+        ])
+        jitter = rng.uniform(-0.4, 0.4, size=(64, 3))
+        q = base[None, :] + jitter * np.array(
+            [small_grid.hs, small_grid.hs, small_grid.ht]
+        )
+        assert idx.group_count(q) == 1
+        c = WorkCounter()
+        a = direct_sum(idx, q, get_kernel("epanechnikov"), 1.0, c)
+        np.testing.assert_allclose(
+            a, direct_sum_grouped(idx, q, get_kernel("epanechnikov"), 1.0),
+            rtol=1e-12, atol=0.0,
+        )
+        assert c.query_cohorts == 1  # a co-located batch is one round
+
+    def test_all_distinct_cells(self, small_grid):
+        """Adversarial: one query per cell — groups cannot merge, only
+        cohorts (equal candidate counts) can."""
+        pts = make_clustered_points(small_grid, 200, seed=74)
+        idx = BucketIndex(small_grid, pts.coords)
+        d = small_grid.domain
+        # One query per distinct index cell center.
+        qs = []
+        for cx in range(idx.nx):
+            for cy in range(idx.ny):
+                for ct in range(idx.nt):
+                    qs.append([
+                        d.x0 + (cx + 0.5) * small_grid.hs,
+                        d.y0 + (cy + 0.5) * small_grid.hs,
+                        d.t0 + (ct + 0.5) * small_grid.ht,
+                    ])
+        q = np.array(qs)
+        assert idx.group_count(q) == q.shape[0]  # truly all-distinct
+        c = WorkCounter()
+        a = direct_sum(idx, q, get_kernel("epanechnikov"), 1.0, c)
+        np.testing.assert_allclose(
+            a, direct_sum_grouped(idx, q, get_kernel("epanechnikov"), 1.0),
+            rtol=1e-12, atol=0.0,
+        )
+        assert c.query_cohorts <= idx.cohort_count(q)
+
+    def test_weighted_cohorts(self, small_grid):
+        pts = make_points(small_grid, 80, seed=75)
+        w = np.linspace(0.25, 4.0, 80)
+        idx = BucketIndex(small_grid, pts.coords, w)
+        rng = np.random.default_rng(76)
+        d = small_grid.domain
+        q = rng.uniform([d.x0, d.y0, d.t0],
+                        [d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt],
+                        size=(120, 3))
+        self._check(idx, q)
+
+    def test_slab_chunking_is_exact(self, small_grid):
+        """Tiny slab caps force the chunked path; answers are unchanged."""
+        pts = make_clustered_points(small_grid, 150, seed=77)
+        idx = BucketIndex(small_grid, pts.coords)
+        rng = np.random.default_rng(78)
+        d = small_grid.domain
+        q = rng.uniform([d.x0, d.y0, d.t0],
+                        [d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt],
+                        size=(200, 3))
+        kern = get_kernel("epanechnikov")
+        full = direct_sum(idx, q, kern, 1.0)
+        tiny = direct_sum(idx, q, kern, 1.0, slab_pairs=64)
+        np.testing.assert_array_equal(full, tiny)
+
+    def test_multi_segment_index(self, small_grid):
+        """Cohort gather spans segments exactly like the group walk."""
+        pts = make_clustered_points(small_grid, 150, seed=79)
+        idx = BucketIndex(small_grid)
+        for i, (s, e) in enumerate([(0, 50), (50, 120), (120, 150)]):
+            idx.add_segment(i, pts.coords[s:e])
+        rng = np.random.default_rng(80)
+        d = small_grid.domain
+        q = rng.uniform([d.x0, d.y0, d.t0],
+                        [d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt],
+                        size=(150, 3))
+        self._check(idx, q)
+        # And the segmented sums equal the monolithic index to fp slack.
+        mono = direct_sum(
+            BucketIndex(small_grid, pts.coords), q,
+            get_kernel("epanechnikov"), 1.0,
+        )
+        seg = direct_sum(idx, q, get_kernel("epanechnikov"), 1.0)
+        np.testing.assert_allclose(seg, mono, rtol=1e-12, atol=1e-18)
+
+    def test_empty_index_and_empty_batch(self, small_grid):
+        idx = BucketIndex(small_grid)
+        out = direct_sum(idx, np.array([[1.0, 1.0, 1.0]]),
+                         get_kernel("epanechnikov"), 1.0)
+        np.testing.assert_array_equal(out, [0.0])
+        assert direct_sum(idx, np.empty((0, 3)),
+                          get_kernel("epanechnikov"), 1.0).shape == (0,)
 
 
 class TestSampleVolume:

@@ -38,8 +38,9 @@ class TestConstruction:
     def test_overhead_is_linear_not_per_cell_objects(self, small_grid):
         pts = make_points(small_grid, 500, seed=5)
         idx = BucketIndex(small_grid, pts.coords)
-        # CSR arrays only: offsets + counts (cells) and order (n).
-        assert idx.nbytes <= 8 * (2 * (idx.n_cells + 1) + idx.n) + 64
+        # CSR arrays only: sorted cells + permutation (n each) and one
+        # aggregate per-cell count table — no per-cell Python objects.
+        assert idx.nbytes <= 8 * (2 * idx.n + idx.n_cells) + 64
 
 
 class TestCandidates:
@@ -116,6 +117,116 @@ class TestWeights:
         w = np.linspace(0.5, 2.0, 20)
         idx = BucketIndex(small_grid, pts.coords, w)
         np.testing.assert_array_equal(idx.weights, w)
+
+
+def _same_candidates(incremental, rebuilt):
+    """Both indexes return the same candidate *event sets* everywhere.
+
+    Candidate row indices differ (storage layouts differ), so compare the
+    coordinates they address, as multisets per cell.
+    """
+    assert incremental.n == rebuilt.n
+    for cx in range(incremental.nx):
+        for cy in range(incremental.ny):
+            for ct in range(incremental.nt):
+                a = incremental.coords[incremental.candidates(cx, cy, ct)]
+                b = rebuilt.coords[rebuilt.candidates(cx, cy, ct)]
+                assert a.shape == b.shape
+                order_a = np.lexsort((a[:, 2], a[:, 1], a[:, 0]))
+                order_b = np.lexsort((b[:, 2], b[:, 1], b[:, 0]))
+                np.testing.assert_array_equal(a[order_a], b[order_b])
+
+
+class TestIncrementalSegments:
+    """Satellite acceptance: incrementally-synced segments equal a full
+    rebuild after randomized add/remove/slide sequences, with only the
+    delta batches re-bucketed."""
+
+    def test_add_remove_matches_rebuild(self, small_grid):
+        rng = np.random.default_rng(14)
+        idx = BucketIndex(small_grid)
+        live = {}
+        next_id = 0
+        from repro.core import WorkCounter
+
+        for step in range(30):
+            if live and rng.random() < 0.4:
+                sid = list(live)[int(rng.integers(0, len(live)))]
+                idx.remove_segment(sid)
+                del live[sid]
+            else:
+                m = int(rng.integers(1, 40))
+                coords = make_points(small_grid, m, seed=100 + step).coords
+                idx.add_segment(next_id, coords)
+                live[next_id] = coords
+                next_id += 1
+            if live:
+                rebuilt = BucketIndex(
+                    small_grid, np.vstack([live[k] for k in live])
+                )
+            else:
+                rebuilt = BucketIndex(small_grid)
+            _same_candidates(idx, rebuilt)
+            counts_q = make_points(small_grid, 25, seed=step).coords
+            np.testing.assert_array_equal(
+                idx.candidate_counts(counts_q),
+                rebuilt.candidate_counts(counts_q),
+            )
+
+    def test_sync_touches_only_the_delta(self, small_grid):
+        """WorkCounter check: one slide re-buckets ~the arriving batch,
+        not the n live events."""
+        from repro.core import WorkCounter
+
+        batches = {
+            i: make_points(small_grid, 50, seed=200 + i).coords
+            for i in range(6)
+        }
+        idx = BucketIndex(small_grid)
+        c = WorkCounter()
+        idx.sync(list(batches.items()), counter=c)
+        assert c.index_events_bucketed == 300
+        # Slide: batch 0 retires, batch 6 arrives.
+        batches.pop(0)
+        batches[6] = make_points(small_grid, 50, seed=206).coords
+        c2 = WorkCounter()
+        added, retired = idx.sync(list(batches.items()), counter=c2)
+        assert (added, retired) == (50, 50)
+        assert c2.index_events_bucketed == 50  # the delta, not 300
+        assert c2.index_events_retired == 50
+        _same_candidates(
+            idx, BucketIndex(small_grid, np.vstack(list(batches.values())))
+        )
+
+    def test_dead_rows_compact(self, small_grid):
+        """Retiring most segments triggers compaction; results unchanged."""
+        idx = BucketIndex(small_grid)
+        keep = make_points(small_grid, 20, seed=300).coords
+        idx.add_segment("keep", keep)
+        for i in range(5):
+            idx.add_segment(i, make_points(small_grid, 60, seed=301 + i).coords)
+        for i in range(5):
+            idx.remove_segment(i)
+        assert idx.dead_rows < idx.n + 65  # compaction bounded the garbage
+        assert idx.n == 20
+        _same_candidates(idx, BucketIndex(small_grid, keep))
+
+    def test_duplicate_segment_rejected(self, small_grid):
+        idx = BucketIndex(small_grid)
+        idx.add_segment(1, make_points(small_grid, 5, seed=310).coords)
+        with pytest.raises(ValueError, match="already registered"):
+            idx.add_segment(1, make_points(small_grid, 5, seed=311).coords)
+        with pytest.raises(KeyError):
+            idx.remove_segment(99)
+
+    def test_stats_shape(self, small_grid):
+        idx = BucketIndex(small_grid, make_points(small_grid, 30, seed=312).coords)
+        s = idx.stats()
+        assert s["segments"] == 1 and s["events"] == 30
+        assert set(s) >= {
+            "segments", "events", "dead_rows",
+            "events_bucketed", "events_retired",
+        }
 
 
 def test_degenerate_tiny_domain():
