@@ -1,6 +1,6 @@
 """Benchmark: the unified region-accumulation engine.
 
-Measures the three write paths the engine unified:
+Measures the write paths the engine unified:
 
 1. **Bbox-sharded threads** (:func:`repro.parallel.executors.run_threaded_stamping`)
    against the serial engine — wall time *and* peak shard-buffer bytes vs
@@ -10,10 +10,17 @@ Measures the three write paths the engine unified:
 2. **Incremental sliding windows**: one `slide_window` on a warm
    region-cached estimator vs recomputing the window from scratch with
    sequential PB-SYM.
-3. **VB voxel tiles** through the engine vs the retained legacy tile loop
+3. **Slide pipeline (t-slabbed retirement)**: sustained slides cutting
+   through a clustered ``n=1e5`` window — t-slab caches (subtract
+   expired slabs + restamp one straddle) vs the restamp-survivors
+   baseline (``t_slab_voxels=None``), sweeping slab thickness.  The
+   acceptance gate requires >= 3x fewer kernel evaluations
+   (WorkCounter) and less wall time, with every config equivalent to a
+   cold recompute at ``rtol=1e-12`` — asserted in the bench itself.
+4. **VB voxel tiles** through the engine vs the retained legacy tile loop
    (small instance — VB is Theta(voxels * points)).
 
-Every cell verifies density equivalence at ``rtol=1e-12``.
+Every cell verifies density equivalence (``rtol=1e-12`` unless noted).
 
 Writes ``BENCH_regions.json`` at the repository root (override with
 ``--out``); ``--results-dir DIR`` additionally writes
@@ -37,7 +44,7 @@ from repro.algorithms.vb import accumulate_tile_legacy, vb
 from repro.core import DomainSpec, GridSpec, PointSet, WorkCounter
 from repro.core.incremental import IncrementalSTKDE
 from repro.core.kernels import get_kernel
-from repro.core.regions import plan_stamp_shards
+from repro.core.regions import auto_slab_voxels, plan_stamp_shards
 from repro.core.stamping import stamp_batch
 from repro.parallel.executors import run_threaded_stamping
 
@@ -186,6 +193,108 @@ def incremental_cell(grid: GridSpec, n: int) -> dict:
     return row
 
 
+def slide_pipeline_cells(grid: GridSpec, n: int, n_slides: int) -> list:
+    """Sustained slides cutting through one clustered window.
+
+    One big batch spans most of the t-domain (the backfill / dense-feed
+    shape whose partial retirement is the expensive case); every slide
+    feeds a small fresh batch and advances the horizon *through* the big
+    batch.  The restamp-survivors baseline (``t_slab_voxels=None``)
+    re-tabulates kernels for every survivor per slide; the t-slab configs
+    subtract expired slabs and restamp only the straddle.  Kernel
+    evaluations are deterministic (WorkCounter), wall time measured, and
+    every config's final volume is pinned against a cold PB-SYM recompute
+    of the live window at rtol=1e-12 in this very function.
+    """
+    from repro.algorithms.pb_sym import pb_sym
+
+    span = np.array([grid.domain.gx, grid.domain.gy, grid.domain.gt])
+    big = make_coords(grid, n, "clustered", seed=17)
+    big[:, 2] = np.random.default_rng(18).uniform(0, 0.6 * span[2], size=n)
+    n_feed = max(1, n // 20)
+
+    def feed(k: int) -> np.ndarray:
+        pts = make_coords(grid, n_feed, "clustered", seed=60 + k)
+        lo = (0.62 + 0.05 * k) * span[2]
+        pts[:, 2] = np.random.default_rng(80 + k).uniform(
+            lo, min(lo + 0.05 * span[2], span[2] * (1 - 1e-9)), size=n_feed
+        )
+        return pts
+
+    horizons = [(k + 1) * 0.55 * span[2] / (n_slides + 1)
+                for k in range(n_slides)]
+
+    rows = []
+    for label, slab_voxels in (
+        ("restamp-survivors", None),
+        ("slabs-auto", "auto"),
+        ("slabs-thin", 5),
+        ("slabs-thick", 20),
+    ):
+        counter = WorkCounter()
+        inc = IncrementalSTKDE(
+            grid, counter=counter, cache_fraction=2.0,
+            t_slab_voxels=slab_voxels,
+        )
+        inc.add(big)
+        # Retirement cost in isolation: the horizon advance is timed on
+        # its own (empty feed), then the arriving batch — identical work
+        # in every config — is added separately.
+        retired = 0
+        t_slides = 0.0
+        slide_evals = 0
+        empty = np.empty((0, 3))
+        for k in range(n_slides):
+            evals0 = counter.spatial_evals + counter.temporal_evals
+            t0 = time.perf_counter()
+            retired += inc.slide_window(empty, t_horizon=horizons[k])
+            t_slides += time.perf_counter() - t0
+            slide_evals += (
+                counter.spatial_evals + counter.temporal_evals - evals0
+            )
+            inc.add(feed(k))
+
+        live = np.vstack(
+            [big[big[:, 2] >= horizons[-1]]] + [feed(k) for k in range(n_slides)]
+        )
+        cold = pb_sym(PointSet(live), grid, kernel="epanechnikov")
+        equiv = bool(np.allclose(
+            inc.volume().data, cold.data, rtol=1e-12, atol=1e-15
+        ))
+        assert equiv, f"slide pipeline diverged from cold recompute ({label})"
+        rows.append({
+            "path": "slide-pipeline",
+            "config": label,
+            "t_slab_voxels": slab_voxels if slab_voxels != "auto" else
+                             auto_slab_voxels(grid),
+            "dataset": "clustered-window",
+            "n": n,
+            "feed_batch": n_feed,
+            "n_slides": n_slides,
+            "retired": retired,
+            "slides_seconds": t_slides,
+            "slide_kernel_evals": slide_evals,
+            "slab_buffers_retired": counter.slab_buffers_retired,
+            "slab_restamp_points": counter.slab_restamp_points,
+            "cached_buffer_cells": inc.cached_buffer_cells,
+            "equivalent_rtol_1e12": equiv,
+        })
+        print(
+            f"slide-pipe   {label:18s} n={n:>7d}  {n_slides} slides "
+            f"{t_slides:7.3f}s  kernel evals {slide_evals:>12d}  restamped "
+            f"{counter.slab_restamp_points:>7d} pts  equiv={equiv}"
+        )
+    base = rows[0]
+    for r in rows[1:]:
+        r["kernel_eval_reduction_vs_restamp"] = (
+            base["slide_kernel_evals"] / max(r["slide_kernel_evals"], 1)
+        )
+        r["speedup_vs_restamp"] = (
+            base["slides_seconds"] / max(r["slides_seconds"], 1e-12)
+        )
+    return rows
+
+
 def vb_tile_cell(n: int) -> dict:
     """VB through the engine tile path vs the retained legacy tile loop."""
     grid = GridSpec(DomainSpec.from_voxels(32, 32, 16), hs=2.5, ht=2.0)
@@ -253,6 +362,13 @@ def main(argv=None) -> int:
             repeats = 1 if n >= 100_000 else 2
             rows.append(threads_cell(grid, dataset, n, repeats))
     rows.append(incremental_cell(grid, sizes[-1]))
+    rows.extend(
+        slide_pipeline_cells(
+            grid,
+            5_000 if args.smoke else 100_000,
+            n_slides=3 if args.smoke else 6,
+        )
+    )
     rows.append(vb_tile_cell(500 if args.smoke else 2_000))
 
     key = [
@@ -265,6 +381,10 @@ def main(argv=None) -> int:
         len(os.sched_getaffinity(0))
         if hasattr(os, "sched_getaffinity") else (os.cpu_count() or 1)
     )
+    slab_auto = [
+        r for r in rows
+        if r["path"] == "slide-pipeline" and r["config"] == "slabs-auto"
+    ][0]
     acceptance = {
         "case": f"clustered n={sizes[-1]}, P={THREADS_P}",
         "peak_shard_buffer_bytes": key["peak_shard_buffer_bytes"],
@@ -274,6 +394,16 @@ def main(argv=None) -> int:
         ),
         "buffer_reduction_factor": key["buffer_reduction_factor"],
         "threads_scaling_measurable": cpus > 1,
+        "slab_kernel_eval_reduction": slab_auto[
+            "kernel_eval_reduction_vs_restamp"
+        ],
+        "slab_kernel_evals_ge_3x_fewer": (
+            slab_auto["kernel_eval_reduction_vs_restamp"] >= 3.0
+        ),
+        "slab_slide_speedup": slab_auto["speedup_vs_restamp"],
+        "slab_slides_faster_than_restamp": (
+            slab_auto["speedup_vs_restamp"] > 1.0
+        ),
         "densities_equivalent_rtol_1e12": all(
             r.get("equivalent_rtol_1e12", r.get("equivalent_rtol_1e9", False))
             for r in rows

@@ -38,7 +38,7 @@ from ..core.grid import GridSpec, PointSet
 from ..core.instrument import WorkCounter
 from ..core.invariants import stamp_extent
 from ..core.kernels import get_kernel
-from ..core.regions import plan_stamp_shards
+from ..core.regions import auto_slab_voxels, plan_stamp_shards
 from ..core.stamping import batch_windows
 from ..parallel.color import (
     greedy_coloring,
@@ -56,7 +56,14 @@ from ..parallel.schedule import (
 )
 from ..parallel.rep import plan_replication
 
-__all__ = ["MachineModel", "CostModel", "Prediction", "select_strategy"]
+__all__ = [
+    "MachineModel",
+    "CostModel",
+    "Prediction",
+    "SlidePrediction",
+    "MergePrediction",
+    "select_strategy",
+]
 
 
 @dataclass(frozen=True)
@@ -112,6 +119,11 @@ class MachineModel:
         (vectorised ``searchsorted`` into one segment's sorted cells).
         Charged ``groups * segments`` per batch: the price of keeping the
         index incremental as per-batch segments rather than one monolith.
+    c_qrow:
+        Seconds per storage row copied by the index's row-movement
+        maintenance (segment merging, compaction-debt relocation) —
+        coordinate gather plus permutation remap, no re-bucketing.  What
+        :meth:`CostModel.predict_merge` charges consolidation with.
     """
 
     c_mem: float
@@ -125,6 +137,7 @@ class MachineModel:
     c_qgroup: float = 0.0
     c_qcohort: float = 0.0
     c_qprobe: float = 0.0
+    c_qrow: float = 0.0
 
     @classmethod
     def calibrate(cls, seed: int = 0) -> "MachineModel":
@@ -227,7 +240,7 @@ class MachineModel:
         )
         c_tile = max(t_tile_small - n_vox * p_small * c_pair, 0.0)
         # The serving-side unit costs (c_lookup, c_qgroup, c_qcohort,
-        # c_qprobe) are probed by repro.serve.calibrate.calibrate_serving
+        # c_qprobe, c_qrow) are probed by repro.serve.calibrate.calibrate_serving
         # — the probes live with the code they measure, keeping analysis
         # below serve in the layering; until then CostModel.lookup_cost
         # falls back to a memory-rate estimate and direct batches price
@@ -236,6 +249,59 @@ class MachineModel:
             c_mem=c_mem, c_point=c_point, c_cell=c_cell, c_batch=c_batch,
             c_pair=c_pair, c_tile=c_tile,
         )
+
+
+@dataclass(frozen=True)
+class SlidePrediction:
+    """Predicted cost of one window slide, per retirement strategy.
+
+    ``slab_seconds``
+        t-slabbed retirement: subtract the expired slabs' cached boxes,
+        then subtract and restamp only the straddle slab's survivors.
+    ``restamp_seconds``
+        The monolithic-cache baseline: subtract the batch's whole cached
+        box and restamp *every* survivor.
+    ``negative_seconds``
+        The uncached fallback: stamp the expired events negatively
+        (kernel work proportional to what *left*, no cache memory).
+    """
+
+    slab_seconds: float
+    restamp_seconds: float
+    negative_seconds: float
+
+    @property
+    def best(self) -> str:
+        costs = {
+            "slab": self.slab_seconds,
+            "restamp": self.restamp_seconds,
+            "negative": self.negative_seconds,
+        }
+        return min(costs, key=costs.get)
+
+
+@dataclass(frozen=True)
+class MergePrediction:
+    """Predicted economics of consolidating index segments.
+
+    ``merge_seconds`` is the one-off row-movement cost;
+    ``probe_seconds_saved_per_batch`` what every future query batch
+    stops paying in per-segment CSR probes; ``breakeven_batches`` how
+    many batches amortise the merge (``inf`` when nothing is saved).
+    """
+
+    merge_seconds: float
+    probe_seconds_saved_per_batch: float
+
+    @property
+    def breakeven_batches(self) -> float:
+        if self.probe_seconds_saved_per_batch <= 0.0:
+            return math.inf
+        return self.merge_seconds / self.probe_seconds_saved_per_batch
+
+    def pays_within(self, n_batches: float) -> bool:
+        """Whether consolidation pays for itself within ``n_batches``."""
+        return self.breakeven_batches <= n_batches
 
 
 @dataclass
@@ -375,6 +441,79 @@ class CostModel:
             + n_queries * m.c_point
             + total_candidates * m.c_pair
         )
+
+    def predict_slide(
+        self,
+        n_expired: int,
+        n_survivors: int,
+        bbox_cells: int,
+        *,
+        batch_t_voxels: Optional[int] = None,
+        expired_slab_cells: Optional[int] = None,
+        straddle_cells: Optional[int] = None,
+        n_straddle_survivors: Optional[int] = None,
+    ) -> SlidePrediction:
+        """Price one window slide under the three retirement strategies.
+
+        ``n_expired`` / ``n_survivors`` describe the partially-expired
+        batch, ``bbox_cells`` its monolithic cache box, and
+        ``batch_t_voxels`` the batch's own t-extent (defaults to the
+        whole grid — conservative for temporally localized batches, so
+        pass the measured extent when known).  The slab-path arguments
+        default to the geometric expectation when not measured: expired
+        slabs cover the expired fraction of the box, the straddle slab
+        one :func:`~repro.core.regions.auto_slab_voxels` thickness of
+        the batch's t-extent, and the straddle's survivors the matching
+        share of the batch.  This is the trade
+        :class:`~repro.core.incremental.IncrementalSTKDE` makes per slide
+        — subtractions are memory-rate, restamps pay kernel work — and
+        what the slide-pipeline benchmark sweeps.
+        """
+        m = self.machine
+        total = max(n_expired + n_survivors, 1)
+        slab_t = auto_slab_voxels(self.grid)
+        span_t = max(
+            self.grid.Gt if batch_t_voxels is None else batch_t_voxels, 1
+        )
+        if expired_slab_cells is None:
+            expired_slab_cells = int(bbox_cells * n_expired / total)
+        if straddle_cells is None:
+            straddle_cells = int(bbox_cells * min(1.0, slab_t / span_t))
+        if n_straddle_survivors is None:
+            n_straddle_survivors = min(
+                n_survivors, int(total * min(1.0, slab_t / span_t))
+            )
+        # Slab path: expired boxes subtract at memory rate; the straddle
+        # box subtracts, its survivors restamp into a fresh buffer.
+        slab = m.c_mem * (expired_slab_cells + 2 * straddle_cells)
+        if n_straddle_survivors:
+            slab += self.batch_cost(n_straddle_survivors)
+        # Monolithic baseline: whole box out, every survivor restamped
+        # into a fresh (survivor-fraction-sized) box.
+        restamp = m.c_mem * bbox_cells * (1 + n_survivors / total)
+        if n_survivors:
+            restamp += self.batch_cost(n_survivors)
+        negative = self.batch_cost(n_expired) if n_expired else 0.0
+        return SlidePrediction(slab, restamp, negative)
+
+    def predict_merge(
+        self, n_rows: int, n_segments: int, n_groups: int
+    ) -> MergePrediction:
+        """Price consolidating ``n_segments`` index segments of
+        ``n_rows`` total into one.
+
+        The merge copies rows and merge-sorts the already-computed cells
+        (``c_qrow`` per row, calibrated against the real merge path; an
+        8x memory-rate estimate before serving calibration) — no event is
+        re-bucketed.  Every future batch walking ``n_groups`` cell groups
+        then saves ``(n_segments - 1)`` CSR probes per group, which is
+        what bounds steady-state probe cost for tiny-batch feeds.
+        """
+        m = self.machine
+        row_rate = m.c_qrow if m.c_qrow > 0.0 else 8.0 * m.c_mem
+        merge = m.c_batch + n_rows * row_rate
+        saved = max(n_segments - 1, 0) * n_groups * m.c_qprobe
+        return MergePrediction(merge, saved)
 
     def predict_materialize(self, P: Optional[int] = None) -> float:
         """Predicted seconds to materialise the volume for the lookup plan.

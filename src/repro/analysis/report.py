@@ -163,6 +163,36 @@ def check_all(results_dir: Path) -> List[ShapeCheck]:
     checks.append(ShapeCheck("region_engine",
                              "bbox shard buffers < P full volumes; paths equivalent", ok))
 
+    # Slide pipeline (PR 5): t-slabbed retirement must beat the
+    # restamp-survivors baseline on kernel evaluations (the O(delta)
+    # slide claim), with the slab gauges recorded and every config
+    # equivalent to the cold recompute.
+    rows = load_experiment(results_dir, "region_engine")
+    ok = None
+    if rows is not None:
+        slide_rows = [r for r in rows if r.get("path") == "slide-pipeline"]
+        slab_rows = [
+            r for r in slide_rows if r.get("config") != "restamp-survivors"
+        ]
+        if slide_rows:
+            ok = (
+                bool(slab_rows)
+                and all(
+                    r.get("kernel_eval_reduction_vs_restamp", 0) > 1.0
+                    and r.get("slab_buffers_retired", 0) > 0
+                    for r in slab_rows
+                )
+                and any(
+                    r.get("kernel_eval_reduction_vs_restamp", 0) >= 3.0
+                    for r in slab_rows
+                )
+                and all(
+                    r.get("equivalent_rtol_1e12", False) for r in slide_rows
+                )
+            )
+    checks.append(ShapeCheck("slide_pipeline",
+                             "t-slab retirement >= 3x fewer kernel evals; equivalent", ok))
+
     # Figure 15: Flu never won by DR; some REP/SCHED win on PollenUS.
     rows = load_experiment(results_dir, "fig15_best")
     ok = None

@@ -24,22 +24,34 @@ Region-engine rebuild
 ---------------------
 All stamping goes through the batched region engine
 (:func:`repro.core.stamping.stamp_batch`), one engine batch per add /
-remove.  On top of that, each tracked batch whose stamps fit in a small
-bounding box — the normal shape of a sliding-window time slab — caches its
-materialised contribution in a :class:`~repro.core.regions.RegionBuffer`:
-the summed cohort tables the engine produced at ``add`` time.  Retiring
-the batch later reuses that cache instead of re-tabulating kernels:
+remove.  On top of that, each tracked batch whose stamps fit affordably
+in bounding boxes caches its materialised contribution in
+:class:`~repro.core.regions.RegionBuffer` s: the summed cohort tables the
+engine produced at ``add`` time.  Retiring a batch later reuses those
+caches instead of re-tabulating kernels.
 
-* **full retirement** subtracts the cached box (O(bbox), zero kernel
-  evaluations);
-* **partial retirement** (the window boundary cutting through a batch)
-  subtracts the cached box and restamps only the *kept* points into a
-  fresh cached box — one engine batch over the survivors, after which the
-  batch is again ready for O(bbox) retirement on the next slide.
+t-slabbed retirement caches
+---------------------------
+A batch is partitioned along t into **retirement slabs**
+(:func:`~repro.core.regions.plan_time_slabs`: stamp-origin ordered,
+balanced on stamped cell count, about two stamp extents thick by
+default), each tracked independently with its own cached buffer.  A
+sliding window's horizon then expires whole leading slabs and cuts
+through at most one *straddle* slab, so a ``slide_window`` costs:
 
-Batches too spread out to cache affordably (bounding box larger than
-``cache_fraction`` of the grid) fall back to plain engine stamping with
-negative-norm removal, so memory stays bounded for global batches.
+* **full slab retirement** — subtract the cached box (O(bbox), zero
+  kernel evaluations), one per expired slab;
+* **straddle restamp** — subtract the straddle slab's box and restamp
+  only *its* survivors into a fresh cache — one thin engine batch,
+  instead of re-tabulating kernels for every survivor of the batch.
+
+This makes steady-state slides O(expired delta): the pre-slab behaviour
+(restamp all survivors of a partially-expired batch) is recovered with
+``t_slab_voxels=None``, and the two are equivalent to ``rtol=1e-12``.
+Batches too spread out to cache affordably (slab boxes larger than
+``cache_fraction`` of the grid in aggregate) fall back to plain engine
+stamping with negative-norm removal, so memory stays bounded for global
+batches.
 """
 
 from __future__ import annotations
@@ -52,7 +64,7 @@ import numpy as np
 from .grid import GridSpec, PointSet, Volume
 from .instrument import WorkCounter
 from .kernels import KernelPair, get_kernel
-from .regions import RegionBuffer, batch_bbox
+from .regions import RegionBuffer, auto_slab_voxels, batch_bbox, plan_time_slabs
 from .stamping import stamp_batch
 
 __all__ = ["IncrementalSTKDE"]
@@ -66,13 +78,14 @@ def _row_keys(coords: np.ndarray) -> np.ndarray:
 
 @dataclass
 class _TrackedBatch:
-    """A live event batch and (when affordable) its cached region stamp.
+    """A live tracking unit — one retirement slab — and its cached stamp.
 
-    ``batch_id`` is unique for the life of the estimator and changes
-    whenever the batch's *membership* changes (partial retirement,
-    untracking): downstream consumers keyed on it — the serving layer's
-    per-batch index segments — treat an id as an immutable event set, so
-    survivors of a split are a brand-new batch.
+    An added batch is tracked as one or more of these (one per t-slab
+    when slabbing applies).  ``batch_id`` is unique for the life of the
+    estimator and changes whenever the unit's *membership* changes
+    (partial retirement, untracking): downstream consumers keyed on it —
+    the serving layer's per-batch index segments — treat an id as an
+    immutable event set, so survivors of a split are a brand-new batch.
     """
 
     batch_id: int
@@ -94,6 +107,14 @@ class IncrementalSTKDE:
     a batch whose cache would push past the budget is stamped uncached —
     correctness is unaffected, only its later retirement falls back to
     negative restamping.  ``None`` leaves the aggregate unbounded.
+
+    ``t_slab_voxels`` sets the retirement-slab thickness along t:
+    ``"auto"`` (default) plans from the temporal bandwidth
+    (:func:`~repro.core.regions.auto_slab_voxels`), an ``int`` pins the
+    thickness (benchmark sweeps), and ``None`` disables slabbing — one
+    monolithic cache per batch, the pre-slab behaviour whose partial
+    retirement restamps every survivor.  ``max_slabs`` caps the tracked
+    units a single ``add`` can mint.
     """
 
     def __init__(
@@ -104,9 +125,19 @@ class IncrementalSTKDE:
         counter: Optional[WorkCounter] = None,
         cache_fraction: float = 0.5,
         memory_budget_bytes: Optional[int] = None,
+        t_slab_voxels: int | str | None = "auto",
+        max_slabs: int = 16,
     ) -> None:
         if cache_fraction < 0.0:
             raise ValueError("cache_fraction must be >= 0")
+        if t_slab_voxels == "auto":
+            t_slab_voxels = auto_slab_voxels(grid)
+        if t_slab_voxels is not None and t_slab_voxels < 1:
+            raise ValueError("t_slab_voxels must be >= 1, 'auto', or None")
+        if max_slabs < 1:
+            raise ValueError("max_slabs must be >= 1")
+        self.t_slab_voxels = t_slab_voxels
+        self.max_slabs = int(max_slabs)
         self.grid = grid
         self.kernel = get_kernel(kernel)
         self.counter = counter if counter is not None else WorkCounter()
@@ -179,26 +210,81 @@ class IncrementalSTKDE:
         self._next_batch_id += 1
         return self._next_batch_id
 
-    def _stamp_tracked(self, coords: np.ndarray) -> _TrackedBatch:
-        """Stamp a batch through the region engine, caching when affordable."""
-        bbox = batch_bbox(self.grid, coords)
-        if bbox is not None and self._cache_affordable(bbox.volume):
-            buf = RegionBuffer(bbox)
-            self.counter.init_writes += buf.cells
-            self.counter.shard_bbox_cells += buf.cells
-            buf.stamp(self.grid, self.kernel, coords, 1.0, self.counter)
-            self.counter.reduce_adds += buf.add_into(self._acc)
-            return _TrackedBatch(self._new_batch_id(), coords, buf)
+    def _stamp_cached(self, coords: np.ndarray, bbox) -> _TrackedBatch:
+        """Stamp one tracking unit into a fresh cached region buffer."""
+        buf = RegionBuffer(bbox)
+        self.counter.init_writes += buf.cells
+        self.counter.shard_bbox_cells += buf.cells
+        buf.stamp(self.grid, self.kernel, coords, 1.0, self.counter)
+        self.counter.reduce_adds += buf.add_into(self._acc)
+        return _TrackedBatch(self._new_batch_id(), coords, buf)
+
+    def _stamp_uncached(self, coords: np.ndarray) -> _TrackedBatch:
         stamp_batch(self._acc, self.grid, self.kernel, coords, 1.0, self.counter)
         return _TrackedBatch(self._new_batch_id(), coords, None)
 
+    def _stamp_tracked(self, coords: np.ndarray) -> List[_TrackedBatch]:
+        """Stamp a batch through the region engine, caching when affordable.
+
+        Partitions the batch into t-slabs and caches one
+        :class:`RegionBuffer` per slab when the batch's *aggregate* slab
+        footprint is affordable (``cache_fraction`` bounds the whole
+        batch, exactly as it bounded the monolithic box — slab xy-boxes
+        are tighter, so the aggregate is often smaller than the joint
+        bbox); falls back to one monolithic cache when only the single
+        bounding box fits, and to plain (uncached) engine stamping
+        otherwise.
+        """
+        bbox = batch_bbox(self.grid, coords)
+        if bbox is None:
+            return [self._stamp_uncached(coords)]
+        if self.t_slab_voxels is not None:
+            slabs = plan_time_slabs(
+                self.grid, coords, self.t_slab_voxels, self.max_slabs
+            )
+            if len(slabs) > 1:
+                parts = [coords[idx] for idx in slabs]
+                boxes = [batch_bbox(self.grid, p) for p in parts]
+                total = sum(b.volume for b in boxes if b is not None)
+                if self._cache_affordable(total):
+                    return [
+                        self._stamp_cached(p, b) if b is not None
+                        else self._stamp_uncached(p)
+                        for p, b in zip(parts, boxes)
+                    ]
+        if self._cache_affordable(bbox.volume):
+            return [self._stamp_cached(coords, bbox)]
+        return [self._stamp_uncached(coords)]
+
+    @staticmethod
+    def _coerce_unweighted(points: PointSet | np.ndarray) -> np.ndarray:
+        """Event coordinates of an *unweighted* input.
+
+        Weighted :class:`PointSet` s are rejected: the unnormalised
+        accumulator sums unit stamps, so silently dropping weights would
+        serve a different estimator than the caller built.
+        """
+        if isinstance(points, PointSet):
+            if points.weights is not None:
+                raise ValueError(
+                    "IncrementalSTKDE does not track per-event weights; "
+                    "serve weighted sets through a static DensityService "
+                    "or drop the weights explicitly"
+                )
+            return points.coords
+        return np.asarray(points, dtype=np.float64)
+
     def add(self, points: PointSet | np.ndarray) -> None:
-        """Insert events (stamps their cylinders; O(batch * stamp))."""
-        coords = points.coords if isinstance(points, PointSet) else np.asarray(points, dtype=np.float64)
+        """Insert events (stamps their cylinders; O(batch * stamp)).
+
+        Weighted :class:`PointSet` s are rejected — see
+        :meth:`_coerce_unweighted`.
+        """
+        coords = self._coerce_unweighted(points)
         if coords.size == 0:
             return
         batch = np.array(coords, dtype=np.float64)
-        self._live.append(self._stamp_tracked(batch))
+        self._live.extend(self._stamp_tracked(batch))
         self.counter.points_processed += len(batch)
         self._n += len(batch)
         self._version += 1
@@ -217,7 +303,7 @@ class IncrementalSTKDE:
         set generates (it may go negative, which :meth:`volume` clamps
         is *not* — validation stays honest).
         """
-        coords = points.coords if isinstance(points, PointSet) else np.asarray(points, dtype=np.float64)
+        coords = self._coerce_unweighted(points)
         if coords.size == 0:
             return
         if len(coords) > self._n:
@@ -283,11 +369,12 @@ class IncrementalSTKDE:
         """Add ``new_points`` and retire all tracked events with
         ``t < t_horizon``.  Returns the number of retired events.
 
-        Retirement reuses each batch's cached region stamp where present:
-        the cached box is subtracted in one slab operation, and for a
-        partially-expired batch the surviving points are restamped into a
-        fresh cache — so a slide never re-tabulates kernels for points
-        that are leaving the window.
+        Retirement reuses each tracked slab's cached region stamp where
+        present: fully-expired slabs are subtracted in one box operation
+        each (zero kernel evaluations), and only the slab the horizon
+        cuts *through* restamps its survivors into a fresh cache — so a
+        slide's kernel work is proportional to one straddle slab, not to
+        every survivor of a partially-expired batch.
         """
         retired = 0
         kept_batches: List[_TrackedBatch] = []
@@ -308,14 +395,16 @@ class IncrementalSTKDE:
                     raise ValueError(
                         f"cannot remove {n_old} events; only {self._n} present"
                     )
-                # Cache reuse: drop the batch's whole materialised stamp,
+                # Cache reuse: drop the slab's whole materialised stamp,
                 # then restamp only the survivors (none, on full expiry).
                 self.counter.reduce_adds += tb.buffer.add_into(
                     self._acc, sign=-1.0
                 )
+                self.counter.slab_buffers_retired += 1
                 self._n -= n_old
                 if len(kept):
-                    kept_batches.append(self._stamp_tracked(kept))
+                    self.counter.slab_restamp_points += len(kept)
+                    kept_batches.extend(self._stamp_tracked(kept))
             else:
                 # Inline negative stamp (not remove(): this loop manages
                 # the tracking itself, so the multiset untrack would be a

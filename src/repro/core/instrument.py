@@ -84,6 +84,24 @@ class WorkCounter:
     ``index_events_retired``
         Events whose index segment was retired (no re-bucketing; rows go
         dead until compaction).
+    ``slab_buffers_retired``
+        Cached t-slab region buffers subtracted during sliding-window
+        retirement (:meth:`repro.core.incremental.IncrementalSTKDE
+        .slide_window`) — each is an O(bbox) subtraction with zero kernel
+        evaluations.
+    ``slab_restamp_points``
+        Survivor points restamped because the window horizon cut through
+        their slab (the straddle slab).  The O(delta) slide contract:
+        this should be ~one slab's worth per slide, not the surviving
+        batch.
+    ``index_segments_merged``
+        Index segments absorbed into consolidated segments by the
+        merge policy (:meth:`repro.serve.index.BucketIndex.sync`) — rows
+        are copied, never re-bucketed.
+    ``index_rows_compacted``
+        Storage rows moved paying down index compaction debt (gap
+        relocation and full sweeps) — the amortised cost the serving
+        path no longer pays inside ``remove_segment``.
 
     The batching statistics are bookkeeping (like ``points_processed``):
     they are excluded from :meth:`total_ops` and :meth:`flop_estimate`.
@@ -103,6 +121,10 @@ class WorkCounter:
     query_cohorts: int = 0
     index_events_bucketed: int = 0
     index_events_retired: int = 0
+    slab_buffers_retired: int = 0
+    slab_restamp_points: int = 0
+    index_segments_merged: int = 0
+    index_rows_compacted: int = 0
 
     def merge(self, other: "WorkCounter") -> "WorkCounter":
         """Accumulate another counter into this one (returns self)."""
@@ -120,6 +142,10 @@ class WorkCounter:
         self.query_cohorts += other.query_cohorts
         self.index_events_bucketed += other.index_events_bucketed
         self.index_events_retired += other.index_events_retired
+        self.slab_buffers_retired += other.slab_buffers_retired
+        self.slab_restamp_points += other.slab_restamp_points
+        self.index_segments_merged += other.index_segments_merged
+        self.index_rows_compacted += other.index_rows_compacted
         return self
 
     def total_ops(self) -> int:
@@ -160,6 +186,10 @@ class WorkCounter:
             "query_cohorts": self.query_cohorts,
             "index_events_bucketed": self.index_events_bucketed,
             "index_events_retired": self.index_events_retired,
+            "slab_buffers_retired": self.slab_buffers_retired,
+            "slab_restamp_points": self.slab_restamp_points,
+            "index_segments_merged": self.index_segments_merged,
+            "index_rows_compacted": self.index_rows_compacted,
         }
 
     def copy(self) -> "WorkCounter":
@@ -194,6 +224,10 @@ class _NullCounter(WorkCounter):
             "query_cohorts",
             "index_events_bucketed",
             "index_events_retired",
+            "slab_buffers_retired",
+            "slab_restamp_points",
+            "index_segments_merged",
+            "index_rows_compacted",
         ):
             return 0
         return object.__getattribute__(self, name)

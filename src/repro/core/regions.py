@@ -61,6 +61,8 @@ __all__ = [
     "RegionBuffer",
     "ShardPlan",
     "plan_stamp_shards",
+    "auto_slab_voxels",
+    "plan_time_slabs",
 ]
 
 
@@ -345,3 +347,75 @@ def plan_stamp_shards(
             )
         )
     return ShardPlan(shards, windows)
+
+
+def auto_slab_voxels(grid: GridSpec) -> int:
+    """Default retirement-slab thickness along t, in voxels.
+
+    Two stamp extents (``2 * (2 Ht + 1)``): adjacent slab buffers overlap
+    by at most one stamp extent along t, so this thickness caps the cache
+    memory overhead of slabbing at ~50% of the un-slabbed buffer while
+    keeping the straddle slab (the only part of a batch a window slide
+    ever restamps) a small fraction of the batch.  Thinner slabs buy finer
+    retirement granularity at more overlap; the trade is priced by
+    :meth:`repro.analysis.model.CostModel.predict_slide`.
+    """
+    return 2 * (2 * grid.Ht + 1)
+
+
+def plan_time_slabs(
+    grid: GridSpec,
+    coords: np.ndarray,
+    slab_voxels: Optional[int] = None,
+    max_slabs: int = 16,
+    clip: Optional[VoxelWindow] = None,
+) -> List[np.ndarray]:
+    """Partition a batch into t-ordered slabs of near-equal stamp work.
+
+    The retirement-granularity planner of the incremental estimator:
+    points are ordered by stamp-window origin along t and cut into spans
+    balanced on stamped cell count (the same balancing rule as
+    :func:`plan_stamp_shards`, applied along t instead of x), with the
+    span count chosen so each slab is about ``slab_voxels`` thick
+    (default :func:`auto_slab_voxels`).  A sliding window's horizon then
+    expires whole leading slabs — subtracted from their cached
+    :class:`RegionBuffer` with zero kernel evaluations — and cuts through
+    at most one *straddle* slab whose survivors need restamping.
+
+    Returns index arrays partitioning ``[0, n)`` (every input point lands
+    in exactly one slab, including points whose stamps clip to nothing —
+    their windows are degenerate but they still need retirement
+    tracking).  A single-element list means slabbing is not worth it for
+    this batch's t-extent.
+    """
+    if max_slabs < 1:
+        raise ValueError("max_slabs must be >= 1")
+    coords = np.asarray(coords, dtype=np.float64)
+    n = coords.shape[0]
+    if n == 0:
+        return []
+    if slab_voxels is None:
+        slab_voxels = auto_slab_voxels(grid)
+    if slab_voxels < 1:
+        raise ValueError("slab_voxels must be >= 1")
+    X0, X1, Y0, Y1, T0, T1 = batch_windows(grid, coords, clip)
+    wx = np.maximum(X1 - X0, 0)
+    wy = np.maximum(Y1 - Y0, 0)
+    wt = np.maximum(T1 - T0, 0)
+    cells = wx * wy * wt
+    live = cells > 0
+    if not live.any():
+        return [np.arange(n, dtype=np.int64)]
+    t_span = int(T1[live].max() - T0[live].min())
+    n_slabs = min(max(1, -(-t_span // slab_voxels)), max_slabs, n)
+    if n_slabs == 1:
+        return [np.arange(n, dtype=np.int64)]
+    order = np.lexsort((X0, Y0, T0)).astype(np.int64)
+    bounds = _balanced_bounds(cells[order], n_slabs)
+    # The lexsort only places the cuts; inside a slab the input order is
+    # restored so tracked coordinates stay stable for callers.
+    return [
+        np.sort(order[int(bounds[k]) : int(bounds[k + 1])])
+        for k in range(n_slabs)
+        if bounds[k + 1] > bounds[k]
+    ]

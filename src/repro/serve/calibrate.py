@@ -23,6 +23,12 @@ into ``repro.serve``:
     engine between a single-segment and a many-segment index over the
     same batch — what pricing an *incremental* index costs per extra
     live batch segment.
+``c_qrow``
+    Seconds per storage row of the index's row-movement maintenance:
+    the measured per-row rate of consolidating many segments into one
+    (:meth:`BucketIndex.sync`'s merge policy) — what
+    :meth:`~repro.analysis.model.CostModel.predict_merge` charges to
+    decide when consolidation pays.
 
 :class:`~repro.serve.service.DensityService` runs this lazily the first
 time its planner is needed; callers with a pre-calibrated write-side
@@ -139,7 +145,20 @@ def calibrate_serving(
         (t_multi - t_single) / max(groups * (n_segs - 1), 1), 1e-12
     )
 
+    # Row-movement rate of index maintenance: time the real merge path
+    # (member-major row copy + cells merge-sort, no re-bucketing) over a
+    # many-segment index, per row.
+    best = math.inf
+    for _ in range(3):
+        idx_merge = BucketIndex(g_q)
+        for s in range(n_segs):
+            idx_merge.add_segment(s, events[s::n_segs])
+        t0 = time.perf_counter()
+        idx_merge.consolidate_segments(list(range(n_segs)))
+        best = min(best, time.perf_counter() - t0)
+    c_qrow = max(best / max(len(events), 1), 1e-12)
+
     return dataclasses.replace(
         machine, c_lookup=c_lookup, c_qgroup=c_qgroup,
-        c_qcohort=c_qcohort, c_qprobe=c_qprobe,
+        c_qcohort=c_qcohort, c_qprobe=c_qprobe, c_qrow=c_qrow,
     )

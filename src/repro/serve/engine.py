@@ -62,6 +62,14 @@ __all__ = [
 #: temporaries stay cache-sized regardless of batch size.
 _QUERY_SLAB_PAIRS = 1 << 19
 
+#: Skewed-cohort fallback bounds: a cohort whose candidate count reaches
+#: ``skew_min_k`` while serving at most ``_SKEW_MAX_QUERIES`` queries is
+#: answered by the sparse per-query path — the dense-matrix assembly
+#: (run flattening, ``(cells, K)`` gather, per-query row expansion) would
+#: cost more than the handful of 1-D evaluations it amortises.
+_SKEW_MIN_K = 2048
+_SKEW_MAX_QUERIES = 8
+
 
 def _validate_queries(queries: np.ndarray) -> np.ndarray:
     q = np.asarray(queries, dtype=np.float64)
@@ -78,6 +86,7 @@ def direct_sum(
     counter: Optional[WorkCounter] = None,
     *,
     slab_pairs: int = _QUERY_SLAB_PAIRS,
+    skew_min_k: int = _SKEW_MIN_K,
 ) -> np.ndarray:
     """Exact STKDE at arbitrary query locations by direct kernel summation.
 
@@ -95,6 +104,13 @@ def direct_sum(
     per cohort slab.  Candidate order inside a row is identical to
     :func:`direct_sum_grouped`'s concatenation order, so both paths add
     the same numbers in the same order.
+
+    **Skewed cohorts** — at least ``skew_min_k`` candidates serving at
+    most a handful of queries (one event cluster probed by one dashboard
+    point) — skip the dense block assembly and run a sparse per-query
+    gather instead: the same candidates in the same order through the
+    same tabulation, so the fallback is bit-identical, it just avoids
+    materialising ``(cells, K)`` index matrices for single rows.
     """
     counter = counter if counter is not None else null_counter()
     q = _validate_queries(queries)
@@ -130,6 +146,31 @@ def direct_sum(
         cell_rows = np.flatnonzero(cell_cohort == k_idx)
         q_rows = np.flatnonzero(q_cohort == k_idx)
         counter.query_cohorts += 1
+        if K >= skew_min_k and q_rows.size <= _SKEW_MAX_QUERIES:
+            # Skewed cohort: sparse per-query path (bit-identical — the
+            # run concatenation order and the pairwise reduction match
+            # the dense block's row-wise sum exactly).
+            for qi in q_rows:
+                cr = int(inv[qi])
+                L = lengths[cr]
+                S = starts[cr]
+                live = L > 0
+                flat = np.concatenate(
+                    [np.arange(s, s + l) for s, l in zip(S[live], L[live])]
+                )
+                cand_row = order_store[flat]
+                pts = coords[cand_row]
+                dx = q[qi, 0] - pts[:, 0]
+                dy = q[qi, 1] - pts[:, 1]
+                dt = q[qi, 2] - pts[:, 2]
+                contrib = masked_kernel_product(
+                    grid, kernel, dx, dy, dt, counter
+                )
+                if weights is not None:
+                    out[qi] = (contrib * weights[cand_row]).sum()
+                else:
+                    out[qi] = contrib.sum()
+            continue
         # Flatten the cohort's runs into one gather: runs are ordered
         # row-major per cell and each cell's lengths sum to exactly K, so
         # the concatenated gather *is* the (cells, K) candidate matrix.

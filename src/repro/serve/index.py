@@ -19,21 +19,45 @@ Incremental segments
 --------------------
 The index is a collection of **per-batch CSR segments** mirroring the
 tracked-batch design of :class:`repro.core.incremental.IncrementalSTKDE`:
-each segment owns a contiguous row span of the shared coordinate storage
-plus one sorted-cell permutation, built in O(batch) with three vectorised
-passes.  :meth:`sync` diffs the estimator's live batches against the
-registered segments and appends/retires only the delta — the batches
-whose *membership* changed.  For a time-stratified feed (the normal
-sliding-window shape: each ``add`` is one time slab) a slide re-buckets
-only the arriving batch; a batch the horizon cuts *through* is split by
-the estimator (survivors get a new batch id) and its survivors are
-re-bucketed too, so the true bound is O(arriving + straddling batches),
-degrading toward O(n) only when every live batch mixes old and new
-timestamps.  The ``index_events_bucketed`` work counter records exactly
-what was re-bucketed (the CI smoke gates on it).  Retired
-rows are left dead in the storage and compacted away (an O(live) copy
-with **no** re-bucketing) once they outnumber the live ones, so memory
-stays bounded at 2x under any retirement pattern.
+each segment owns rows of the shared coordinate storage plus one
+sorted-cell permutation, built in O(batch) with three vectorised passes.
+:meth:`sync` diffs the estimator's live batches against the registered
+segments and appends/retires only the delta — the batches whose
+*membership* changed.  For a time-stratified feed (the normal
+sliding-window shape: each ``add`` is one or more time slabs) a slide
+re-buckets only the arriving batch; a slab the horizon cuts *through* is
+split by the estimator (survivors get a new batch id) and its survivors
+are re-bucketed too, so the true bound is O(arriving + straddling
+slabs), degrading toward O(n) only when every live batch mixes old and
+new timestamps.  The ``index_events_bucketed`` work counter records
+exactly what was re-bucketed (the CI smoke gates on it).
+
+Segment merging
+---------------
+Probe cost is charged per (cell-group x segment), so a long-lived window
+fed by tiny batches would accumulate segments without bound.
+:meth:`sync` therefore applies a **merge policy**: when the live segment
+count exceeds ``merge_segment_cap``, the oldest segments are coalesced
+into one consolidated CSR segment — rows are *copied* member-major and
+their already-computed cells merge-sorted, no event is ever re-bucketed.
+The consolidated segment remembers its members, so a later slide that
+retires one member filters that member's rows out of the run table in
+one vectorised pass (again: no cell recomputed, no sort rerun).  Steady
+state under any feed granularity is therefore at most
+``merge_segment_cap`` segments.
+
+Amortised compaction
+--------------------
+Retired rows are left dead in the storage (``remove_segment`` is pure
+bookkeeping) and tracked as a free list of gaps.  ``add_segment`` reuses
+gaps directly, and :meth:`sync` pays the remaining **compaction debt**
+off the serving path: trailing gaps are truncated and high segments are
+relocated into low gaps until the debt falls under
+:attr:`dead_row_budget` — work proportional to the rows retired since
+the last sync, never an O(live) sweep inside a ``remove_segment`` on the
+query path.  A full compaction remains only as a rare safety valve
+(fragmentation, or heavy retirement with no syncs), so memory stays
+bounded under any retirement pattern.
 
 Query batches are grouped by cell (:meth:`group_queries`) so concurrent
 queries landing in the same neighbourhood share one candidate gather, and
@@ -46,6 +70,7 @@ blocks without any per-group Python dispatch.
 
 from __future__ import annotations
 
+import bisect
 import math
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -63,26 +88,48 @@ _RUNS_PER_SEGMENT = 9
 
 
 class _Segment:
-    """One batch's CSR bucket data: a row span plus its cell-sorted view.
+    """One segment's CSR bucket data: storage rows plus a cell-sorted view.
 
     ``start`` is the first row of the segment in the index's coordinate
-    storage (rows of a segment are always contiguous), ``cells_sorted``
-    the ascending flat cell ids of its events, and ``order_base`` the
-    segment's span inside the shared :attr:`BucketIndex.order_store`
-    permutation (global row indices sorted by cell).
+    storage (a segment's live rows are ascending and, between partial
+    retirements, contiguous), ``cells_sorted`` the ascending flat cell
+    ids of its events, ``order_base`` the segment's span inside the
+    shared :attr:`BucketIndex.order_store` permutation (global row
+    indices sorted by cell), and ``row_hi`` one past the segment's
+    highest storage row (the storage high-water mark used by trailing-gap
+    truncation).
+
+    A **consolidated** segment (the merge policy's product) additionally
+    carries ``members``: ``[member_id, rel_start, n_rows]`` triples
+    recording which original batch owns which member-major sub-range of
+    the segment's rows, so a member can later be retired by filtering —
+    never by re-bucketing.  ``members is None`` marks a simple
+    (single-batch) segment.
     """
 
-    __slots__ = ("seg_id", "start", "n", "cells_sorted", "order_base")
+    __slots__ = (
+        "seg_id", "start", "n", "cells_sorted", "order_base", "row_hi",
+        "members",
+    )
 
     def __init__(
         self, seg_id: object, start: int, n: int,
         cells_sorted: np.ndarray, order_base: int,
+        members: Optional[List[List]] = None,
     ) -> None:
         self.seg_id = seg_id
         self.start = start
         self.n = n
         self.cells_sorted = cells_sorted
         self.order_base = order_base
+        self.row_hi = start + n
+        self.members = members
+
+    def member_ids(self) -> Tuple[object, ...]:
+        """Original batch ids this segment answers for."""
+        if self.members is None:
+            return (self.seg_id,)
+        return tuple(m[0] for m in self.members)
 
 
 class BucketIndex:
@@ -101,13 +148,20 @@ class BucketIndex:
     weights:
         Optional ``(n,)`` per-event weights, carried alongside the
         coordinates so weighted direct sums gather them in the same pass.
+    merge_segment_cap:
+        Live-segment cap enforced by :meth:`sync`'s merge policy
+        (``None`` disables merging).  Bounds the ``c_qprobe``-charged
+        probe cost of long-lived windows fed by tiny batches;
+        :meth:`repro.analysis.model.CostModel.predict_merge` prices the
+        trade.
     """
 
     __slots__ = (
-        "grid", "nx", "ny", "nt",
-        "_coords", "_weights", "_order", "_size", "_dead",
-        "_segments", "_cell_counts", "_box_counts",
-        "events_bucketed", "events_retired",
+        "grid", "nx", "ny", "nt", "merge_segment_cap",
+        "_coords", "_weights", "_order", "_size", "_dead", "_gaps",
+        "_segments", "_cell_counts", "_box_counts", "_merge_seq",
+        "events_bucketed", "events_retired", "segments_merged",
+        "rows_compacted",
     )
 
     def __init__(
@@ -116,8 +170,13 @@ class BucketIndex:
         coords: Optional[np.ndarray] = None,
         weights: Optional[np.ndarray] = None,
         counter: Optional[WorkCounter] = None,
+        *,
+        merge_segment_cap: Optional[int] = 16,
     ) -> None:
+        if merge_segment_cap is not None and merge_segment_cap < 2:
+            raise ValueError("merge_segment_cap must be >= 2 or None")
         self.grid = grid
+        self.merge_segment_cap = merge_segment_cap
         d = grid.domain
         self.nx = max(1, math.ceil(d.gx / grid.hs))
         self.ny = max(1, math.ceil(d.gy / grid.hs))
@@ -126,13 +185,17 @@ class BucketIndex:
         self._weights: Optional[np.ndarray] = None
         self._order = np.empty(0, dtype=np.int64)
         self._size = 0  # rows used in the storage (live + dead)
-        self._dead = 0  # retired rows awaiting compaction
+        self._dead = 0  # retired rows awaiting reuse / compaction
+        self._gaps: List[List[int]] = []  # free list: sorted [start, len]
         self._segments: Dict[object, _Segment] = {}
         self._cell_counts = np.zeros(self.n_cells, dtype=np.int64)
         self._box_counts: Optional[np.ndarray] = None  # lazy 27-box table
+        self._merge_seq = 0
         #: Lifetime sync gauges (mirrored into WorkCounter when passed).
         self.events_bucketed = 0
         self.events_retired = 0
+        self.segments_merged = 0
+        self.rows_compacted = 0
         if coords is not None:
             self.add_segment("static", coords, weights, counter)
         elif weights is not None:
@@ -160,7 +223,7 @@ class BucketIndex:
         """The flat cell-sorted permutation all segment runs index into."""
         return self._order
 
-    def _grow(self, extra: int) -> None:
+    def _grow_rows(self, extra: int) -> None:
         need = self._size + extra
         cap = self._coords.shape[0]
         if need > cap:
@@ -172,6 +235,8 @@ class BucketIndex:
                 gw = np.ones(new_cap, dtype=np.float64)
                 gw[: self._size] = self._weights[: self._size]
                 self._weights = gw
+
+    def _grow_order(self, extra: int) -> None:
         ocap = self._order.shape[0]
         used = self._order_high
         if used + extra > ocap:
@@ -188,6 +253,56 @@ class BucketIndex:
         for s in self._segments.values():
             hi = max(hi, s.order_base + s.n)
         return hi
+
+    # ------------------------------------------------------------------
+    # Row free list (dead rows awaiting reuse or compaction)
+    # ------------------------------------------------------------------
+    def _add_gap(self, start: int, length: int) -> None:
+        """Register a dead row range, coalescing with adjacent gaps."""
+        i = bisect.bisect_left([g[0] for g in self._gaps], start)
+        if i > 0 and self._gaps[i - 1][0] + self._gaps[i - 1][1] == start:
+            g = self._gaps[i - 1]
+            g[1] += length
+            i -= 1
+        else:
+            self._gaps.insert(i, [start, length])
+            g = self._gaps[i]
+        if i + 1 < len(self._gaps) and g[0] + g[1] == self._gaps[i + 1][0]:
+            g[1] += self._gaps[i + 1][1]
+            self._gaps.pop(i + 1)
+
+    def _free_rows(self, rows_sorted: np.ndarray) -> None:
+        """Mark ascending storage rows dead (registered as gap runs)."""
+        if rows_sorted.size == 0:
+            return
+        breaks = np.flatnonzero(np.diff(rows_sorted) > 1)
+        starts = np.concatenate(([0], breaks + 1))
+        ends = np.concatenate((breaks, [rows_sorted.size - 1]))
+        for s, e in zip(starts, ends):
+            self._add_gap(int(rows_sorted[s]), int(e - s + 1))
+        self._dead += int(rows_sorted.size)
+
+    def _take_gap(self, length: int, limit: Optional[int] = None) -> Optional[int]:
+        """Allocate ``length`` rows from the lowest fitting gap, if any.
+
+        ``limit`` restricts the allocation to end at or below that row —
+        the relocation guard ensuring a move lowers the storage
+        high-water mark.  The caller owns the ``_dead`` decrement.
+        """
+        for i, g in enumerate(self._gaps):
+            if g[1] >= length and (limit is None or g[0] + length <= limit):
+                start = g[0]
+                if g[1] == length:
+                    self._gaps.pop(i)
+                else:
+                    g[0] += length
+                    g[1] -= length
+                return start
+        return None
+
+    def _seg_rows(self, seg: _Segment) -> np.ndarray:
+        """The segment's live storage rows, ascending."""
+        return np.sort(self._order[seg.order_base : seg.order_base + seg.n])
 
     # ------------------------------------------------------------------
     # Basic geometry
@@ -219,8 +334,25 @@ class BucketIndex:
 
     @property
     def dead_rows(self) -> int:
-        """Retired storage rows awaiting compaction."""
+        """Retired storage rows awaiting reuse or compaction (the
+        compaction debt)."""
         return self._dead
+
+    @property
+    def dead_row_budget(self) -> int:
+        """Maximum compaction debt :meth:`sync` leaves outstanding.
+
+        One live set's worth of rows: debt is paid down to this level
+        each sync (work proportional to what retired since the last
+        sync), so storage stays bounded at ~2x live under sustained
+        slides.
+        """
+        return max(64, self.n)
+
+    @property
+    def merged_segments(self) -> int:
+        """Number of live consolidated (multi-batch) segments."""
+        return sum(1 for s in self._segments.values() if s.members is not None)
 
     @property
     def nbytes(self) -> int:
@@ -257,8 +389,17 @@ class BucketIndex:
             weights = np.ascontiguousarray(np.asarray(weights, dtype=np.float64))
             if weights.shape != (m,):
                 raise ValueError("weights must be (n,) matching coords")
-        self._grow(m)
-        start = self._size
+        # Reuse a dead-row gap when one fits (the steady-state sliding
+        # window replaces like-sized batches, so storage stops growing);
+        # append at the high-water mark otherwise.
+        start = self._take_gap(m)
+        if start is None:
+            self._grow_rows(m)
+            start = self._size
+            self._size += m
+        else:
+            self._dead -= m
+        self._grow_order(m)
         self._coords[start : start + m] = coords
         if weights is not None and self._weights is None:
             w = np.ones(self._coords.shape[0], dtype=np.float64)
@@ -274,7 +415,6 @@ class BucketIndex:
         order_base = self._order_high
         self._order[order_base : order_base + m] = start + local
         seg = _Segment(seg_id, start, m, cell[local], order_base)
-        self._size += m
         self._segments[seg_id] = seg
         if m:
             self._cell_counts += np.bincount(cell, minlength=self.n_cells)
@@ -285,10 +425,12 @@ class BucketIndex:
     def remove_segment(
         self, seg_id: object, counter: Optional[WorkCounter] = None
     ) -> None:
-        """Retire one segment — O(batch + cells), no re-bucketing.
+        """Retire one segment — pure bookkeeping, no re-bucketing.
 
-        The rows stay dead in the storage until live rows are outnumbered,
-        at which point :meth:`_compact` squeezes them out with one copy.
+        The rows go dead (registered on the gap free list) and stay in
+        place; :meth:`sync` pays the compaction debt off the serving
+        path.  A 4x safety valve still full-compacts for callers that
+        retire heavily without ever syncing, so memory stays bounded.
         """
         counter = counter if counter is not None else null_counter()
         seg = self._segments.pop(seg_id, None)
@@ -298,12 +440,49 @@ class BucketIndex:
             self._cell_counts -= np.bincount(
                 seg.cells_sorted, minlength=self.n_cells
             )
-        self._dead += seg.n
+            self._free_rows(self._seg_rows(seg))
         self._box_counts = None
         self.events_retired += seg.n
         counter.index_events_retired += seg.n
-        if self._dead > max(self.n, 64):
+        if self._dead > 4 * max(self.n, 64):
+            self.rows_compacted += self.n
+            counter.index_rows_compacted += self.n
             self._compact()
+
+    def _retire_member(
+        self, seg: _Segment, member_id: object, counter: WorkCounter
+    ) -> int:
+        """Retire one member batch of a consolidated segment.
+
+        Filters the member's rows out of the segment's run table in one
+        vectorised pass — the sorted-cell order of the survivors is
+        preserved, so no cell is recomputed and no sort rerun; the rows
+        go dead like any other retirement.  Returns the rows retired.
+        """
+        k = next(
+            i for i, m in enumerate(seg.members) if m[0] == member_id
+        )
+        _, rel, nm = seg.members.pop(k)
+        lo = seg.start + rel
+        hi = lo + nm
+        o = self._order[seg.order_base : seg.order_base + seg.n]
+        drop = (o >= lo) & (o < hi)
+        if nm:
+            self._cell_counts -= np.bincount(
+                seg.cells_sorted[drop], minlength=self.n_cells
+            )
+        keep = ~drop
+        kept = o[keep]
+        self._order[seg.order_base : seg.order_base + kept.size] = kept
+        seg.cells_sorted = seg.cells_sorted[keep]
+        seg.n = int(kept.size)
+        seg.row_hi = int(kept.max()) + 1 if kept.size else seg.start
+        self._add_gap(lo, nm)
+        self._dead += nm
+        self._box_counts = None
+        self.events_retired += nm
+        counter.index_events_retired += nm
+        return nm
 
     def sync(
         self,
@@ -312,29 +491,228 @@ class BucketIndex:
     ) -> Tuple[int, int]:
         """Reconcile the index with a source's live ``(batch_id, coords)``.
 
-        Appends segments for unseen batch ids, retires segments whose id
-        is gone, and leaves surviving segments untouched — the O(delta)
-        maintenance contract :class:`~repro.serve.service.DensityService`
-        relies on across ``slide_window`` versions.  Returns
+        Appends segments for unseen batch ids, retires segments (or
+        consolidated-segment members) whose id is gone, and leaves
+        surviving segments untouched — the O(delta) maintenance contract
+        :class:`~repro.serve.service.DensityService` relies on across
+        ``slide_window`` versions.  The maintenance that keeps the index
+        healthy long-term also runs here, off the query path: the merge
+        policy (segment count back under :attr:`merge_segment_cap`,
+        zero re-bucketing) and the compaction-debt paydown (dead rows
+        back under :attr:`dead_row_budget`, work proportional to what
+        retired since the last sync).  Returns
         ``(events_added, events_retired)``.
         """
+        counter = counter if counter is not None else null_counter()
         live_ids = {bid for bid, _ in batches}
         added = retired = 0
-        for seg_id in [s for s in self._segments if s not in live_ids]:
-            retired += self._segments[seg_id].n
-            self.remove_segment(seg_id, counter)
+        for seg_id in list(self._segments):
+            seg = self._segments[seg_id]
+            if seg.members is None:
+                if seg.seg_id not in live_ids:
+                    retired += seg.n
+                    self.remove_segment(seg_id, counter)
+                continue
+            for mid in [m[0] for m in seg.members if m[0] not in live_ids]:
+                retired += self._retire_member(seg, mid, counter)
+            if not seg.members:
+                self._segments.pop(seg_id)  # empty shell, rows already dead
+        covered = {
+            mid for seg in self._segments.values() for mid in seg.member_ids()
+        }
         for bid, coords in batches:
-            if bid not in self._segments:
+            if bid not in covered:
                 self.add_segment(bid, coords, counter=counter)
                 added += len(coords)
+        if (
+            self.merge_segment_cap is not None
+            and self.segment_count > self.merge_segment_cap
+        ):
+            target = max(2, self.merge_segment_cap // 2)
+            self.consolidate_segments(
+                list(self._segments)[: self.segment_count - target + 1],
+                counter,
+            )
+        self._pay_compaction_debt(counter)
+        if self._order_high > max(64, 2 * self.n):
+            self._rebuild_order_store()
         return added, retired
 
-    def _compact(self) -> None:
-        """Squeeze dead rows out of the stores — O(live), zero bucketing.
+    def consolidate_segments(
+        self, ids: List[object], counter: Optional[WorkCounter] = None
+    ) -> None:
+        """Coalesce segments into one consolidated CSR segment.
 
-        Rows move but segments keep their intra-segment order, so each
-        segment's permutation is remapped by a constant shift: no cell is
-        recomputed, no sort rerun.
+        Rows are copied member-major into one allocation and the members'
+        already-sorted cell arrays merge-sorted into a single run table —
+        no cell key is recomputed, no event re-bucketed.  Tie order
+        within a cell is member registration order, exactly what a cold
+        index built from the same batches would produce.  :meth:`sync`'s
+        merge policy calls this; it is public so operators (and the
+        ``c_qrow`` calibration probe) can consolidate explicitly.
+        """
+        counter = counter if counter is not None else null_counter()
+        segs = [self._segments[i] for i in ids]
+        n_total = sum(s.n for s in segs)
+        dest = self._take_gap(n_total)
+        if dest is None:
+            self._grow_rows(n_total)
+            dest = self._size
+            self._size += n_total
+        else:
+            self._dead -= n_total
+        self._grow_order(n_total)
+        members: List[List] = []
+        cells_parts: List[np.ndarray] = []
+        pos = 0
+        for s in segs:
+            o = self._order[s.order_base : s.order_base + s.n]
+            rows = np.sort(o)
+            self._coords[dest + pos : dest + pos + s.n] = self._coords[rows]
+            if self._weights is not None:
+                self._weights[dest + pos : dest + pos + s.n] = (
+                    self._weights[rows]
+                )
+            # Rows land in ascending-storage (= insertion) order, so the
+            # member-major cells come from undoing the cell sort.
+            cells_parts.append(s.cells_sorted[np.argsort(o, kind="stable")])
+            if s.members is None:
+                members.append([s.seg_id, pos, s.n])
+            else:
+                for mid, rel, nm in s.members:
+                    members.append(
+                        [mid, pos + int(np.searchsorted(rows, s.start + rel)), nm]
+                    )
+            self._free_rows(rows)
+            pos += s.n
+        for i in ids:
+            self._segments.pop(i)
+        cells = (
+            np.concatenate(cells_parts) if cells_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        local = np.argsort(cells, kind="stable").astype(np.int64)
+        order_base = self._order_high
+        self._order[order_base : order_base + n_total] = dest + local
+        seg_id = ("merged", self._merge_seq)
+        self._merge_seq += 1
+        seg = _Segment(
+            seg_id, dest, n_total, cells[local], order_base, members=members
+        )
+        # Oldest-first dict order, like a cold build over the same batches.
+        self._segments = {seg_id: seg, **self._segments}
+        self.segments_merged += len(ids)
+        counter.index_segments_merged += len(ids)
+        # Cell counts are unchanged (same live events), so the planner's
+        # box-sum table stays valid across a merge.
+
+    # ------------------------------------------------------------------
+    # Compaction debt
+    # ------------------------------------------------------------------
+    def _relocate_segment(self, seg: _Segment, dest: int) -> None:
+        """Move a segment's live rows into ``dest``, squeezing its holes.
+
+        The rows keep their ascending (insertion) order, so the cell-
+        sorted permutation is remapped by rank and consolidated-segment
+        member offsets stay contiguous.  The vacated rows join the free
+        list; the caller owns the consumed gap's ``_dead`` accounting.
+        """
+        o = self._order[seg.order_base : seg.order_base + seg.n]
+        rows = np.sort(o)
+        n = seg.n
+        self._coords[dest : dest + n] = self._coords[rows]
+        if self._weights is not None:
+            self._weights[dest : dest + n] = self._weights[rows]
+        self._order[seg.order_base : seg.order_base + n] = (
+            dest + np.searchsorted(rows, o)
+        )
+        if seg.members is not None:
+            for m in seg.members:
+                m[1] = int(np.searchsorted(rows, seg.start + m[1]))
+        seg.start = dest
+        seg.row_hi = dest + n
+        self._free_rows(rows)
+
+    def _truncate_tail(self) -> None:
+        """Reclaim trailing dead rows by lowering the high-water mark."""
+        hi = max((s.row_hi for s in self._segments.values()), default=0)
+        if hi >= self._size:
+            return
+        kept: List[List[int]] = []
+        for g in self._gaps:
+            if g[0] >= hi:
+                self._dead -= g[1]
+            elif g[0] + g[1] > hi:
+                self._dead -= g[0] + g[1] - hi
+                kept.append([g[0], hi - g[0]])
+            else:
+                kept.append(g)
+        self._gaps = kept
+        self._size = hi
+
+    def _pay_compaction_debt(self, counter: WorkCounter) -> None:
+        """Pay dead rows down to :attr:`dead_row_budget`, incrementally.
+
+        Trailing gaps are truncated for free; then the highest-placed
+        segments are relocated into the lowest fitting gaps until the
+        debt is under budget.  Each relocation strictly lowers the
+        storage high-water mark or defragments gaps toward that end, so
+        the work is proportional to the rows retired since the last sync
+        — never a full sweep on the fast path.  When fragmentation wedges
+        relocation (no whole segment fits a lower gap) a full compaction
+        restores the invariant, so the budget bound genuinely holds
+        after every sync.
+        """
+        self._truncate_tail()
+        for _ in range(64):
+            if self._dead <= self.dead_row_budget:
+                return
+            moved = False
+            for seg in sorted(
+                (s for s in self._segments.values() if s.n),
+                key=lambda s: s.row_hi, reverse=True,
+            ):
+                dest = self._take_gap(seg.n, limit=seg.row_hi - seg.n)
+                if dest is not None:
+                    self._dead -= seg.n
+                    self._relocate_segment(seg, dest)
+                    self.rows_compacted += seg.n
+                    counter.index_rows_compacted += seg.n
+                    moved = True
+                    break
+            self._truncate_tail()
+            if not moved:
+                break
+        if self._dead > self.dead_row_budget:
+            self.rows_compacted += self.n
+            counter.index_rows_compacted += self.n
+            self._compact()
+
+    def _rebuild_order_store(self) -> None:
+        """Densify the order store (row ids unchanged, spans repacked).
+
+        The backstop for permutation-store growth under sustained churn:
+        O(live) int64 copies, triggered only when the high-water mark
+        doubles the live count.
+        """
+        live = self.n
+        order = np.empty(max(live, 64), dtype=np.int64)
+        pos = 0
+        for seg in self._segments.values():
+            order[pos : pos + seg.n] = (
+                self._order[seg.order_base : seg.order_base + seg.n]
+            )
+            seg.order_base = pos
+            pos += seg.n
+        self._order = order
+
+    def _compact(self) -> None:
+        """Squeeze all dead rows out of the stores — O(live), zero
+        bucketing.
+
+        Rows move but keep their ascending (insertion) order per segment,
+        so each permutation is remapped by rank — no cell is recomputed,
+        no sort rerun, and consolidated-segment member spans survive.
         """
         live = self.n
         coords = np.empty((max(live, 64), 3), dtype=np.float64)
@@ -345,16 +723,17 @@ class BucketIndex:
         order = np.empty(max(live, 64), dtype=np.int64)
         pos = 0
         for seg in self._segments.values():
-            coords[pos : pos + seg.n] = self._coords[seg.start : seg.start + seg.n]
+            o = self._order[seg.order_base : seg.order_base + seg.n]
+            rows = np.sort(o)
+            coords[pos : pos + seg.n] = self._coords[rows]
             if weights is not None:
-                weights[pos : pos + seg.n] = (
-                    self._weights[seg.start : seg.start + seg.n]
-                )
-            shift = pos - seg.start
-            order[pos : pos + seg.n] = (
-                self._order[seg.order_base : seg.order_base + seg.n] + shift
-            )
+                weights[pos : pos + seg.n] = self._weights[rows]
+            order[pos : pos + seg.n] = pos + np.searchsorted(rows, o)
+            if seg.members is not None:
+                for m in seg.members:
+                    m[1] = int(np.searchsorted(rows, seg.start + m[1]))
             seg.start = pos
+            seg.row_hi = pos + seg.n
             seg.order_base = pos
             pos += seg.n
         self._coords = coords
@@ -362,15 +741,21 @@ class BucketIndex:
         self._order = order
         self._size = live
         self._dead = 0
+        self._gaps = []
 
     def stats(self) -> Dict[str, int]:
         """Gauges for serving observability (``repro query --stats``)."""
         return {
             "segments": self.segment_count,
+            "merged_segments": self.merged_segments,
             "events": self.n,
             "dead_rows": self._dead,
+            "dead_row_budget": self.dead_row_budget,
+            "gaps": len(self._gaps),
             "events_bucketed": self.events_bucketed,
             "events_retired": self.events_retired,
+            "segments_merged": self.segments_merged,
+            "rows_compacted": self.rows_compacted,
             "occupied_cells": self.occupied_cells,
             "nbytes": self.nbytes,
         }

@@ -81,6 +81,12 @@ class DensityService:
     machine:
         Calibrated :class:`MachineModel` for the planner; calibrated
         lazily on first ``auto`` plan when omitted.
+    index_merge_cap:
+        Live-segment cap for the incremental index's merge policy
+        (``None`` disables merging) — bounds per-query probe cost under
+        sustained tiny-batch slides; see
+        :meth:`~repro.analysis.model.CostModel.predict_merge` for the
+        trade.
     """
 
     def __init__(
@@ -93,6 +99,7 @@ class DensityService:
         cache: Optional[QueryCache] = None,
         machine: Optional[MachineModel] = None,
         counter: Optional[WorkCounter] = None,
+        index_merge_cap: Optional[int] = 16,
     ) -> None:
         if backend not in ("auto", "direct", "lookup"):
             raise ValueError(
@@ -100,6 +107,7 @@ class DensityService:
             )
         self.kernel = get_kernel(kernel)
         self.backend = backend
+        self.index_merge_cap = index_merge_cap
         self.cache = cache if cache is not None else QueryCache()
         self.counter = counter if counter is not None else WorkCounter()
         self._machine = machine
@@ -209,12 +217,15 @@ class DensityService:
         self._sync()
         if self._index is None:
             if self._inc is not None:
-                self._index = BucketIndex(self.grid)
+                self._index = BucketIndex(
+                    self.grid, merge_segment_cap=self.index_merge_cap
+                )
                 self._index.sync(self._inc.live_batches, counter=self.counter)
             else:
                 self._index = BucketIndex(
                     self.grid, self._coords(), self._static_weights,
                     counter=self.counter,
+                    merge_segment_cap=self.index_merge_cap,
                 )
         return self._index
 
@@ -483,10 +494,26 @@ class DensityService:
 
     def stats(self) -> Dict[str, object]:
         """Serving counters: cache behaviour, backend mix, builds, index
-        segment gauges, and planner decisions — the JSON blob ``repro
-        query --stats`` prints for load balancers and dashboards."""
+        segment gauges, slide-pipeline work (slab retirement, segment
+        merging, compaction debt), and planner decisions — the JSON blob
+        ``repro query --stats`` prints for load balancers and
+        dashboards."""
         cache = self.cache.stats()
         lookups = cache["hits"] + cache["misses"]
+        c = self.counter
+        work = {
+            "index_events_bucketed": c.index_events_bucketed,
+            "index_events_retired": c.index_events_retired,
+            "index_segments_merged": c.index_segments_merged,
+            "index_rows_compacted": c.index_rows_compacted,
+            "query_cohorts": c.query_cohorts,
+        }
+        if self._inc is not None:
+            # The live source's own slide gauges (slab subtractions vs
+            # straddle restamps — the O(delta) retirement evidence).
+            ic = self._inc.counter
+            work["slab_buffers_retired"] = ic.slab_buffers_retired
+            work["slab_restamp_points"] = ic.slab_restamp_points
         return {
             "version": self.version,
             "events": int(self._coords().shape[0]),
@@ -498,6 +525,7 @@ class DensityService:
             "planner_decisions": dict(self._plan_decisions),
             "cache": cache,
             "cache_hit_ratio": (cache["hits"] / lookups) if lookups else None,
+            "work": work,
             "index": (
                 self._index.stats() if self._index is not None else None
             ),

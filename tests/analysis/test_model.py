@@ -211,3 +211,71 @@ class TestSelectStrategy:
         model = CostModel(grid, pts, machine, memory_budget_bytes=grid.grid_bytes)
         p = model.predict_dr(P=8)
         assert "infeasible" in p.describe()
+
+
+class TestSlideAndMergePredictors:
+    """The slide-pipeline predictors: slab retirement vs survivor restamp
+    vs uncached negative stamp, and the segment-merge economics."""
+
+    def test_slab_wins_when_little_straddles(self, grid, machine):
+        pts = make_points(grid, 2000, seed=20)
+        model = CostModel(grid, pts, machine)
+        p = model.predict_slide(
+            n_expired=200, n_survivors=1800, bbox_cells=grid.n_voxels // 2,
+            n_straddle_survivors=100,
+        )
+        # Restamping 1800 survivors costs kernel work; subtracting slabs
+        # and restamping 100 straddlers is memory-rate plus a thin batch.
+        assert p.slab_seconds < p.restamp_seconds
+        assert p.best in ("slab", "negative")
+        assert p.slab_seconds > 0 and p.negative_seconds > 0
+
+    def test_negative_wins_for_tiny_expiry_of_uncached_scale(self, grid, machine):
+        pts = make_points(grid, 2000, seed=21)
+        model = CostModel(grid, pts, machine)
+        # One expired point under a huge cache box: stamping the single
+        # negative beats touching the box memory.
+        p = model.predict_slide(
+            n_expired=1, n_survivors=1999, bbox_cells=grid.n_voxels,
+            expired_slab_cells=grid.n_voxels // 16,
+            straddle_cells=grid.n_voxels // 16, n_straddle_survivors=120,
+        )
+        assert p.negative_seconds < p.restamp_seconds
+
+    def test_geometric_defaults_fill_in(self, grid, machine):
+        pts = make_points(grid, 500, seed=22)
+        model = CostModel(grid, pts, machine)
+        p = model.predict_slide(
+            n_expired=100, n_survivors=400, bbox_cells=grid.n_voxels // 3
+        )
+        assert p.slab_seconds > 0 and p.restamp_seconds > 0
+        assert math.isfinite(p.slab_seconds)
+
+    def test_merge_pays_for_chatty_feeds(self, grid, machine):
+        import dataclasses
+
+        pts = make_points(grid, 1000, seed=23)
+        # The write-side calibration leaves the serving probe cost at 0
+        # (calibrate_serving fills it); pin one for the economics check.
+        model = CostModel(
+            grid, pts, dataclasses.replace(machine, c_qprobe=1e-6)
+        )
+        many = model.predict_merge(n_rows=1000, n_segments=64, n_groups=200)
+        few = model.predict_merge(n_rows=1000, n_segments=2, n_groups=200)
+        assert many.merge_seconds > 0
+        # More segments merged away => more probe savings per batch.
+        assert (
+            many.probe_seconds_saved_per_batch
+            > few.probe_seconds_saved_per_batch >= 0
+        )
+        assert many.breakeven_batches <= few.breakeven_batches
+        if many.probe_seconds_saved_per_batch > 0:
+            assert many.pays_within(many.breakeven_batches + 1)
+
+    def test_merge_of_nothing_never_pays(self, grid, machine):
+        pts = make_points(grid, 100, seed=24)
+        model = CostModel(grid, pts, machine)
+        p = model.predict_merge(n_rows=100, n_segments=1, n_groups=50)
+        assert p.probe_seconds_saved_per_batch == 0.0
+        assert p.breakeven_batches == math.inf
+        assert not p.pays_within(1e12)

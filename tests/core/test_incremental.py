@@ -296,6 +296,139 @@ class TestRegionCacheReuse:
                                    rtol=1e-10, atol=1e-15)
 
 
+class TestTimeSlabbedCaches:
+    """The t-slabbed retirement caches: a slide subtracts expired slabs
+    and restamps only the straddle slab, pinned equivalent to the
+    monolithic cache at rtol=1e-12."""
+
+    def _spanning_batch(self, grid, rng, n=400):
+        return np.column_stack([
+            rng.uniform(0, grid.domain.gx, n),
+            rng.uniform(0, grid.domain.gy, n),
+            rng.uniform(0, 0.9 * grid.domain.gt, n),
+        ])
+
+    def _pair(self, grid, rng, **kw):
+        # Slab boxes overlap by one stamp extent along t, so a batch
+        # spanning this small grid needs headroom over the monolithic box.
+        slabbed = IncrementalSTKDE(grid, cache_fraction=3.0, **kw)
+        mono = IncrementalSTKDE(grid, cache_fraction=3.0, t_slab_voxels=None)
+        batch = self._spanning_batch(grid, rng)
+        slabbed.add(batch)
+        mono.add(batch.copy())
+        return slabbed, mono, batch
+
+    def test_spanning_batch_splits_into_slabs(self, grid):
+        rng = np.random.default_rng(40)
+        slabbed, mono, _ = self._pair(grid, rng, t_slab_voxels=8)
+        assert len(slabbed.live_batches) > 1
+        assert len(mono.live_batches) == 1
+        np.testing.assert_allclose(slabbed.volume().data, mono.volume().data,
+                                   rtol=1e-12, atol=1e-16)
+
+    def test_slide_subtracts_slabs_and_restamps_only_straddle(self, grid):
+        rng = np.random.default_rng(41)
+        slabbed, mono, batch = self._pair(grid, rng, t_slab_voxels=8)
+        fresh = np.column_stack([
+            rng.uniform(0, grid.domain.gx, 50),
+            rng.uniform(0, grid.domain.gy, 50),
+            rng.uniform(0.9 * grid.domain.gt, grid.domain.gt, 50),
+        ])
+        horizon = 0.45 * grid.domain.gt
+        r1 = slabbed.slide_window(fresh, t_horizon=horizon)
+        r2 = mono.slide_window(fresh.copy(), t_horizon=horizon)
+        assert r1 == r2 > 0
+        survivors = int((batch[:, 2] >= horizon).sum())
+        # Monolithic restamps every survivor; slabs restamp only the
+        # straddle slab's share of them.
+        assert mono.counter.slab_restamp_points == survivors
+        assert 0 < slabbed.counter.slab_restamp_points < survivors / 2
+        assert (
+            slabbed.counter.slab_buffers_retired
+            > mono.counter.slab_buffers_retired
+        )
+        np.testing.assert_allclose(slabbed.volume().data, mono.volume().data,
+                                   rtol=1e-12, atol=1e-15)
+        live = np.vstack([batch[batch[:, 2] >= horizon], fresh])
+        expect = pb_sym(PointSet(live), grid)
+        np.testing.assert_allclose(slabbed.volume().data, expect.data,
+                                   rtol=1e-12, atol=1e-15)
+
+    def test_full_slab_expiry_needs_no_kernel_work(self, grid):
+        """A horizon aligned past whole slabs retires by subtraction
+        only: zero restamp points."""
+        rng = np.random.default_rng(42)
+        inc = IncrementalSTKDE(grid, cache_fraction=3.0, t_slab_voxels=8)
+        early = np.column_stack([
+            rng.uniform(0, grid.domain.gx, 100),
+            rng.uniform(0, grid.domain.gy, 100),
+            rng.uniform(0, 8.0, 100),
+        ])
+        late = np.column_stack([
+            rng.uniform(0, grid.domain.gx, 100),
+            rng.uniform(0, grid.domain.gy, 100),
+            rng.uniform(16.0, 26.0, 100),
+        ])
+        inc.add(early)
+        inc.add(late)
+        evals_before = inc.counter.spatial_evals
+        retired = inc.slide_window(np.empty((0, 3)), t_horizon=12.0)
+        assert retired == 100
+        assert inc.counter.slab_restamp_points == 0
+        assert inc.counter.spatial_evals == evals_before  # pure subtraction
+        assert inc.counter.slab_buffers_retired > 0
+
+    def test_fixed_thickness_and_max_slabs_validated(self, grid):
+        with pytest.raises(ValueError, match="t_slab_voxels"):
+            IncrementalSTKDE(grid, t_slab_voxels=0)
+        with pytest.raises(ValueError, match="max_slabs"):
+            IncrementalSTKDE(grid, max_slabs=0)
+
+    def test_max_slabs_caps_tracked_units(self, grid):
+        rng = np.random.default_rng(43)
+        inc = IncrementalSTKDE(
+            grid, cache_fraction=3.0, t_slab_voxels=2, max_slabs=3
+        )
+        inc.add(self._spanning_batch(grid, rng))
+        assert 1 < len(inc.live_batches) <= 3
+
+
+class TestWeightedInputsRejected:
+    """Satellite: weighted PointSets must not silently drop weights into
+    the unnormalised accumulator."""
+
+    def test_add_rejects_weighted_pointset(self, grid):
+        pts = make_points(grid, 10, seed=50)
+        weighted = PointSet(pts.coords, np.linspace(0.5, 2.0, 10))
+        inc = IncrementalSTKDE(grid)
+        with pytest.raises(ValueError, match="weights"):
+            inc.add(weighted)
+        assert inc.n == 0 and inc.version == 0  # nothing half-applied
+
+    def test_remove_rejects_weighted_pointset(self, grid):
+        pts = make_points(grid, 10, seed=51)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts)
+        with pytest.raises(ValueError, match="weights"):
+            inc.remove(PointSet(pts.coords, np.ones(10) * 2.0))
+        assert inc.n == 10
+
+    def test_unit_weight_pointset_still_rejected_loudly(self, grid):
+        """Even all-ones weights are refused: the caller asked for a
+        weighted estimator, silence would mask the contract."""
+        pts = make_points(grid, 5, seed=52)
+        inc = IncrementalSTKDE(grid)
+        with pytest.raises(ValueError, match="weights"):
+            inc.add(PointSet(pts.coords, np.ones(5)))
+
+    def test_plain_arrays_and_unweighted_sets_unaffected(self, grid):
+        pts = make_points(grid, 8, seed=53)
+        inc = IncrementalSTKDE(grid)
+        inc.add(pts)
+        inc.add(pts.coords)
+        assert inc.n == 16
+
+
 class TestVolumeSemantics:
     def test_empty_estimator_zero_volume(self, grid):
         inc = IncrementalSTKDE(grid)

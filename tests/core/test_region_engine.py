@@ -19,8 +19,10 @@ from repro.core.kernels import available_kernels, get_kernel
 from repro.core.regions import (
     RegionBuffer,
     accumulate_voxel_tile,
+    auto_slab_voxels,
     batch_bbox,
     plan_stamp_shards,
+    plan_time_slabs,
 )
 from repro.core.stamping import batch_windows, stamp_batch
 
@@ -298,3 +300,66 @@ class TestGapSnappedShards:
         X0, X1, Y0, Y1, T0, T1 = batch_windows(grid, coords)
         for sel, w in zip(plan.shards, plan.windows):
             assert X0[sel].min() >= w.x0 and X1[sel].max() <= w.x1
+
+
+class TestPlanTimeSlabs:
+    """Retirement-slab planning: t-ordered, cell-balanced, partitioning."""
+
+    def test_partitions_every_point_exactly_once(self, grid):
+        rng = np.random.default_rng(40)
+        coords = make_points(grid, 300, seed=40).coords
+        slabs = plan_time_slabs(grid, coords, slab_voxels=4)
+        all_idx = np.concatenate(slabs)
+        assert len(slabs) > 1
+        assert sorted(all_idx.tolist()) == list(range(300))
+
+    def test_slabs_are_time_ordered(self, grid):
+        coords = make_points(grid, 240, seed=41).coords
+        slabs = plan_time_slabs(grid, coords, slab_voxels=4)
+        X0, X1, Y0, Y1, T0, T1 = batch_windows(grid, coords)
+        highs = [T0[idx].max() for idx in slabs]
+        lows = [T0[idx].min() for idx in slabs]
+        for k in range(len(slabs) - 1):
+            assert highs[k] <= lows[k + 1]
+
+    def test_balanced_on_stamp_cells(self, grid):
+        coords = make_points(grid, 400, seed=42).coords
+        slabs = plan_time_slabs(grid, coords, slab_voxels=4)
+        X0, X1, Y0, Y1, T0, T1 = batch_windows(grid, coords)
+        cells = (
+            np.maximum(X1 - X0, 0)
+            * np.maximum(Y1 - Y0, 0)
+            * np.maximum(T1 - T0, 0)
+        )
+        loads = [cells[idx].sum() for idx in slabs]
+        assert max(loads) <= 2.0 * (cells.sum() / len(slabs))
+
+    def test_thin_batch_stays_single_slab(self, grid):
+        rng = np.random.default_rng(43)
+        coords = np.column_stack([
+            rng.uniform(0, grid.domain.gx, 50),
+            rng.uniform(0, grid.domain.gy, 50),
+            rng.uniform(3.0, 4.0, 50),
+        ])
+        slabs = plan_time_slabs(grid, coords)
+        assert len(slabs) == 1
+        np.testing.assert_array_equal(slabs[0], np.arange(50))
+
+    def test_max_slabs_cap_and_validation(self, grid):
+        coords = make_points(grid, 100, seed=44).coords
+        assert len(plan_time_slabs(grid, coords, 1, max_slabs=3)) <= 3
+        with pytest.raises(ValueError, match="max_slabs"):
+            plan_time_slabs(grid, coords, 4, max_slabs=0)
+        with pytest.raises(ValueError, match="slab_voxels"):
+            plan_time_slabs(grid, coords, 0)
+
+    def test_empty_and_off_domain_batches(self, grid):
+        assert plan_time_slabs(grid, np.empty((0, 3))) == []
+        # Off-domain points clamp to edge voxels (like the engine) and
+        # still land in exactly one slab each for retirement tracking.
+        far = np.full((4, 3), 1e9)
+        slabs = plan_time_slabs(grid, far, slab_voxels=2)
+        assert sorted(np.concatenate(slabs).tolist()) == [0, 1, 2, 3]
+
+    def test_auto_thickness_is_two_stamp_extents(self, grid):
+        assert auto_slab_voxels(grid) == 2 * (2 * grid.Ht + 1)

@@ -339,3 +339,86 @@ class TestRegions:
             small_grid.normalization(pts.n),
         )
         assert res.time_slice().shape == (small_grid.Gx, small_grid.Gy)
+
+
+class TestSkewedCohortFallback:
+    """Satellite acceptance: a cohort with one huge candidate set and few
+    queries takes the sparse per-query path, bit-identical to the dense
+    block gather."""
+
+    def _skewed_index(self, small_grid, n_cluster=400, seed=90):
+        rng = np.random.default_rng(seed)
+        d = small_grid.domain
+        center = np.array([
+            d.x0 + 1.5 * small_grid.hs,
+            d.y0 + 1.5 * small_grid.hs,
+            d.t0 + 1.5 * small_grid.ht,
+        ])
+        cluster = center + rng.normal(0, 0.3, size=(n_cluster, 3)) * np.array(
+            [small_grid.hs, small_grid.hs, small_grid.ht]
+        )
+        sparse = make_points(small_grid, 40, seed=seed + 1).coords
+        coords = np.clip(
+            np.vstack([cluster, sparse]),
+            [d.x0, d.y0, d.t0],
+            [d.x0 + d.gx * (1 - 1e-9), d.y0 + d.gy * (1 - 1e-9),
+             d.t0 + d.gt * (1 - 1e-9)],
+        )
+        return BucketIndex(small_grid, coords), coords, center
+
+    def test_fallback_is_bit_identical(self, small_grid):
+        idx, coords, center = self._skewed_index(small_grid)
+        rng = np.random.default_rng(91)
+        d = small_grid.domain
+        q = np.vstack([
+            center[None, :],  # one query in the huge-K cluster cell
+            rng.uniform([d.x0, d.y0, d.t0],
+                        [d.x0 + d.gx, d.y0 + d.gy, d.t0 + d.gt],
+                        size=(60, 3)),
+        ])
+        kern = get_kernel("epanechnikov")
+        dense = direct_sum(idx, q, kern, 1.0, skew_min_k=10**9)
+        sparse = direct_sum(idx, q, kern, 1.0, skew_min_k=64)
+        np.testing.assert_array_equal(dense, sparse)
+        np.testing.assert_allclose(
+            sparse, direct_sum_grouped(idx, q, kern, 1.0),
+            rtol=1e-12, atol=0.0,
+        )
+
+    def test_fallback_weighted_bit_identical(self, small_grid):
+        idx, coords, center = self._skewed_index(small_grid, seed=95)
+        w = np.linspace(0.25, 3.0, coords.shape[0])
+        widx = BucketIndex(small_grid, coords, w)
+        kern = get_kernel("epanechnikov")
+        q = center[None, :] + np.linspace(-0.2, 0.2, 5)[:, None]
+        np.testing.assert_array_equal(
+            direct_sum(widx, q, kern, 1.0, skew_min_k=10**9),
+            direct_sum(widx, q, kern, 1.0, skew_min_k=64),
+        )
+
+    def test_many_queries_keep_the_dense_path(self, small_grid):
+        """A huge-K cohort serving many queries is not skewed: the dense
+        block amortises, and both shapes agree anyway."""
+        idx, coords, center = self._skewed_index(small_grid, seed=97)
+        rng = np.random.default_rng(98)
+        q = center[None, :] + rng.normal(0, 0.2, size=(64, 3))
+        kern = get_kernel("epanechnikov")
+        np.testing.assert_array_equal(
+            direct_sum(idx, q, kern, 1.0, skew_min_k=10**9),
+            direct_sum(idx, q, kern, 1.0, skew_min_k=64),
+        )
+
+    def test_multi_segment_fallback(self, small_grid):
+        idx_src, coords, center = self._skewed_index(small_grid, seed=99)
+        idx = BucketIndex(small_grid)
+        third = len(coords) // 3
+        for i, (s, e) in enumerate(
+            [(0, third), (third, 2 * third), (2 * third, len(coords))]
+        ):
+            idx.add_segment(i, coords[s:e])
+        kern = get_kernel("epanechnikov")
+        q = center[None, :]
+        np.testing.assert_array_equal(
+            direct_sum(idx, q, kern, 1.0, skew_min_k=10**9),
+            direct_sum(idx, q, kern, 1.0, skew_min_k=64),
+        )

@@ -236,3 +236,141 @@ def test_degenerate_tiny_domain():
     idx = BucketIndex(grid, np.array([[0.5, 0.5, 0.5]]))
     assert idx.n_cells == 1
     assert idx.candidates(0, 0, 0).size == 1
+
+
+class TestMergePolicyAndCompaction:
+    """Tentpole acceptance: the merge policy bounds segment count with
+    zero re-bucketing, member retirement filters (never re-sorts), and
+    compaction debt is paid in sync — off the remove path."""
+
+    def _batches(self, small_grid, n_batches, size=25, seed0=400):
+        return {
+            i: make_points(small_grid, size, seed=seed0 + i).coords
+            for i in range(n_batches)
+        }
+
+    def test_sync_merges_past_the_cap_without_rebucketing(self, small_grid):
+        from repro.core import WorkCounter
+
+        batches = self._batches(small_grid, 24)
+        idx = BucketIndex(small_grid, merge_segment_cap=8)
+        c = WorkCounter()
+        idx.sync(list(batches.items()), counter=c)
+        assert idx.segment_count <= 8
+        assert idx.merged_segments >= 1
+        assert c.index_segments_merged > 0
+        # Merging copies rows; it never re-buckets an event.
+        assert c.index_events_bucketed == 24 * 25
+        _same_candidates(
+            idx, BucketIndex(small_grid, np.vstack(list(batches.values())))
+        )
+
+    def test_member_retirement_from_merged_segment(self, small_grid):
+        from repro.core import WorkCounter
+
+        batches = self._batches(small_grid, 20)
+        idx = BucketIndex(small_grid, merge_segment_cap=6)
+        idx.sync(list(batches.items()))
+        assert idx.merged_segments >= 1
+        # Retire three of the oldest (merged-away) batches.
+        for bid in (0, 1, 2):
+            batches.pop(bid)
+        c = WorkCounter()
+        added, retired = idx.sync(list(batches.items()), counter=c)
+        assert (added, retired) == (0, 75)
+        assert c.index_events_bucketed == 0  # filtered, not re-bucketed
+        _same_candidates(
+            idx, BucketIndex(small_grid, np.vstack(list(batches.values())))
+        )
+
+    def test_sliding_soak_keeps_segments_and_debt_bounded(self, small_grid):
+        from repro.core import WorkCounter
+
+        idx = BucketIndex(small_grid, merge_segment_cap=6)
+        c = WorkCounter()
+        live = {}
+        for step in range(60):
+            live[step] = make_points(small_grid, 20, seed=500 + step).coords
+            if len(live) > 12:
+                live.pop(min(live))
+            idx.sync(list(live.items()), counter=c)
+            assert idx.segment_count <= 6
+            assert idx.dead_rows <= idx.dead_row_budget
+        # O(delta) bucketing: every event bucketed exactly once.
+        assert c.index_events_bucketed == 60 * 20
+        # Storage stayed bounded (reuse + debt paydown, no growth).
+        assert idx._size <= 2 * idx.n + 64
+        _same_candidates(
+            idx, BucketIndex(small_grid, np.vstack(list(live.values())))
+        )
+
+    def test_remove_segment_defers_compaction_to_sync(self, small_grid):
+        idx = BucketIndex(small_grid, merge_segment_cap=None)
+        batches = self._batches(small_grid, 8, size=30)
+        idx.sync(list(batches.items()))
+        idx.remove_segment(3)
+        # No eager sweep: the rows just went dead on the free list.
+        assert idx.dead_rows == 30
+        batches.pop(3)
+        idx.sync(list(batches.items()))
+        assert idx.dead_rows <= idx.dead_row_budget
+        _same_candidates(
+            idx, BucketIndex(small_grid, np.vstack(list(batches.values())))
+        )
+
+    def test_gap_reuse_keeps_storage_flat(self, small_grid):
+        """A retired batch's rows are reused by the next like-sized add."""
+        idx = BucketIndex(small_grid, merge_segment_cap=None)
+        idx.add_segment("a", make_points(small_grid, 40, seed=600).coords)
+        idx.add_segment("b", make_points(small_grid, 40, seed=601).coords)
+        size_before = idx._size
+        idx.remove_segment("a")
+        idx.add_segment("c", make_points(small_grid, 40, seed=602).coords)
+        assert idx._size == size_before  # slot reused, no growth
+        assert idx.dead_rows == 0
+
+    def test_heavy_unsynced_retirement_still_bounded(self, small_grid):
+        """The 4x safety valve: remove-only callers cannot leak storage."""
+        idx = BucketIndex(small_grid, merge_segment_cap=None)
+        keep = make_points(small_grid, 10, seed=610).coords
+        idx.add_segment("keep", keep)
+        for i in range(40):
+            idx.add_segment(i, make_points(small_grid, 50, seed=611 + i).coords)
+        for i in range(40):
+            idx.remove_segment(i)
+        assert idx.dead_rows <= 4 * max(idx.n, 64)
+        _same_candidates(idx, BucketIndex(small_grid, keep))
+
+    def test_merge_preserves_weights(self, small_grid):
+        from repro.serve.engine import direct_sum
+        from repro.core.kernels import get_kernel
+
+        rng = np.random.default_rng(620)
+        batches = {
+            i: make_points(small_grid, 15, seed=630 + i).coords
+            for i in range(10)
+        }
+        idx = BucketIndex(small_grid, merge_segment_cap=4)
+        for i, coords in batches.items():
+            idx.add_segment(i, coords, weights=np.full(15, 1.0 + i))
+        idx.sync(list(batches.items()))  # triggers the merge
+        assert idx.merged_segments >= 1
+        all_coords = np.vstack(list(batches.values()))
+        all_w = np.concatenate([np.full(15, 1.0 + i) for i in batches])
+        mono = BucketIndex(small_grid, all_coords, all_w)
+        q = make_points(small_grid, 30, seed=640).coords
+        kern = get_kernel("epanechnikov")
+        np.testing.assert_allclose(
+            direct_sum(idx, q, kern, 1.0),
+            direct_sum(mono, q, kern, 1.0),
+            rtol=1e-12, atol=1e-18,
+        )
+
+    def test_merge_cap_validation(self, small_grid):
+        with pytest.raises(ValueError, match="merge_segment_cap"):
+            BucketIndex(small_grid, merge_segment_cap=1)
+        # None disables merging entirely.
+        idx = BucketIndex(small_grid, merge_segment_cap=None)
+        batches = self._batches(small_grid, 30, size=5, seed0=700)
+        idx.sync(list(batches.items()))
+        assert idx.segment_count == 30
