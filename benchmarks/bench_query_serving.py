@@ -30,7 +30,9 @@ queried voxel centers (``rtol=1e-6`` acceptance, measured slack ~1e-12),
 and the cohort engine is re-verified against the group walk.
 
 Writes ``BENCH_query.json`` at the repository root (override with
-``--out``).  ``--smoke`` runs a seconds-scale subset with the same schema.
+``--out``); ``--results-dir DIR`` additionally writes
+``DIR/query_serving.json`` in the shape :mod:`repro.analysis.report`
+checks.  ``--smoke`` runs a seconds-scale subset with the same schema.
 
 Run:  ``PYTHONPATH=src python benchmarks/bench_query_serving.py``
 """
@@ -39,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from pathlib import Path
 
@@ -53,6 +56,7 @@ from repro.serve import (
     BucketIndex,
     DensityService,
     QueryPlanner,
+    ShardedDensityService,
     calibrate_serving,
     direct_sum,
     direct_sum_grouped,
@@ -410,12 +414,82 @@ def cache_row(grid: GridSpec, n: int, machine: MachineModel) -> dict:
     return row
 
 
+def cpu_count() -> int:
+    """CPUs this process may use (affinity mask when available)."""
+    if hasattr(os, "sched_getaffinity"):
+        return max(1, len(os.sched_getaffinity(0)))
+    return max(1, os.cpu_count() or 1)
+
+
+def workers_scaling_row(grid: GridSpec, n: int, m: int, repeats: int,
+                        machine: MachineModel, workers: int = 4) -> dict:
+    """Sharded scatter/gather vs the single-process direct engine.
+
+    Measured only on a box with at least ``workers`` CPUs — on smaller
+    machines the row is *recorded as skipped* (with the CPU count), never
+    extrapolated or faked: a 4-worker pool time-slicing one core measures
+    scheduler contention, not scaling.
+    """
+    cpus = cpu_count()
+    row = {
+        "path": "workers-scaling",
+        "n_events": n,
+        "n_queries": m,
+        "workers": workers,
+        "cpu_count": cpus,
+    }
+    if cpus < workers:
+        row.update({
+            "skipped": True,
+            "reason": (
+                f"requires >= {workers} CPUs for an honest scaling "
+                f"measurement, have {cpus}"
+            ),
+        })
+        print(f"workers      SKIPPED ({row['reason']})")
+        return row
+    kern = get_kernel("epanechnikov")
+    coords = make_coords(grid, n)
+    norm = grid.normalization(n)
+    index = BucketIndex(grid, coords)
+    rng = np.random.default_rng(5)
+    span = np.array([grid.domain.gx, grid.domain.gy, grid.domain.gt])
+    q = rng.uniform(0, span, size=(m, 3))
+
+    ref = direct_sum(index, q, kern, norm)
+    t_single = best_of(lambda: direct_sum(index, q, kern, norm), repeats)
+    with ShardedDensityService(
+        PointSet(coords), grid, workers=workers, machine=machine
+    ) as svc:
+        got = svc.query_points(q, backend="sharded")
+        equiv = bool(np.allclose(got, ref, rtol=1e-12, atol=1e-300))
+        t_sharded = best_of(
+            lambda: svc.query_points(q, backend="sharded"), repeats
+        )
+    row.update({
+        "skipped": False,
+        "single_direct_seconds": t_single,
+        "sharded_seconds": t_sharded,
+        "workers_speedup": t_single / max(t_sharded, 1e-12),
+        "sharded_matches_single_rtol_1e12": equiv,
+    })
+    print(
+        f"workers      n={n} m={m} P={workers}  single {t_single:8.4f}s  "
+        f"sharded {t_sharded:8.4f}s  ({row['workers_speedup']:.2f}x, "
+        f"equiv={equiv})"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
                     help="seconds-scale subset (n=20k events), for CI")
     ap.add_argument("--out", type=Path, default=DEFAULT_OUT,
                     help="output JSON path (default: repo-root BENCH_query.json)")
+    ap.add_argument("--results-dir", type=Path, default=None,
+                    help="also write query_serving.json here for the "
+                         "analysis.report shape checks")
     args = ap.parse_args(argv)
 
     grid = make_grid()
@@ -445,6 +519,8 @@ def main(argv=None) -> int:
     rows.append(steady)
     cache = cache_row(grid, n, machine)
     rows.append(cache)
+    workers = workers_scaling_row(grid, n, cohort_m, repeats, machine)
+    rows.append(workers)
 
     acceptance = {
         "case": f"clustered n={n}, grid {'x'.join(map(str, GRID_VOXELS))}",
@@ -481,6 +557,22 @@ def main(argv=None) -> int:
         ] <= 1.1,
         "cache_hit_speedup": cache["cache_hit_speedup"],
         "cache_hit_faster": cache["cache_hit_speedup"] > 2.0,
+        # Workers-scaling is measured only on a >= 4-core box; on smaller
+        # machines the row records the CPU count and a skip reason, and
+        # the acceptance values stay None (skipped, never faked).
+        "workers_scaling_cpu_count": workers["cpu_count"],
+        "workers_scaling_skipped": workers["skipped"],
+        "workers_speedup_at_4": (
+            None if workers["skipped"] else workers["workers_speedup"]
+        ),
+        "workers_speedup_ge_1_8x": (
+            None if workers["skipped"]
+            else workers["workers_speedup"] >= 1.8
+        ),
+        "sharded_matches_single_rtol_1e12": (
+            None if workers["skipped"]
+            else workers["sharded_matches_single_rtol_1e12"]
+        ),
     }
     payload = {
         "benchmark": "query_serving",
@@ -495,6 +587,7 @@ def main(argv=None) -> int:
             "cohort_queries": cohort_m,
             "slide_batches": slide_batches,
             "kernel": "epanechnikov",
+            "cpu_count": cpu_count(),
         },
         "note": (
             "crossover = answering m voxel-center point queries by direct "
@@ -512,13 +605,21 @@ def main(argv=None) -> int:
             "and the capped index's big cohort batch never loses to the "
             "uncapped segment pileup.  cache-hit = a repeated dashboard "
             "slice served from the version-keyed LRU vs its first "
-            "computation."
+            "computation.  workers-scaling = 4 shard-owning worker "
+            "processes answering one scattered batch by scatter/gather "
+            "vs the single-process direct engine; measured only with "
+            ">= 4 CPUs, recorded as skipped (with cpu_count) otherwise."
         ),
         "results": rows,
         "acceptance": acceptance,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.out}")
+    if args.results_dir is not None:
+        args.results_dir.mkdir(parents=True, exist_ok=True)
+        mirror = args.results_dir / "query_serving.json"
+        mirror.write_text(json.dumps({"rows": rows}, indent=2) + "\n")
+        print(f"wrote {mirror}")
     print(f"acceptance: {json.dumps(acceptance, indent=2)}")
     return 0
 

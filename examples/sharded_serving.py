@@ -1,0 +1,106 @@
+"""Sharded serving: shard-owning worker processes behind one facade.
+
+A single-process `DensityService` answers every query from one Python
+process — one core, however many the box has.  `ShardedDensityService`
+partitions the domain into disjoint x-slabs, spawns one worker process
+per shard (each owning a private bucket index over *its* events only),
+and answers a batch by scatter/gather: queries are scattered to the
+shards whose owned interval intersects their kernel support (one
+bandwidth of halo on the query side — events are never replicated),
+each worker computes an unnormalised partial sum, and the coordinator
+adds the partials and applies the global normalisation.  Because event
+ownership is disjoint, the gathered answer *is* the single-process
+estimator, re-associated — this script verifies it at ``rtol=1e-12``.
+
+The scenario mirrors a deployment:
+
+* a static snapshot served by a 4-worker pool, with the per-batch
+  planner deciding scatter/gather vs the local fallback;
+* a live sliding window fed through ``add`` / ``slide_window``, where
+  mutations route only to the affected shards (watch the
+  ``shard_messages`` gauge);
+* merged observability: per-worker work counters through ``stats()``.
+
+Run:  python examples/sharded_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DensityService, GridSpec, PointSet, ShardedDensityService
+from repro.core import DomainSpec
+
+EXTENT = (96, 80, 40)
+WORKERS = 4
+
+
+def synth_events(rng, n: int) -> np.ndarray:
+    centers = np.array([[20.0, 30.0], [70.0, 50.0], [45.0, 15.0]])
+    which = rng.integers(0, len(centers), size=n)
+    return np.column_stack([
+        np.clip(rng.normal(centers[which, 0], 7.0), 0, EXTENT[0] - 1e-9),
+        np.clip(rng.normal(centers[which, 1], 7.0), 0, EXTENT[1] - 1e-9),
+        rng.uniform(0, EXTENT[2], size=n),
+    ])
+
+
+def main() -> None:
+    rng = np.random.default_rng(29)
+    grid = GridSpec(DomainSpec.from_voxels(*EXTENT), hs=6.0, ht=4.0)
+    events = synth_events(rng, 4_000)
+    queries = rng.uniform(0, np.array(EXTENT, float), size=(2_000, 3))
+
+    # -- static snapshot through the sharded tier ----------------------
+    reference = DensityService(PointSet(events), grid)
+    with ShardedDensityService(
+        PointSet(events), grid, workers=WORKERS
+    ) as svc:
+        print(f"shard plan: {svc.n_shards} shards, cuts at "
+              f"{np.round(svc.plan.cuts, 1).tolist()} (halo "
+              f"{svc.plan.halo:.1f} = one spatial bandwidth)")
+        sharded = svc.query_points(queries, backend="sharded")
+        single = reference.query_points(queries, backend="direct")
+        np.testing.assert_allclose(sharded, single, rtol=1e-12, atol=1e-300)
+        rel = np.max(
+            np.abs(sharded - single) / np.maximum(np.abs(single), 1e-300)
+        )
+        print(f"static batch: {len(queries)} queries across "
+              f"{svc.n_shards} workers match the single process "
+              f"(max rel err {rel:.2e})")
+
+        # The planner prices scatter/gather IPC per batch: a handful of
+        # sentinel probes is not worth the round-trips.
+        plans: list = []
+        svc.query_points(queries[:4], plan_out=plans)
+        print(f"planner on a 4-query batch: {plans[-1].describe()}")
+
+        st = svc.stats()
+        print(f"observability: {st['work']['shard_messages']} messages, "
+              f"{st['work']['shard_rows_shipped']} rows shipped, "
+              f"per-worker events {[w['events'] for w in st['workers']]}")
+
+    # -- live sliding window -------------------------------------------
+    print("\nlive window:")
+    with ShardedDensityService(None, grid, workers=WORKERS) as svc:
+        batch = synth_events(rng, 1_500)
+        batch[:, 2] *= 0.5  # older half of the time range
+        svc.add(batch)
+        probe = rng.uniform(0, np.array(EXTENT, float), size=(200, 3))
+        before = svc.query_points(probe)
+
+        arriving = synth_events(rng, 800)
+        arriving[:, 2] = EXTENT[2] * (0.5 + 0.5 * rng.random(800))
+        msgs0 = svc.counter.shard_messages
+        retired = svc.slide_window(arriving, t_horizon=EXTENT[2] * 0.25)
+        contacted = svc.counter.shard_messages - msgs0
+        print(f"slide: {retired} events retired, {len(arriving)} arrived "
+              f"— contacted {contacted}/{svc.n_shards} shards")
+        after = svc.query_points(probe)
+        print(f"window moved: probe density shifted by up to "
+              f"{np.max(np.abs(after - before)):.3e}")
+    print("worker pools reaped; done")
+
+
+if __name__ == "__main__":
+    main()

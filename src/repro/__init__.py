@@ -35,7 +35,7 @@ from .core.incremental import IncrementalSTKDE
 from .core.instrument import PhaseTimer, WorkCounter
 from .core.kernels import KernelPair, available_kernels, get_kernel
 from .core.stkde import STKDE, infer_domain
-from .serve import DensityService
+from .serve import DensityService, ShardedDensityService
 
 __version__ = "1.0.0"
 
@@ -49,6 +49,7 @@ __all__ = [
     "KernelPair",
     "PhaseTimer",
     "PointSet",
+    "ShardedDensityService",
     "Volume",
     "WorkCounter",
     "available_algorithms",

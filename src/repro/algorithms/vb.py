@@ -31,7 +31,7 @@ import numpy as np
 from ..core.grid import GridSpec, PointSet, Volume
 from ..core.instrument import PhaseTimer, WorkCounter
 from ..core.kernels import KernelPair, get_kernel
-from ..core.regions import accumulate_voxel_tile
+from ..core.regions import accumulate_voxel_tile, accumulate_voxel_tile_batch
 from .base import STKDEResult, register_algorithm
 
 __all__ = ["vb", "vb_dec", "accumulate_tile_legacy"]
@@ -146,6 +146,17 @@ def vb_dec(
     neighbouring blocks, so only those candidates are tested.  Structure
     and results are identical to VB; only the number of (hopeless) distance
     tests shrinks.
+
+    Dispatch is cohort-batched: blocks sharing a voxel count and a
+    power-of-two-padded candidate width are stacked through one
+    ``(B, V, K)`` tile batch
+    (:func:`~repro.core.regions.accumulate_voxel_tile_batch`) — edge
+    blocks, whose truncated shapes recur along each face, collapse from
+    one dispatch each into a handful of cohort dispatches, exactly like
+    the stamping engine's shape cohorts.  Padded candidate lanes point at
+    an off-domain sentinel, so they mask to exactly ``0.0``; blocks whose
+    padded tile would overrun the pair budget keep the voxel-chunked
+    per-block dispatch.
     """
     kern = get_kernel(kernel)
     counter = counter if counter is not None else WorkCounter()
@@ -183,7 +194,17 @@ def vb_dec(
         return order[boundaries[bid] : boundaries[bid + 1]]
 
     px, py, pt = points.xs, points.ys, points.ts
+    # Candidate-padding sentinel: one point outside every cylinder, so a
+    # padded lane's masked kernel product is exactly 0.0.
+    d = grid.domain
+    px_ext = np.append(px, d.x0 - d.gx - 4.0 * grid.hs)
+    py_ext = np.append(py, d.y0 - d.gy - 4.0 * grid.hs)
+    pt_ext = np.append(pt, d.t0 - d.gt - 4.0 * grid.ht)
+    sentinel = points.n
+    pair_budget = voxel_chunk * _POINT_BLOCK
     flat = vol.reshape(-1)
+    cohorts: dict = {}
+    n_cohort_tiles = 0
     with timer.phase("compute"):
         for a in range(nbx):
             for b in range(nby):
@@ -206,19 +227,51 @@ def vb_dec(
                     idx = np.ravel_multi_index(
                         (X.ravel(), Y.ravel(), T.ravel()), grid.shape
                     )
-                    cx, cy, ct = _voxel_chunk_coords(grid, idx)
-                    for start in range(0, idx.size, voxel_chunk):
-                        sl = slice(start, min(start + voxel_chunk, idx.size))
-                        accumulate_voxel_tile(
-                            flat, idx[sl], cx[sl], cy[sl], ct[sl],
-                            px[cand_idx], py[cand_idx], pt[cand_idx],
-                            grid, kern, norm, counter,
+                    Kp = 1 << (int(cand_idx.size) - 1).bit_length()
+                    if idx.size * Kp > pair_budget:
+                        # Padding this block to its cohort width would
+                        # overrun the pair budget: keep the per-block
+                        # voxel-chunked dispatch (no padded lanes).
+                        cx, cy, ct = _voxel_chunk_coords(grid, idx)
+                        for start in range(0, idx.size, voxel_chunk):
+                            sl = slice(start, min(start + voxel_chunk, idx.size))
+                            accumulate_voxel_tile(
+                                flat, idx[sl], cx[sl], cy[sl], ct[sl],
+                                px[cand_idx], py[cand_idx], pt[cand_idx],
+                                grid, kern, norm, counter,
+                            )
+                    else:
+                        cohorts.setdefault((idx.size, Kp), []).append(
+                            (idx, cand_idx)
                         )
+        for (V, Kp) in sorted(cohorts):
+            blocks = cohorts[(V, Kp)]
+            per = max(1, pair_budget // (V * Kp))
+            for i in range(0, len(blocks), per):
+                chunk = blocks[i : i + per]
+                B = len(chunk)
+                vox = np.stack([blk for blk, _ in chunk])
+                cand_mat = np.full((B, Kp), sentinel, dtype=np.int64)
+                for j, (_, ci) in enumerate(chunk):
+                    cand_mat[j, : ci.size] = ci
+                cx, cy, ct = _voxel_chunk_coords(grid, vox.ravel())
+                accumulate_voxel_tile_batch(
+                    flat, vox,
+                    cx.reshape(B, V), cy.reshape(B, V), ct.reshape(B, V),
+                    px_ext[cand_mat], py_ext[cand_mat], pt_ext[cand_mat],
+                    grid, kern, norm, counter,
+                )
+                n_cohort_tiles += 1
     counter.points_processed += points.n
     return STKDEResult(
         Volume(vol, grid),
         "vb-dec",
         timer,
         counter,
-        meta={"blocks": (nbx, nby, nbt), "block_voxels": (bx, bx, bt)},
+        meta={
+            "blocks": (nbx, nby, nbt),
+            "block_voxels": (bx, bx, bt),
+            "tile_cohorts": len(cohorts),
+            "cohort_tile_batches": n_cohort_tiles,
+        },
     )

@@ -124,6 +124,16 @@ class MachineModel:
         maintenance (segment merging, compaction-debt relocation) —
         coordinate gather plus permutation remap, no re-bucketing.  What
         :meth:`CostModel.predict_merge` charges consolidation with.
+    c_msg:
+        Fixed cost of one coordinator-to-worker message round-trip over a
+        ``multiprocessing`` pipe (header pickle, syscalls, wakeup) — the
+        per-shard dispatch constant of scatter/gather serving, probed by
+        :func:`repro.serve.calibrate.calibrate_serving`.
+    c_qser:
+        Seconds per float64 row serialized across the process boundary
+        (pickle + pipe transfer, both directions averaged) — the
+        per-row marginal cost a scattered query batch and its gathered
+        partials pay on top of ``c_msg``.
     """
 
     c_mem: float
@@ -138,6 +148,8 @@ class MachineModel:
     c_qcohort: float = 0.0
     c_qprobe: float = 0.0
     c_qrow: float = 0.0
+    c_msg: float = 0.0
+    c_qser: float = 0.0
 
     @classmethod
     def calibrate(cls, seed: int = 0) -> "MachineModel":
@@ -250,6 +262,23 @@ class MachineModel:
             c_pair=c_pair, c_tile=c_tile,
         )
 
+    @classmethod
+    def nominal(cls) -> "MachineModel":
+        """Representative unit costs for probe-free deterministic planning.
+
+        Order-of-magnitude constants of a commodity core — what call
+        sites that must stay deterministic and probe-free (per-batch
+        slab-thickness planning inside the hot add path, unit tests) use
+        instead of :meth:`calibrate`.  The *ratios* between rates drive
+        every planning decision, so nominal constants pick the same side
+        of each trade as a calibration on ordinary hardware.
+        """
+        return cls(
+            c_mem=1e-9, c_point=1e-7, c_cell=2e-9, c_batch=1e-5,
+            c_pair=2e-9, c_tile=1e-6, c_lookup=5e-8, c_qgroup=5e-6,
+            c_qcohort=5e-6, c_qprobe=1e-6,
+        )
+
 
 @dataclass(frozen=True)
 class SlidePrediction:
@@ -302,6 +331,23 @@ class MergePrediction:
     def pays_within(self, n_batches: float) -> bool:
         """Whether consolidation pays for itself within ``n_batches``."""
         return self.breakeven_batches <= n_batches
+
+
+@dataclass(frozen=True)
+class ScatterGatherPrediction:
+    """Predicted cost of answering one query batch via sharded workers.
+
+    ``ipc_seconds`` is the process-boundary overhead (one message
+    round-trip per contacted shard plus per-row serialization both ways);
+    ``compute_seconds`` the slowest worker's predicted direct-sum over its
+    balanced share.  ``seconds`` is their sum — what the serving planner
+    compares against the single-process ``predict_direct_query``.
+    """
+
+    seconds: float
+    ipc_seconds: float
+    compute_seconds: float
+    n_shards: int
 
 
 @dataclass
@@ -452,6 +498,7 @@ class CostModel:
         expired_slab_cells: Optional[int] = None,
         straddle_cells: Optional[int] = None,
         n_straddle_survivors: Optional[int] = None,
+        slab_voxels: Optional[int] = None,
     ) -> SlidePrediction:
         """Price one window slide under the three retirement strategies.
 
@@ -462,16 +509,21 @@ class CostModel:
         pass the measured extent when known).  The slab-path arguments
         default to the geometric expectation when not measured: expired
         slabs cover the expired fraction of the box, the straddle slab
-        one :func:`~repro.core.regions.auto_slab_voxels` thickness of
-        the batch's t-extent, and the straddle's survivors the matching
-        share of the batch.  This is the trade
+        one ``slab_voxels`` thickness (default
+        :func:`~repro.core.regions.auto_slab_voxels`) of the batch's
+        t-extent, and the straddle's survivors the matching share of the
+        batch.  :meth:`choose_slab_voxels` sweeps this thickness to plan
+        the retirement granularity per batch.  This is the trade
         :class:`~repro.core.incremental.IncrementalSTKDE` makes per slide
         — subtractions are memory-rate, restamps pay kernel work — and
         what the slide-pipeline benchmark sweeps.
         """
         m = self.machine
         total = max(n_expired + n_survivors, 1)
-        slab_t = auto_slab_voxels(self.grid)
+        slab_t = (
+            auto_slab_voxels(self.grid) if slab_voxels is None
+            else max(1, int(slab_voxels))
+        )
         span_t = max(
             self.grid.Gt if batch_t_voxels is None else batch_t_voxels, 1
         )
@@ -514,6 +566,142 @@ class CostModel:
         merge = m.c_batch + n_rows * row_rate
         saved = max(n_segments - 1, 0) * n_groups * m.c_qprobe
         return MergePrediction(merge, saved)
+
+    def choose_merge_cap(
+        self,
+        n_rows: int,
+        n_groups: int,
+        batches_per_sync: float,
+        caps: Tuple[int, ...] = (2, 4, 8, 16, 32, 64),
+    ) -> int:
+        """Pick the index merge cap that minimises steady-state cost.
+
+        Under a sustained feed one segment arrives per sync and the merge
+        policy consolidates back to ``cap // 2`` whenever the count
+        exceeds ``cap``, so a cap of ``c`` merges every ``c - c//2``
+        syncs, carries ``~3c/4`` live segments between merges, and each
+        merge moves ~all ``n_rows`` live rows
+        (:meth:`predict_merge`).  ``batches_per_sync`` is the deployment's
+        observed query pressure — query batches served per mutation
+        (feed rate x query rate).  Query-heavy deployments amortise
+        aggressive merging through saved per-segment CSR probes; feeds
+        that are rarely queried keep a lazy (large) cap and skip the row
+        movement.
+        """
+        best_cap, best_cost = caps[0], math.inf
+        for c in caps:
+            period = max(c - c // 2, 1)
+            merge = self.predict_merge(n_rows, c, n_groups).merge_seconds
+            avg_segments = (c + c // 2) / 2.0
+            probe = (
+                max(batches_per_sync, 0.0)
+                * n_groups * avg_segments * self.machine.c_qprobe
+            )
+            cost = merge / period + probe
+            if cost < best_cost:
+                best_cap, best_cost = c, cost
+        return best_cap
+
+    def choose_slab_voxels(
+        self,
+        n_batch: int,
+        bbox_cells: int,
+        batch_t_voxels: int,
+        *,
+        slide_t_voxels: int = 1,
+        max_slabs: int = 16,
+        candidates: Optional[Tuple[int, ...]] = None,
+    ) -> int:
+        """Pick the retirement-slab thickness :meth:`predict_slide` prices
+        cheapest for this batch.
+
+        Sweeps a thickness ladder around the stamp extent and prices one
+        steady-state slide per candidate: a horizon advance of
+        ``slide_t_voxels`` expires that share of whole slabs (each buffer
+        carrying one stamp extent of t-overlap, the cost of *fine*
+        slabs), subtracts and restamps one straddle slab of the candidate
+        thickness (the cost of *coarse* slabs).  The geometric
+        :func:`~repro.core.regions.auto_slab_voxels` default sits in the
+        ladder, so this can only improve on it under the model — the
+        measured 2.5x-vs-6.3x spread of the thickness sweep in
+        ``BENCH_regions.json`` is exactly this trade.
+        """
+        span = max(1, int(batch_t_voxels))
+        extent = 2 * self.grid.Ht + 1  # one stamp's t-reach in voxels
+        geo = auto_slab_voxels(self.grid)
+        if candidates is None:
+            ladder = {
+                max(1, extent // 4), max(1, extent // 2), extent,
+                geo, 2 * geo,
+            }
+        else:
+            ladder = {max(1, int(s)) for s in candidates}
+        # Thickness below span/max_slabs is unreachable: the slab planner
+        # would clamp the slab count, silently coarsening back.
+        floor = -(-span // max(1, int(max_slabs)))
+        ladder = sorted({max(s, floor) for s in ladder})
+        cells_per_t = bbox_cells / span
+        h = max(1, int(slide_t_voxels))
+        best_s, best_cost = geo, math.inf
+        for s in ladder:
+            share = min(1.0, s / span)
+            straddle_survivors = max(1, int(n_batch * share))
+            pred = self.predict_slide(
+                n_expired=int(n_batch * min(1.0, h / span)),
+                n_survivors=n_batch,
+                bbox_cells=bbox_cells,
+                batch_t_voxels=span,
+                # Whole-slab expiry at h/s slabs per slide, each buffer
+                # s + one stamp extent thick.
+                expired_slab_cells=int(cells_per_t * (h / s) * (s + extent)),
+                straddle_cells=int(cells_per_t * min(span, s + extent)),
+                n_straddle_survivors=straddle_survivors,
+                slab_voxels=s,
+            )
+            if pred.slab_seconds < best_cost - 1e-15:
+                best_s, best_cost = s, pred.slab_seconds
+        return best_s
+
+    def predict_scatter_gather(
+        self,
+        n_queries: int,
+        total_candidates: int,
+        n_shards: int,
+        *,
+        fanout_rows: Optional[int] = None,
+        n_groups: Optional[int] = None,
+        n_cohorts: Optional[int] = None,
+        n_segments: int = 1,
+    ) -> ScatterGatherPrediction:
+        """Price answering a point batch through sharded worker processes.
+
+        The scatter/gather cost shape: one ``c_msg`` round-trip per
+        contacted shard, ``c_qser`` per scattered query row (coordinates
+        out, partial density back — ``fanout_rows`` counts halo-straddling
+        queries once per contacted shard; defaults to ``n_queries``), plus
+        the slowest worker's :meth:`predict_direct_query` over its
+        balanced ``1/P`` share of queries, candidates, and groups.  The
+        serving planner compares this against the single-process direct
+        prediction to decide whether a batch is worth the fan-out — small
+        batches lose to the message constant, large clustered ones win
+        ``P``-way kernel-sum parallelism.
+        """
+        m = self.machine
+        P = max(1, int(n_shards))
+        msg_rate = m.c_msg if m.c_msg > 0.0 else 1e-4
+        ser_rate = m.c_qser if m.c_qser > 0.0 else 16.0 * m.c_mem
+        rows = n_queries if fanout_rows is None else int(fanout_rows)
+        ipc = 2.0 * P * msg_rate + 2.0 * rows * ser_rate
+        groups = n_queries if n_groups is None else n_groups
+        cohorts = groups if n_cohorts is None else n_cohorts
+        compute = self.predict_direct_query(
+            -(-rows // P),
+            -(-int(total_candidates) // P),
+            n_groups=max(1, -(-groups // P)),
+            n_cohorts=max(1, min(cohorts, -(-groups // P))),
+            n_segments=n_segments,
+        )
+        return ScatterGatherPrediction(ipc + compute, ipc, compute, P)
 
     def predict_materialize(self, P: Optional[int] = None) -> float:
         """Predicted seconds to materialise the volume for the lookup plan.
@@ -614,9 +802,15 @@ class CostModel:
         """Predicted runtime of VB-DEC from the instance's actual binning.
 
         Reproduces the algorithm's block geometry (bandwidth-sized blocks,
-        27-neighbourhood candidates) to count the (voxel, point) pairs and
-        tile batches it will really execute — the constant-factor win over
-        VB on clustered data that Section 6.2 describes.
+        27-neighbourhood candidates) *and* its cohort-batched dispatch:
+        blocks sharing a voxel count and a power-of-two-padded candidate
+        width ride one ``(B, V, K)`` tile batch
+        (:func:`~repro.core.regions.accumulate_voxel_tile_batch`), so the
+        model charges one ``c_tile`` per cohort dispatch and the padded
+        pair lanes each dispatch actually evaluates; oversized blocks keep
+        the voxel-chunked per-block dispatch and its unpadded pairs — the
+        constant-factor win over VB on clustered data that Section 6.2
+        describes, minus the per-edge-block dispatch tax.
         """
         grid = self.grid
         bx = max(8, grid.Hs)
@@ -654,8 +848,24 @@ class CostModel:
         st = np.minimum(np.arange(1, nbt + 1) * bt, grid.Gt) - np.arange(nbt) * bt
         block_vox = sx[:, None, None] * sy[None, :, None] * st[None, None, :]
         occupied = cand > 0
-        pairs = float((block_vox * cand)[occupied].sum())
-        n_tiles = float(np.ceil(block_vox[occupied] / voxel_chunk).sum())
+        V = block_vox[occupied].astype(np.int64)
+        K = cand[occupied].astype(np.int64)
+        Kp = np.power(2, np.ceil(np.log2(np.maximum(K, 1)))).astype(np.int64)
+        pair_budget = voxel_chunk * 512
+        big = V * Kp > pair_budget
+        # Oversized blocks: per-block voxel-chunked dispatch, real pairs.
+        pairs = float((V[big] * K[big]).sum())
+        n_tiles = float(np.ceil(V[big] / voxel_chunk).sum())
+        # Cohort-batched blocks: one dispatch per (V, Kp) chunk of
+        # pair_budget, padded candidate lanes charged as executed.
+        if np.any(~big):
+            keys, counts = np.unique(
+                np.stack([V[~big], Kp[~big]], axis=1), axis=0,
+                return_counts=True,
+            )
+            per = np.maximum(1, pair_budget // (keys[:, 0] * keys[:, 1]))
+            n_tiles += float(np.ceil(counts / per).sum())
+            pairs += float((counts * keys[:, 0] * keys[:, 1]).sum())
         bin_cost = self.points.n * 2e-7
         return Prediction(
             "vb-dec", 1,

@@ -193,6 +193,32 @@ def check_all(results_dir: Path) -> List[ShapeCheck]:
     checks.append(ShapeCheck("slide_pipeline",
                              "t-slab retirement >= 3x fewer kernel evals; equivalent", ok))
 
+    # Sharded serving (PR 6): the workers-scaling row must record the CPU
+    # count it ran with and be either *honestly skipped* (too few cores,
+    # with a reason) or measured — in which case the sharded scatter/gather
+    # answers must match the single-process direct engine at rtol=1e-12
+    # and the speedup must be recorded.  Faked rows (skipped but carrying
+    # speedups, or measured without equivalence) fail the check.
+    rows = load_experiment(results_dir, "query_serving")
+    ok = None
+    if rows is not None:
+        w_rows = [r for r in rows if r.get("path") == "workers-scaling"]
+        if w_rows:
+            ok = True
+            for r in w_rows:
+                if r.get("cpu_count", 0) < 1 or "skipped" not in r:
+                    ok = False
+                elif r["skipped"]:
+                    if "reason" not in r or "workers_speedup" in r:
+                        ok = False  # skipped rows must not carry numbers
+                elif not (
+                    r.get("sharded_matches_single_rtol_1e12", False)
+                    and r.get("workers_speedup", 0) > 0
+                ):
+                    ok = False
+    checks.append(ShapeCheck("sharded_serving",
+                             "workers row skipped-or-equivalent (rtol=1e-12), cpu_count recorded", ok))
+
     # Figure 15: Flu never won by DR; some REP/SCHED win on PollenUS.
     rows = load_experiment(results_dir, "fig15_best")
     ok = None

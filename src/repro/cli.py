@@ -15,7 +15,13 @@ Subcommands
 ``query``
     Serve point / slice / region density queries from a CSV of events
     through :class:`repro.serve.DensityService` (direct kernel sums or
-    volume lookups, planner-chosen by default).
+    volume lookups, planner-chosen by default).  ``--workers N`` routes
+    the same queries through the multi-process sharded tier.
+``serve``
+    Multi-process sharded serving
+    (:class:`repro.serve.ShardedDensityService`): shard-owning worker
+    processes answer scatter/gather query fan-out; ``--stats`` surfaces
+    the per-worker gauges.
 """
 
 from __future__ import annotations
@@ -35,6 +41,18 @@ from .data.io import load_points_csv, load_volume, save_volume
 from .viz.render import hotspots, render_time_slice
 
 __all__ = ["main"]
+
+
+def _parse_workers(s: str):
+    if s == "auto":
+        return s
+    try:
+        n = int(s)
+    except ValueError:
+        raise argparse.ArgumentTypeError("workers must be an int or 'auto'")
+    if n < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1")
+    return n
 
 
 def _parse_decomposition(s: str):
@@ -114,22 +132,44 @@ def _npy_path(out: str) -> str:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    import numpy as np
-
     from .core.stkde import infer_domain
     from .core.grid import GridSpec
-    from .serve import DensityService
+    from .serve import DensityService, ShardedDensityService
 
     pts = load_points_csv(args.points)
     domain = infer_domain(
         pts, sres=args.sres, tres=args.tres, hs=args.hs, ht=args.ht
     )
     grid = GridSpec(domain, hs=args.hs, ht=args.ht)
-    service = DensityService(
-        pts, grid, kernel=args.kernel, backend=args.backend
-    )
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        if args.backend not in ("auto", "sharded", "local"):
+            raise SystemExit(
+                f"--backend {args.backend!r} is a single-process plan; "
+                f"with --workers use auto, sharded or local"
+            )
+        service = ShardedDensityService(
+            pts, grid, workers=workers, kernel=args.kernel,
+            backend=args.backend,
+        )
+        tier = f"{service.n_shards} shard workers"
+    else:
+        service = DensityService(
+            pts, grid, kernel=args.kernel, backend=args.backend
+        )
+        tier = "single process"
     print(f"serving n={pts.n}{' (weighted)' if pts.weighted else ''} on "
-          f"grid {grid.Gx}x{grid.Gy}x{grid.Gt} (backend={args.backend})")
+          f"grid {grid.Gx}x{grid.Gy}x{grid.Gt} "
+          f"(backend={args.backend}, {tier})")
+    try:
+        return _run_query_ops(args, service, grid)
+    finally:
+        if isinstance(service, ShardedDensityService):
+            service.close()
+
+
+def _run_query_ops(args: argparse.Namespace, service, grid) -> int:
+    import numpy as np
 
     if args.queries is not None:
         q = load_points_csv(args.queries)
@@ -172,13 +212,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
     stats = service.stats()
     if args.stats:
         # Machine-readable serving observability: cache hit/miss ratios,
-        # index segment gauges, planner decisions — what a load balancer
-        # or dashboard scrapes.
+        # index segment gauges, planner decisions — and, for the sharded
+        # tier, the merged cross-process work counters plus the
+        # per-worker views — what a load balancer or dashboard scrapes.
         import json
 
         print(json.dumps(stats, indent=2, default=str))
-    else:
+    elif "cache" in stats:
         print(f"stats: backends={stats['backend_calls']} cache={stats['cache']}")
+    else:
+        work = stats["work"]
+        print(f"stats: backends={stats['backend_calls']} "
+              f"shards={stats['n_shards']} "
+              f"messages={work['shard_messages']} "
+              f"rows_shipped={work['shard_rows_shipped']}")
     return 0
 
 
@@ -241,27 +288,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--height", type=int, default=28)
     p.set_defaults(fn=_cmd_render)
 
+    def add_query_io_args(p):
+        p.add_argument("--points", required=True, help="events CSV (x,y,t[,w])")
+        p.add_argument("--hs", type=float, required=True)
+        p.add_argument("--ht", type=float, required=True)
+        p.add_argument("--sres", type=float, default=1.0)
+        p.add_argument("--tres", type=float, default=1.0)
+        p.add_argument("--kernel", default="epanechnikov")
+        group = p.add_mutually_exclusive_group(required=True)
+        group.add_argument("--queries", default=None,
+                           help="CSV of query locations (x,y,t)")
+        group.add_argument("--slice", type=int, default=None, metavar="T",
+                           help="serve the full spatial slice at voxel time T")
+        group.add_argument("--region", type=int, nargs=6, default=None,
+                           metavar=("X0", "X1", "Y0", "Y1", "T0", "T1"),
+                           help="serve the voxel window [X0:X1)x[Y0:Y1)x[T0:T1)")
+        p.add_argument("--out", default=None,
+                       help="write densities CSV (--queries) or .npy "
+                            "(--slice/--region)")
+        p.add_argument("--stats", action="store_true",
+                       help="print a JSON blob of serving stats (cache "
+                            "hit/miss ratios, index segments, planner "
+                            "decisions, per-worker gauges)")
+
     p = sub.add_parser("query", help="serve density queries from a CSV of events")
-    p.add_argument("--points", required=True, help="events CSV (x,y,t[,w])")
-    p.add_argument("--hs", type=float, required=True)
-    p.add_argument("--ht", type=float, required=True)
-    p.add_argument("--sres", type=float, default=1.0)
-    p.add_argument("--tres", type=float, default=1.0)
-    p.add_argument("--kernel", default="epanechnikov")
+    add_query_io_args(p)
     p.add_argument("--backend", default="auto", choices=("auto", "direct", "lookup"))
-    group = p.add_mutually_exclusive_group(required=True)
-    group.add_argument("--queries", default=None,
-                       help="CSV of query locations (x,y,t)")
-    group.add_argument("--slice", type=int, default=None, metavar="T",
-                       help="serve the full spatial slice at voxel time T")
-    group.add_argument("--region", type=int, nargs=6, default=None,
-                       metavar=("X0", "X1", "Y0", "Y1", "T0", "T1"),
-                       help="serve the voxel window [X0:X1)x[Y0:Y1)x[T0:T1)")
-    p.add_argument("--out", default=None,
-                   help="write densities CSV (--queries) or .npy (--slice/--region)")
-    p.add_argument("--stats", action="store_true",
-                   help="print a JSON blob of serving stats (cache hit/miss "
-                        "ratios, index segments, planner decisions)")
+    p.add_argument("--workers", type=_parse_workers, default=None, metavar="N",
+                   help="serve through N shard-owning worker processes "
+                        "(multi-process scatter/gather; 'auto' = CPU count)")
+    p.set_defaults(fn=_cmd_query)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-process sharded serving (shard-owning workers, "
+             "scatter/gather fan-out)",
+    )
+    add_query_io_args(p)
+    p.add_argument("--backend", default="auto", choices=("auto", "sharded", "local"))
+    p.add_argument("--workers", type=_parse_workers, default="auto", metavar="N",
+                   help="worker process count = shard count ('auto' = CPU count)")
     p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("select", help="cost-model strategy selection (Section 6.5)")

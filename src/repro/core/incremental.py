@@ -109,12 +109,19 @@ class IncrementalSTKDE:
     negative restamping.  ``None`` leaves the aggregate unbounded.
 
     ``t_slab_voxels`` sets the retirement-slab thickness along t:
-    ``"auto"`` (default) plans from the temporal bandwidth
-    (:func:`~repro.core.regions.auto_slab_voxels`), an ``int`` pins the
-    thickness (benchmark sweeps), and ``None`` disables slabbing — one
-    monolithic cache per batch, the pre-slab behaviour whose partial
-    retirement restamps every survivor.  ``max_slabs`` caps the tracked
-    units a single ``add`` can mint.
+    ``"auto"`` (default) chooses per batch through the cost model
+    (:meth:`repro.analysis.model.CostModel.choose_slab_voxels` prices the
+    expired-buffer-overlap vs straddle-restamp trade from the batch's
+    measured extent — the ``BENCH_regions.json`` thickness sweep spans
+    2.5x to 6.3x over fixed choices), ``"geometric"`` pins the
+    bandwidth-derived :func:`~repro.core.regions.auto_slab_voxels`
+    heuristic, an ``int`` pins the thickness (benchmark sweeps), and
+    ``None`` disables slabbing — one monolithic cache per batch, the
+    pre-slab behaviour whose partial retirement restamps every survivor.
+    ``max_slabs`` caps the tracked units a single ``add`` can mint.
+    ``machine`` supplies calibrated unit costs for the adaptive choice
+    (defaults to the uncalibrated :class:`MachineModel` constants, which
+    keeps the choice deterministic and probe-free).
     """
 
     def __init__(
@@ -127,16 +134,26 @@ class IncrementalSTKDE:
         memory_budget_bytes: Optional[int] = None,
         t_slab_voxels: int | str | None = "auto",
         max_slabs: int = 16,
+        machine=None,
     ) -> None:
         if cache_fraction < 0.0:
             raise ValueError("cache_fraction must be >= 0")
-        if t_slab_voxels == "auto":
+        if t_slab_voxels == "geometric":
             t_slab_voxels = auto_slab_voxels(grid)
-        if t_slab_voxels is not None and t_slab_voxels < 1:
-            raise ValueError("t_slab_voxels must be >= 1, 'auto', or None")
+        if isinstance(t_slab_voxels, str):
+            if t_slab_voxels != "auto":
+                raise ValueError(
+                    "t_slab_voxels must be >= 1, 'auto', 'geometric', or None"
+                )
+        elif t_slab_voxels is not None and t_slab_voxels < 1:
+            raise ValueError(
+                "t_slab_voxels must be >= 1, 'auto', 'geometric', or None"
+            )
         if max_slabs < 1:
             raise ValueError("max_slabs must be >= 1")
         self.t_slab_voxels = t_slab_voxels
+        self._machine = machine
+        self._slab_model = None  # lazily-built CostModel for 'auto'
         self.max_slabs = int(max_slabs)
         self.grid = grid
         self.kernel = get_kernel(kernel)
@@ -240,7 +257,8 @@ class IncrementalSTKDE:
             return [self._stamp_uncached(coords)]
         if self.t_slab_voxels is not None:
             slabs = plan_time_slabs(
-                self.grid, coords, self.t_slab_voxels, self.max_slabs
+                self.grid, coords,
+                self._resolve_slab_voxels(coords, bbox), self.max_slabs
             )
             if len(slabs) > 1:
                 parts = [coords[idx] for idx in slabs]
@@ -255,6 +273,44 @@ class IncrementalSTKDE:
         if self._cache_affordable(bbox.volume):
             return [self._stamp_cached(coords, bbox)]
         return [self._stamp_uncached(coords)]
+
+    def _resolve_slab_voxels(self, coords: np.ndarray, bbox) -> int:
+        """Per-batch retirement-slab thickness for the ``"auto"`` mode.
+
+        Prices the thickness ladder through
+        :meth:`~repro.analysis.model.CostModel.choose_slab_voxels` on the
+        batch's measured bbox and t-extent instead of taking the
+        geometric :func:`auto_slab_voxels` — the thickness sweep in
+        ``BENCH_regions.json`` shows the fixed heuristic leaving most of
+        the slab win on the table.  Pinned ints pass through untouched.
+        The model import is local and lazy: only this opt-in planning
+        path reaches from core up into analysis, and only with
+        deterministic (nominal or caller-supplied) machine constants —
+        no calibration probe ever runs inside ``add``.
+        """
+        if self.t_slab_voxels != "auto":
+            return self.t_slab_voxels
+        d = self.grid.domain
+        span = int((coords[:, 2].max() - coords[:, 2].min()) / d.tres) + 1
+        geo = auto_slab_voxels(self.grid)
+        if span <= geo:
+            # The whole batch fits in one geometric slab: slabbing thinner
+            # cannot beat retiring the batch's own cache wholesale, and the
+            # single-slab path preserves insertion order in live_coords.
+            return geo
+        if self._slab_model is None:
+            from ..analysis.model import CostModel, MachineModel
+
+            machine = (
+                self._machine if self._machine is not None
+                else MachineModel.nominal()
+            )
+            self._slab_model = CostModel(
+                self.grid, PointSet(np.empty((0, 3))), machine
+            )
+        return self._slab_model.choose_slab_voxels(
+            coords.shape[0], bbox.volume, span, max_slabs=self.max_slabs
+        )
 
     @staticmethod
     def _coerce_unweighted(points: PointSet | np.ndarray) -> np.ndarray:

@@ -102,6 +102,15 @@ class WorkCounter:
         Storage rows moved paying down index compaction debt (gap
         relocation and full sweeps) — the amortised cost the serving
         path no longer pays inside ``remove_segment``.
+    ``shard_messages``
+        Request messages a sharded-serving coordinator sent to worker
+        processes (:class:`repro.serve.service.ShardedDensityService`).
+        The O(affected-shards) routing gauge: a slide that touches one
+        shard's events must cost ~one message, not one per worker.
+    ``shard_rows_shipped``
+        Event/query/result rows serialized across the process boundary
+        by the sharded coordinator — what the cost model's per-row
+        serialization rate (``c_qser``) prices.
 
     The batching statistics are bookkeeping (like ``points_processed``):
     they are excluded from :meth:`total_ops` and :meth:`flop_estimate`.
@@ -125,6 +134,8 @@ class WorkCounter:
     slab_restamp_points: int = 0
     index_segments_merged: int = 0
     index_rows_compacted: int = 0
+    shard_messages: int = 0
+    shard_rows_shipped: int = 0
 
     def merge(self, other: "WorkCounter") -> "WorkCounter":
         """Accumulate another counter into this one (returns self)."""
@@ -146,6 +157,8 @@ class WorkCounter:
         self.slab_restamp_points += other.slab_restamp_points
         self.index_segments_merged += other.index_segments_merged
         self.index_rows_compacted += other.index_rows_compacted
+        self.shard_messages += other.shard_messages
+        self.shard_rows_shipped += other.shard_rows_shipped
         return self
 
     def total_ops(self) -> int:
@@ -190,6 +203,8 @@ class WorkCounter:
             "slab_restamp_points": self.slab_restamp_points,
             "index_segments_merged": self.index_segments_merged,
             "index_rows_compacted": self.index_rows_compacted,
+            "shard_messages": self.shard_messages,
+            "shard_rows_shipped": self.shard_rows_shipped,
         }
 
     def copy(self) -> "WorkCounter":
@@ -228,6 +243,8 @@ class _NullCounter(WorkCounter):
             "slab_restamp_points",
             "index_segments_merged",
             "index_rows_compacted",
+            "shard_messages",
+            "shard_rows_shipped",
         ):
             return 0
         return object.__getattribute__(self, name)

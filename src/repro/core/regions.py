@@ -57,10 +57,12 @@ from .stamping import batch_windows, masked_kernel_product, stamp_batch
 __all__ = [
     "masked_kernel_product",
     "accumulate_voxel_tile",
+    "accumulate_voxel_tile_batch",
     "batch_bbox",
     "RegionBuffer",
     "ShardPlan",
     "plan_stamp_shards",
+    "plan_serving_shards",
     "auto_slab_voxels",
     "plan_time_slabs",
 ]
@@ -96,6 +98,42 @@ def accumulate_voxel_tile(
     dt = ct[:, None] - pt[None, :]
     contrib = masked_kernel_product(grid, kernel, dx, dy, dt, counter).sum(axis=1)
     out_flat[vox_index] += contrib * norm
+    counter.tile_batches += 1
+
+
+def accumulate_voxel_tile_batch(
+    out_flat: np.ndarray,
+    vox_index: np.ndarray,
+    cx: np.ndarray,
+    cy: np.ndarray,
+    ct: np.ndarray,
+    px: np.ndarray,
+    py: np.ndarray,
+    pt: np.ndarray,
+    grid: GridSpec,
+    kernel: KernelPair,
+    norm: float,
+    counter: Optional[WorkCounter] = None,
+) -> None:
+    """Accumulate a cohort of same-shape voxel tiles in one dispatch.
+
+    The batched form of :func:`accumulate_voxel_tile`: ``vox_index`` /
+    ``cx`` / ``cy`` / ``ct`` are ``(B, V)`` stacks of ``B`` tiles' voxel
+    indices and center coordinates, ``px/py/pt`` the ``(B, K)`` stacks of
+    their candidate point blocks.  One ``(B, V, K)`` tabulation through
+    :func:`masked_kernel_product` replaces ``B`` separate dispatches —
+    within each tile the point axis keeps its order and length, so the
+    per-voxel pairwise sums reduce exactly as the unbatched path's.  The
+    tiles' flat voxel indices must be pairwise disjoint across the batch
+    (VB-DEC blocks are, by construction), making the scatter a plain
+    indexed add.  Each call is one tile batch (``counter.tile_batches``).
+    """
+    counter = counter if counter is not None else null_counter()
+    dx = cx[:, :, None] - px[:, None, :]
+    dy = cy[:, :, None] - py[:, None, :]
+    dt = ct[:, :, None] - pt[:, None, :]
+    contrib = masked_kernel_product(grid, kernel, dx, dy, dt, counter).sum(axis=2)
+    out_flat[vox_index.ravel()] += contrib.ravel() * norm
     counter.tile_batches += 1
 
 
@@ -347,6 +385,53 @@ def plan_stamp_shards(
             )
         )
     return ShardPlan(shards, windows)
+
+
+def plan_serving_shards(
+    grid: GridSpec,
+    coords: np.ndarray,
+    n_shards: int,
+) -> np.ndarray:
+    """Balanced domain-space x-cuts for shard-owning serving workers.
+
+    Partitions the space-time domain into ``n_shards`` disjoint x-slabs
+    (each covering the full y/t extent — serving shards must survive
+    window slides, which expire along t, so the cut axis is spatial).
+    Cuts are balanced on event count per voxel column — the same
+    cumulative-balance rule :func:`plan_stamp_shards` and
+    :func:`plan_time_slabs` use, applied to the column histogram — and
+    land on voxel-column boundaries, so ownership is deterministic under
+    the float arithmetic both sides of a process boundary perform.
+
+    The **halo rule** that makes the partition serve exact queries: the
+    kernel support is one bandwidth (``hs`` spatially), so a query at
+    ``x`` can only draw density from events in ``[x - hs, x + hs]`` —
+    every shard whose owned interval intersects that ball must contribute
+    its partial sum, and summing those partials over *disjoint* event
+    subsets reproduces the global estimator exactly.  Cuts therefore
+    carry no event replication; the halo lives on the query-scatter side
+    (see :class:`repro.serve.shard.ShardPlan`).
+
+    Returns the ``n_shards - 1`` interior cut positions in domain x
+    coordinates (nondecreasing; a duplicated cut means one shard owns an
+    empty interval, which is valid — it simply never receives events).
+    Empty ``coords`` fall back to uniform cuts.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    d = grid.domain
+    if n_shards == 1:
+        return np.empty(0, dtype=np.float64)
+    coords = np.asarray(coords, dtype=np.float64)
+    if coords.shape[0] == 0:
+        return d.x0 + d.gx * np.arange(1, n_shards) / n_shards
+    col = np.clip(
+        np.floor((coords[:, 0] - d.x0) / d.sres).astype(np.int64),
+        0, grid.Gx - 1,
+    )
+    hist = np.bincount(col, minlength=grid.Gx).astype(np.float64)
+    bounds = _balanced_bounds(hist, n_shards)
+    return d.x0 + bounds[1:-1].astype(np.float64) * d.sres
 
 
 def auto_slab_voxels(grid: GridSpec) -> int:

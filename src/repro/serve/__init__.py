@@ -13,11 +13,16 @@ volumes or the raw events:
 * :class:`~repro.serve.cache.QueryCache` — version-keyed LRU over results,
   invalidated by live-source mutations (``slide_window``);
 * :class:`~repro.serve.service.DensityService` — the facade tying them
-  together (also exposed as ``repro query`` on the CLI).
+  together (also exposed as ``repro query`` on the CLI);
+* :class:`~repro.serve.shard.ShardPlan` /
+  :class:`~repro.serve.worker.ShardWorker` /
+  :class:`~repro.serve.service.ShardedDensityService` — the
+  multi-process sharded tier: shard-owning workers answering
+  scatter/gather fan-out (``repro serve --workers N``).
 """
 
 from .cache import QueryCache, digest_queries
-from .calibrate import calibrate_serving
+from .calibrate import calibrate_ipc, calibrate_serving
 from .engine import (
     RegionResult,
     direct_region,
@@ -28,8 +33,10 @@ from .engine import (
     slice_window,
 )
 from .index import BucketIndex
-from .planner import QueryPlan, QueryPlanner
-from .service import DensityService
+from .planner import QueryPlan, QueryPlanner, ScatterPlan
+from .service import DensityService, ShardedDensityService
+from .shard import ShardPlan, plan_shards
+from .worker import ShardWorker
 
 __all__ = [
     "BucketIndex",
@@ -38,11 +45,17 @@ __all__ = [
     "QueryPlan",
     "QueryPlanner",
     "RegionResult",
+    "ScatterPlan",
+    "ShardPlan",
+    "ShardWorker",
+    "ShardedDensityService",
+    "calibrate_ipc",
     "calibrate_serving",
     "digest_queries",
     "direct_region",
     "direct_sum",
     "direct_sum_grouped",
+    "plan_shards",
     "region_view",
     "sample_volume",
     "slice_window",

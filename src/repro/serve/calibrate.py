@@ -30,6 +30,20 @@ into ``repro.serve``:
     :meth:`~repro.analysis.model.CostModel.predict_merge` charges to
     decide when consolidation pays.
 
+The sharded serving tier adds two process-boundary rates, probed by
+:func:`calibrate_ipc`:
+
+``c_msg``
+    Seconds of fixed cost per coordinator/worker message (pickle
+    framing plus the pipe syscall): the intercept of a payload-size
+    sweep over a :func:`multiprocessing.Pipe` — what
+    :meth:`~repro.analysis.model.CostModel.predict_scatter_gather`
+    charges twice per contacted shard.
+``c_qser``
+    Seconds per ``(x, y, t)`` row serialized across the boundary: the
+    slope of the same sweep — what every scattered query row and
+    gathered partial pays on top of ``c_msg``.
+
 :class:`~repro.serve.service.DensityService` runs this lazily the first
 time its planner is needed; callers with a pre-calibrated write-side
 model pass it in to extend rather than re-probe.
@@ -39,6 +53,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import multiprocessing as mp
 import time
 from typing import Callable, Optional, Tuple
 
@@ -50,7 +65,49 @@ from ..core.kernels import get_kernel
 from .engine import direct_sum, direct_sum_grouped, sample_volume
 from .index import BucketIndex
 
-__all__ = ["calibrate_serving"]
+__all__ = ["calibrate_serving", "calibrate_ipc"]
+
+
+def calibrate_ipc(
+    machine: Optional[MachineModel] = None, seed: int = 0
+) -> MachineModel:
+    """Fill the process-boundary rates ``c_msg`` / ``c_qser`` (~0.02 s).
+
+    Times pickled ``(m, 3)`` float payloads through a same-process
+    :func:`multiprocessing.Pipe` (both payloads stay well under the pipe
+    buffer, so a send/recv pair measures serialization plus the syscall,
+    never blocking): the slope over two sizes is the per-row rate, the
+    small-payload residual the fixed per-message cost.  A same-process
+    probe is a deterministic lower bound on the cross-process cost —
+    exactly the bias a planner comparing *against* single-process
+    serving should have.
+
+    Starts from ``machine`` (or a fresh :meth:`MachineModel.calibrate`);
+    other fields pass through untouched.
+    """
+    machine = machine if machine is not None else MachineModel.calibrate(seed)
+    a, b = mp.Pipe()
+    try:
+        def roundtrip(rows: int) -> float:
+            payload = np.zeros((rows, 3), dtype=np.float64)
+            best = math.inf
+            for _ in range(5):
+                t0 = time.perf_counter()
+                a.send(payload)
+                b.recv()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        roundtrip(8)  # warm the pickling path
+        m_small, m_large = 16, 2048  # 2048 * 24 B < the 64 KiB pipe buffer
+        t_small = roundtrip(m_small)
+        t_large = roundtrip(m_large)
+        c_qser = max((t_large - t_small) / (m_large - m_small), 1e-12)
+        c_msg = max(t_small - m_small * c_qser, 1e-9)
+    finally:
+        a.close()
+        b.close()
+    return dataclasses.replace(machine, c_msg=c_msg, c_qser=c_qser)
 
 
 def calibrate_serving(

@@ -30,7 +30,45 @@ from ..analysis.model import CostModel
 from ..core.grid import VoxelWindow
 from .index import BucketIndex
 
-__all__ = ["QueryPlan", "QueryPlanner"]
+__all__ = ["QueryPlan", "QueryPlanner", "ScatterPlan"]
+
+
+@dataclass(frozen=True)
+class ScatterPlan:
+    """The planner's verdict for one sharded-vs-local query batch.
+
+    ``sharded_seconds`` is the :meth:`~repro.analysis.model.CostModel
+    .predict_scatter_gather` estimate (IPC round-trips plus the balanced
+    per-worker compute share); ``local_seconds`` the single-process
+    direct-query estimate over the full candidate set.  ``fanout_rows``
+    is the *exact* scattered row count (each query counted once per
+    contacted shard, from the halo-widened spans) — the coordinator
+    computes it before planning, so the IPC term is priced on real
+    fan-out, not a guess.
+    """
+
+    backend: str  # "sharded" | "local"
+    n_queries: int
+    n_shards: int
+    fanout_rows: int
+    sharded_seconds: float
+    local_seconds: float
+    reason: str
+
+    @property
+    def speedup(self) -> float:
+        """Predicted advantage of the chosen backend over the other."""
+        lo = min(self.sharded_seconds, self.local_seconds)
+        hi = max(self.sharded_seconds, self.local_seconds)
+        return hi / max(lo, 1e-12)
+
+    def describe(self) -> str:
+        return (
+            f"scatter[{self.n_queries}x{self.n_shards}] -> {self.backend}  "
+            f"(sharded {self.sharded_seconds * 1e3:.3f} ms vs local "
+            f"{self.local_seconds * 1e3:.3f} ms, fanout {self.fanout_rows} "
+            f"rows; {self.reason})"
+        )
 
 
 @dataclass(frozen=True)
@@ -115,6 +153,63 @@ class QueryPlanner:
         lookup = self.model.predict_lookup_region(window, volume_ready)
         return self._verdict("region", window.volume, 0, direct, lookup,
                              volume_ready, force, force_reason)
+
+    def plan_scatter(
+        self,
+        n_queries: int,
+        est_candidates: int,
+        n_shards: int,
+        fanout_rows: int,
+        *,
+        n_groups: Optional[int] = None,
+        n_cohorts: Optional[int] = None,
+        n_segments: int = 1,
+        force: Optional[str] = None,
+        force_reason: Optional[str] = None,
+    ) -> ScatterPlan:
+        """Price sharded scatter/gather against local single-process.
+
+        The sharded side pays two messages per contacted shard plus the
+        serialization of every scattered query row and gathered partial
+        (:meth:`~repro.analysis.model.CostModel.predict_scatter_gather`);
+        its compute is the balanced ``1/P`` share.  The local side is the
+        plain :meth:`~repro.analysis.model.CostModel
+        .predict_direct_query` over the whole batch.  Small batches lose
+        to the per-message cost; large scattered batches win on the
+        divided candidate work.
+        """
+        sharded = self.model.predict_scatter_gather(
+            n_queries, est_candidates, n_shards,
+            fanout_rows=fanout_rows, n_groups=n_groups,
+            n_cohorts=n_cohorts, n_segments=n_segments,
+        )
+        local = self.model.predict_direct_query(
+            n_queries, est_candidates,
+            n_groups=n_groups if n_groups is not None else max(1, n_queries),
+            n_cohorts=n_cohorts if n_cohorts is not None else 1,
+            n_segments=n_segments,
+        )
+        if force is not None:
+            if force not in ("sharded", "local"):
+                raise ValueError(
+                    f"backend must be 'sharded' or 'local', got {force!r}"
+                )
+            backend, reason = force, (force_reason or "forced by caller")
+        elif sharded.seconds <= local:
+            backend = "sharded"
+            reason = "divided candidate work beats IPC round-trips"
+        else:
+            backend = "local"
+            reason = "batch too small to amortise scatter/gather IPC"
+        return ScatterPlan(
+            backend=backend,
+            n_queries=n_queries,
+            n_shards=n_shards,
+            fanout_rows=fanout_rows,
+            sharded_seconds=sharded.seconds,
+            local_seconds=local,
+            reason=reason,
+        )
 
     # ------------------------------------------------------------------
     def _verdict(

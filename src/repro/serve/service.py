@@ -50,9 +50,11 @@ from .engine import (
     slice_window,
 )
 from .index import BucketIndex
-from .planner import QueryPlan, QueryPlanner
+from .planner import QueryPlan, QueryPlanner, ScatterPlan
+from .shard import ShardPlan, plan_shards
+from .worker import ShardWorker
 
-__all__ = ["DensityService"]
+__all__ = ["DensityService", "ShardedDensityService"]
 
 Source = Union[PointSet, np.ndarray, IncrementalSTKDE]
 
@@ -86,7 +88,12 @@ class DensityService:
         (``None`` disables merging) — bounds per-query probe cost under
         sustained tiny-batch slides; see
         :meth:`~repro.analysis.model.CostModel.predict_merge` for the
-        trade.
+        trade.  ``"auto"`` re-picks the cap per deployment through
+        :meth:`~repro.analysis.model.CostModel.choose_merge_cap` from
+        the *observed* feed/query mix (EWMA of point-query batches
+        served per version change): query-heavy traffic converges on a
+        small cap (probes dominate, merge often), feed-heavy on a large
+        one (merges dominate, tolerate segments).
     """
 
     def __init__(
@@ -99,15 +106,30 @@ class DensityService:
         cache: Optional[QueryCache] = None,
         machine: Optional[MachineModel] = None,
         counter: Optional[WorkCounter] = None,
-        index_merge_cap: Optional[int] = 16,
+        index_merge_cap: Union[int, str, None] = 16,
     ) -> None:
         if backend not in ("auto", "direct", "lookup"):
             raise ValueError(
                 f"backend must be 'auto', 'direct' or 'lookup', got {backend!r}"
             )
+        if isinstance(index_merge_cap, str) and index_merge_cap != "auto":
+            raise ValueError(
+                f"index_merge_cap must be an int, None or 'auto', "
+                f"got {index_merge_cap!r}"
+            )
         self.kernel = get_kernel(kernel)
         self.backend = backend
-        self.index_merge_cap = index_merge_cap
+        self._merge_cap_auto = index_merge_cap == "auto"
+        self.index_merge_cap: Optional[int] = (
+            16 if self._merge_cap_auto else index_merge_cap
+        )
+        # Observed feed/query mix driving the "auto" merge cap: point
+        # batches (and their rows) served since the last version change,
+        # smoothed into per-sync EWMAs at each sync.
+        self._point_batches_since_sync = 0
+        self._point_rows_since_sync = 0
+        self._batches_per_sync = 1.0
+        self._rows_per_batch = 1.0
         self.cache = cache if cache is not None else QueryCache()
         self.counter = counter if counter is not None else WorkCounter()
         self._machine = machine
@@ -198,12 +220,52 @@ class DensityService:
         if v == self._synced_version:
             return
         if self._index is not None and self._inc is not None:
+            if self._merge_cap_auto:
+                self._retune_merge_cap()
             self._index.sync(self._inc.live_batches, counter=self.counter)
         self._volume = None
         self._planner = None
         self._live_coords = None
         self.cache.drop_stale(v)
         self._synced_version = v
+
+    def _retune_merge_cap(self) -> None:
+        """Re-pick the live index's merge cap from the observed mix.
+
+        Runs at each version change (just before the index sync whose
+        merge policy it tunes).  The EWMAs smooth the batch-per-sync and
+        rows-per-batch observations so one idle slide doesn't whipsaw
+        the cap; the group estimate is rows-per-batch clipped to the
+        occupied cell count (each query row probes at most its own home
+        cell group).  Deliberately uses the machine at hand (calibrated
+        if the planner ran, :meth:`MachineModel.nominal` otherwise) —
+        retuning must never trigger a calibration probe mid-serve.
+        """
+        b = self._point_batches_since_sync
+        self._batches_per_sync = 0.5 * self._batches_per_sync + 0.5 * b
+        if b:
+            self._rows_per_batch = (
+                0.5 * self._rows_per_batch
+                + 0.5 * (self._point_rows_since_sync / b)
+            )
+        self._point_batches_since_sync = 0
+        self._point_rows_since_sync = 0
+        machine = (
+            self._machine if self._machine is not None
+            else MachineModel.nominal()
+        )
+        model = CostModel(
+            self.grid, PointSet(np.empty((0, 3))), machine
+        )
+        n_groups = int(min(
+            max(1.0, self._rows_per_batch),
+            max(1, self._index.occupied_cells),
+        ))
+        cap = model.choose_merge_cap(
+            max(self._index.n, 1), n_groups, self._batches_per_sync
+        )
+        self.index_merge_cap = cap
+        self._index.merge_segment_cap = cap
 
     # ------------------------------------------------------------------
     # Derived structures
@@ -362,6 +424,9 @@ class DensityService:
             raise ValueError(f"expected (m, 3) queries, got {q.shape}")
         if q.shape[0] == 0:
             return np.empty(0, dtype=np.float64)
+        if self._inc is not None:
+            self._point_batches_since_sync += 1
+            self._point_rows_since_sync += q.shape[0]
         force, force_reason = self._resolve_backend(backend)
         # Cache before planning: a hit must not pay the planner's O(n)
         # estimates.  Off voxel centers the two backends differ (exact vs
@@ -523,6 +588,7 @@ class DensityService:
             "volume_build_backend": self._volume_build_backend,
             "backend_calls": dict(self._backend_calls),
             "planner_decisions": dict(self._plan_decisions),
+            "index_merge_cap": self.index_merge_cap,
             "cache": cache,
             "cache_hit_ratio": (cache["hits"] / lookups) if lookups else None,
             "work": work,
@@ -536,4 +602,478 @@ class DensityService:
         return (
             f"DensityService({src}, n={self._coords().shape[0]}, "
             f"grid={self.grid.shape}, backend={self.backend!r})"
+        )
+
+
+class ShardedDensityService:
+    """Multi-process sharded serving: shard-owning workers behind one facade.
+
+    Partitions the domain into ``workers`` disjoint x-slabs
+    (:class:`~repro.serve.shard.ShardPlan`) and spawns one worker process
+    per shard, each owning a private :class:`BucketIndex` (and, in live
+    mode, a private :class:`~repro.core.incremental.IncrementalSTKDE`)
+    over *its events only*.  Queries are scattered by home cell with a
+    one-bandwidth halo — every shard whose owned interval intersects a
+    query's kernel support computes an **unnormalised partial sum** — and
+    the coordinator gathers, adds, and applies the global ``1 / (W hs^2
+    ht)`` prefactor.  Because ownership is disjoint, the gathered sum
+    re-associates (never re-weights) the single-process estimator:
+    equivalence holds at ``rtol=1e-12``.
+
+    Mutations route **only to affected shards**: ``add``/``remove``
+    contact the owners of the touched rows, ``slide_window`` the owners
+    of arriving rows plus shards whose earliest live event predates the
+    horizon.  :attr:`counter`'s ``shard_messages`` / ``shard_rows_shipped``
+    gauge that routing (observability ``stats`` traffic is deliberately
+    excluded).
+
+    Per batch the planner prices scatter/gather IPC against a local
+    single-process plan (:meth:`~repro.serve.planner.QueryPlanner
+    .plan_scatter`): static sources fall back to a lazily built local
+    :class:`DensityService` when the batch is too small to amortise the
+    round-trips; live sources always serve sharded (the events live in
+    the workers — the plan is still recorded).
+
+    Parameters
+    ----------
+    source:
+        A :class:`PointSet` / ``(n, 3)`` array for a static (possibly
+        weighted) snapshot, or ``None`` for a live sliding window fed
+        through :meth:`add` / :meth:`slide_window`.
+    grid:
+        The serving grid (always required).
+    workers:
+        Worker process count (= shard count); ``"auto"`` takes the CPU
+        affinity count.
+    plan:
+        Pre-built :class:`ShardPlan` (cuts are otherwise balanced on the
+        snapshot's column histogram, uniform for an empty live start).
+    backend:
+        ``"auto"`` (planner decides per batch), ``"sharded"``, or
+        ``"local"`` (static sources only).
+    machine:
+        Calibrated :class:`MachineModel`; calibrated lazily
+        (:func:`~repro.serve.calibrate.calibrate_ipc` over
+        :func:`~repro.serve.calibrate.calibrate_serving`) on first auto
+        plan when omitted.
+
+    Use as a context manager (or call :meth:`close`) so the worker pool
+    is always torn down::
+
+        with ShardedDensityService(points, grid, workers=4) as svc:
+            dens = svc.query_points(queries)
+    """
+
+    def __init__(
+        self,
+        source: Optional[Union[PointSet, np.ndarray]],
+        grid: GridSpec,
+        *,
+        workers: Union[int, str] = "auto",
+        plan: Optional[ShardPlan] = None,
+        kernel: str | KernelPair = "epanechnikov",
+        backend: str = "auto",
+        machine: Optional[MachineModel] = None,
+        counter: Optional[WorkCounter] = None,
+        index_merge_cap: Union[int, str, None] = 16,
+        t_slab_voxels="auto",
+    ) -> None:
+        if backend not in ("auto", "sharded", "local"):
+            raise ValueError(
+                f"backend must be 'auto', 'sharded' or 'local', "
+                f"got {backend!r}"
+            )
+        self.grid = grid
+        self.kernel = get_kernel(kernel)
+        self.backend = backend
+        self.counter = counter if counter is not None else WorkCounter()
+        self._machine = machine
+        self._planner: Optional[QueryPlanner] = None
+        self._closed = False
+        self._version = 0
+        self._plan_decisions: Dict[str, int] = {}
+        self._backend_calls: Dict[str, int] = {"sharded": 0, "local": 0}
+        self._local: Optional[DensityService] = None
+        self._static_coords: Optional[np.ndarray] = None
+        self._static_weights: Optional[np.ndarray] = None
+        if source is None:
+            self._live = True
+            seed_coords = np.empty((0, 3), dtype=np.float64)
+        else:
+            self._live = False
+            pts = source if isinstance(source, PointSet) else PointSet(source)
+            self._static_coords = pts.coords
+            self._static_weights = pts.weights
+            seed_coords = pts.coords
+        P = resolve_shard_count(workers)
+        self.plan = plan if plan is not None else plan_shards(
+            grid, seed_coords, P
+        )
+        # Workers' own merge policy stays fixed ("auto" adaptation is a
+        # coordinator-side concern of the single-process service).
+        worker_cap = 16 if index_merge_cap == "auto" else index_merge_cap
+        ctx = None  # each ShardWorker defaults to the spawn context
+        self._workers = [
+            ShardWorker(
+                s, grid, self.kernel.name,
+                merge_cap=worker_cap, t_slab=t_slab_voxels, ctx=ctx,
+            )
+            for s in range(self.plan.n_shards)
+        ]
+        # Coordinator routing state, refreshed from every mutation reply.
+        self._shard_events = [0] * self.n_shards
+        self._shard_weight = [0.0] * self.n_shards
+        self._shard_min_t = [float("inf")] * self.n_shards
+        if not self._live:
+            self._distribute_static()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    @property
+    def version(self) -> int:
+        """Bumped by every mutation (mirrors the live estimator's)."""
+        return self._version
+
+    @property
+    def weighted(self) -> bool:
+        return self._static_weights is not None
+
+    @property
+    def events(self) -> int:
+        """Total live events across all shards."""
+        return int(sum(self._shard_events))
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ShardedDensityService is closed")
+
+    def _norm(self) -> float:
+        """Global estimator prefactor over the gathered partial sums."""
+        w = float(sum(self._shard_weight))
+        if w <= 0.0:
+            return 0.0
+        return 1.0 / (w * self.grid.hs * self.grid.hs * self.grid.ht)
+
+    def _apply_gauges(self, s: int, gauges) -> None:
+        events, weight, min_t = gauges
+        self._shard_events[s] = events
+        self._shard_weight[s] = weight
+        self._shard_min_t[s] = min_t
+
+    def _distribute_static(self) -> None:
+        coords = self._static_coords
+        weights = self._static_weights
+        parts = self.plan.partition(coords)
+        for s, worker in enumerate(self._workers):
+            part_w = None if weights is None else weights[parts[s]]
+            worker.send_op("static", (coords[parts[s]], part_w))
+            self.counter.shard_messages += 1
+            self.counter.shard_rows_shipped += int(parts[s].size)
+        for s, worker in enumerate(self._workers):
+            self._apply_gauges(s, worker.recv_reply("static"))
+
+    # ------------------------------------------------------------------
+    # Planner
+    # ------------------------------------------------------------------
+    def planner(self) -> QueryPlanner:
+        """The scatter planner (calibrates IPC rates on first use)."""
+        if self._planner is None:
+            if self._machine is None:
+                from .calibrate import calibrate_ipc, calibrate_serving
+
+                self._machine = calibrate_ipc(calibrate_serving())
+            model = CostModel(
+                self.grid, PointSet(np.empty((0, 3))), self._machine
+            )
+            self._planner = QueryPlanner(model)
+        return self._planner
+
+    def _est_candidates(self, m: int) -> int:
+        """Crude candidate estimate: events under a uniform density times
+        the 27-cell (one-bandwidth) neighbourhood's domain fraction."""
+        n = self.events
+        d = self.grid.domain
+        vol = d.gx * d.gy * d.gt
+        if vol <= 0.0 or n == 0:
+            return 0
+        frac = min(
+            1.0,
+            (27.0 * self.grid.hs * self.grid.hs * self.grid.ht) / vol,
+        )
+        return int(m * n * frac)
+
+    def _resolve_backend(self, backend: Optional[str]):
+        choice = backend if backend is not None else self.backend
+        if choice == "auto":
+            if self._live:
+                # The events live in the workers: a live window has no
+                # local fallback, only the recorded plan.
+                return "sharded", "live source serves sharded"
+            return None, None
+        if choice not in ("sharded", "local"):
+            raise ValueError(
+                f"backend must be 'auto', 'sharded' or 'local', "
+                f"got {choice!r}"
+            )
+        if choice == "local" and self._live:
+            raise ValueError(
+                "live sources cannot serve locally — the events are "
+                "owned by the worker processes"
+            )
+        return choice, "forced by caller"
+
+    def _local_service(self) -> DensityService:
+        """Lazily built single-process fallback over the static snapshot."""
+        if self._local is None:
+            src = PointSet(self._static_coords, self._static_weights)
+            self._local = DensityService(
+                src, self.grid, kernel=self.kernel,
+                machine=self._machine, counter=self.counter,
+            )
+        return self._local
+
+    def _record_plan(self, plan: ScatterPlan) -> None:
+        key = f"scatter:{plan.backend}"
+        self._plan_decisions[key] = self._plan_decisions.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_points(
+        self,
+        queries: np.ndarray,
+        *,
+        backend: Optional[str] = None,
+        plan_out: Optional[list] = None,
+    ) -> np.ndarray:
+        """Densities at ``(m, 3)`` query locations (scatter/gather)."""
+        self._check_open()
+        q = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
+        if q.ndim != 2 or q.shape[1] != 3:
+            raise ValueError(f"expected (m, 3) queries, got {q.shape}")
+        m = q.shape[0]
+        if m == 0:
+            return np.empty(0, dtype=np.float64)
+        lo, hi = self.plan.scatter_spans(q[:, 0])
+        fanout = int((hi - lo + 1).sum())
+        force, force_reason = self._resolve_backend(backend)
+        plan = None
+        if force is None or plan_out is not None:
+            plan = self.planner().plan_scatter(
+                m, self._est_candidates(m), self.n_shards, fanout,
+                force=force, force_reason=force_reason,
+            )
+            self._record_plan(plan)
+            if plan_out is not None:
+                plan_out.append(plan)
+        chosen = plan.backend if plan is not None else force
+        if chosen == "local":
+            self._backend_calls["local"] += 1
+            return self._local_service().query_points(q)
+        out = np.zeros(m, dtype=np.float64)
+        sent = []
+        for s in range(self.n_shards):
+            rows = np.flatnonzero((lo <= s) & (s <= hi))
+            if rows.size == 0:
+                continue
+            self._workers[s].send_op("query_points", q[rows])
+            self.counter.shard_messages += 1
+            self.counter.shard_rows_shipped += int(rows.size)
+            sent.append((s, rows))
+        for s, rows in sent:
+            partial = self._workers[s].recv_reply("query_points")
+            out[rows] += partial
+            self.counter.shard_rows_shipped += int(rows.size)
+        out *= self._norm()
+        self._backend_calls["sharded"] += 1
+        return out
+
+    def query_slice(
+        self, T: int, *, backend: Optional[str] = None
+    ) -> RegionResult:
+        """The full ``(Gx, Gy)`` density slice at voxel time ``T``."""
+        return self.query_region(slice_window(self.grid, T), backend=backend)
+
+    def query_region(
+        self,
+        window: VoxelWindow | Tuple[int, int, int, int, int, int],
+        *,
+        backend: Optional[str] = None,
+    ) -> RegionResult:
+        """Density over a voxel window, summed from per-shard stamps.
+
+        Every shard owning events within one halo of the window stamps
+        them (unnormalised) into a window-covering region buffer; the
+        coordinator sums the arrays and applies the prefactor — the same
+        partition-exactness argument as point queries, per voxel.
+        """
+        self._check_open()
+        if not isinstance(window, VoxelWindow):
+            window = VoxelWindow(*window)
+        window = window.intersect(self.grid.full_window())
+        if window.empty:
+            raise ValueError(f"region window is empty on this grid: {window}")
+        force, _ = self._resolve_backend(backend)
+        if force == "local":
+            self._backend_calls["local"] += 1
+            return self._local_service().query_region(window)
+        shards = self.plan.shards_for_window(window)
+        wkey = (window.x0, window.x1, window.y0, window.y1,
+                window.t0, window.t1)
+        for s in shards:
+            self._workers[s].send_op("query_region", wkey)
+            self.counter.shard_messages += 1
+        data = np.zeros(window.shape, dtype=np.float64)
+        for s in shards:
+            part = self._workers[s].recv_reply("query_region")
+            data += part
+            self.counter.shard_rows_shipped += int(part.size)
+        data *= self._norm()
+        data.flags.writeable = False
+        self._backend_calls["sharded"] += 1
+        return RegionResult(window, data, "sharded")
+
+    # ------------------------------------------------------------------
+    # Mutations (live sources)
+    # ------------------------------------------------------------------
+    def _check_live(self, op: str) -> None:
+        if not self._live:
+            raise RuntimeError(
+                f"{op} requires a live source; this service serves a "
+                f"static snapshot"
+            )
+
+    def _route_rows(self, op: str, coords: np.ndarray) -> int:
+        """Send ``op`` with each shard's owned rows to owners only."""
+        parts = self.plan.partition(coords)
+        contacted = [s for s in range(self.n_shards) if parts[s].size]
+        for s in contacted:
+            self._workers[s].send_op(op, coords[parts[s]])
+            self.counter.shard_messages += 1
+            self.counter.shard_rows_shipped += int(parts[s].size)
+        for s in contacted:
+            self._apply_gauges(s, self._workers[s].recv_reply(op))
+        self._version += 1
+        return len(contacted)
+
+    def add(self, points: Union[PointSet, np.ndarray]) -> None:
+        """Insert events, routed to their owning shards only."""
+        self._check_open()
+        self._check_live("add")
+        coords = IncrementalSTKDE._coerce_unweighted(points)
+        if coords.shape[0] == 0:
+            return
+        self._route_rows("add", np.asarray(coords, dtype=np.float64))
+
+    def remove(self, points: Union[PointSet, np.ndarray]) -> None:
+        """Retire events, routed to their owning shards only.
+
+        Ownership is a pure function of the x coordinate, so a removed
+        row always reaches the shard that stamped it.
+        """
+        self._check_open()
+        self._check_live("remove")
+        coords = IncrementalSTKDE._coerce_unweighted(points)
+        if coords.shape[0] == 0:
+            return
+        self._route_rows("remove", np.asarray(coords, dtype=np.float64))
+
+    def slide_window(
+        self, new_points: Union[PointSet, np.ndarray], t_horizon: float
+    ) -> int:
+        """Advance the window: O(affected shards), not O(workers).
+
+        Contacts only shards that receive arriving rows or whose
+        earliest live event predates ``t_horizon`` — an idle shard
+        (nothing arriving, nothing expiring) gets **no message**, which
+        is the routing contract ``shard_messages`` gauges.
+        """
+        self._check_open()
+        self._check_live("slide_window")
+        coords = np.asarray(
+            IncrementalSTKDE._coerce_unweighted(new_points), dtype=np.float64
+        )
+        t_horizon = float(t_horizon)
+        parts = self.plan.partition(coords)
+        contacted = [
+            s for s in range(self.n_shards)
+            if parts[s].size or self._shard_min_t[s] < t_horizon
+        ]
+        for s in contacted:
+            self._workers[s].send_op("slide", (coords[parts[s]], t_horizon))
+            self.counter.shard_messages += 1
+            self.counter.shard_rows_shipped += int(parts[s].size)
+        retired = 0
+        for s in contacted:
+            reply = self._workers[s].recv_reply("slide")
+            retired += int(reply[0])
+            self._apply_gauges(s, reply[1:])
+        self._version += 1
+        return retired
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Coordinator and per-worker serving gauges.
+
+        ``work`` is the coordinator's counter merged with every worker's
+        (one :class:`WorkCounter` per process, merged here — the
+        cross-process analogue of the threaded schedulers' per-task
+        counter merge); ``workers`` keeps the per-shard views.  The
+        ``stats`` round-trips themselves are *not* counted into
+        ``shard_messages`` so the routing gauge stays about serving
+        traffic.
+        """
+        self._check_open()
+        for worker in self._workers:
+            worker.send_op("stats")
+        per_worker = [w.recv_reply("stats") for w in self._workers]
+        merged = self.counter.copy()
+        for ws in per_worker:
+            merged.merge(WorkCounter(**ws["work"]))
+        return {
+            "version": self._version,
+            "events": self.events,
+            "weighted": self.weighted,
+            "n_shards": self.n_shards,
+            "cuts": [float(c) for c in self.plan.cuts],
+            "shard_events": list(self._shard_events),
+            "backend_calls": dict(self._backend_calls),
+            "planner_decisions": dict(self._plan_decisions),
+            "work": merged.as_dict(),
+            "workers": per_worker,
+            "local": (
+                self._local.stats() if self._local is not None else None
+            ),
+        }
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent; errors don't leak workers)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.close()
+
+    def __enter__(self) -> "ShardedDensityService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        src = "live" if self._live else "static"
+        return (
+            f"ShardedDensityService({src}, shards={self.n_shards}, "
+            f"events={self.events}, grid={self.grid.shape})"
         )

@@ -1,0 +1,133 @@
+"""Shard planning for the multi-process serving tier.
+
+A :class:`ShardPlan` partitions the space-time domain into ``P`` disjoint
+x-slabs (cuts from :func:`repro.core.regions.plan_serving_shards`, balanced
+on the event column histogram).  Every event is **owned by exactly one
+shard** — the one whose x-interval contains it — so the per-shard kernel
+sums are over disjoint event subsets and *add up to the global estimator
+exactly* (the only fp effect is re-association of the outer sum, orders of
+magnitude below the ``rtol=1e-12`` equivalence bar).
+
+The **halo rule** lives on the query side, not the data side: the kernels
+have finite support, so a query at ``x`` draws density only from events in
+``[x - hs, x + hs]``.  :meth:`ShardPlan.scatter_spans` therefore widens
+each query by one spatial bandwidth before mapping it onto the cut array —
+the contacted span ``[lo, hi]`` covers every shard whose owned interval
+intersects the query's support ball, and no event is ever shipped or
+replicated across a cut.  A query that lands well inside a shard contacts
+only its home shard; one within ``hs`` of a cut contacts both neighbours
+and the coordinator sums their partials.
+
+Ownership is computed with ``searchsorted`` against cut positions that lie
+on voxel-column boundaries, so both sides of a process boundary (the
+coordinator scattering and a worker filtering) reach the same verdict
+under identical float arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.grid import GridSpec, VoxelWindow
+from ..core.regions import plan_serving_shards
+
+__all__ = ["ShardPlan", "plan_shards"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Disjoint x-slab ownership plan for ``n_shards`` serving workers.
+
+    ``cuts`` holds the ``n_shards - 1`` interior cut positions in domain x
+    coordinates (nondecreasing).  Shard ``i`` owns the half-open interval
+    ``[cuts[i-1], cuts[i])`` (with the domain edges closing the first and
+    last shard), matching ``np.searchsorted(cuts, x, side="right")``.
+    """
+
+    grid: GridSpec
+    cuts: np.ndarray
+    halo: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        cuts = np.ascontiguousarray(np.asarray(self.cuts, dtype=np.float64))
+        if cuts.ndim != 1:
+            raise ValueError(f"cuts must be 1-D, got shape {cuts.shape}")
+        if cuts.size and np.any(np.diff(cuts) < 0):
+            raise ValueError("cuts must be nondecreasing")
+        object.__setattr__(self, "cuts", cuts)
+        halo = float(self.halo) if self.halo else float(self.grid.hs)
+        object.__setattr__(self, "halo", halo)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (cut count plus one)."""
+        return self.cuts.size + 1
+
+    # ------------------------------------------------------------------
+    # Event ownership (disjoint)
+    # ------------------------------------------------------------------
+    def owner_of(self, xs: np.ndarray) -> np.ndarray:
+        """Owning shard id for each event x coordinate (``(n,) -> (n,)``)."""
+        xs = np.asarray(xs, dtype=np.float64)
+        return np.searchsorted(self.cuts, xs, side="right")
+
+    def partition(self, coords: np.ndarray) -> list:
+        """Row-index arrays splitting ``coords`` by owning shard.
+
+        Returns ``n_shards`` ``int64`` arrays; their concatenation is a
+        permutation of ``arange(len(coords))`` (every row owned exactly
+        once).  Preserves input row order within each shard.
+        """
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.shape[0] == 0:
+            return [np.empty(0, np.int64) for _ in range(self.n_shards)]
+        owner = self.owner_of(coords[:, 0])
+        return [
+            np.flatnonzero(owner == s).astype(np.int64)
+            for s in range(self.n_shards)
+        ]
+
+    # ------------------------------------------------------------------
+    # Query scatter (halo-widened)
+    # ------------------------------------------------------------------
+    def scatter_spans(self, xs: np.ndarray):
+        """Per-query contacted shard spans ``(lo, hi)``, both inclusive.
+
+        A query at ``x`` must hear from every shard owning events in
+        ``[x - halo, x + halo]``; because ownership intervals are sorted
+        that set is the contiguous span ``searchsorted(cuts, x - halo,
+        "right") .. searchsorted(cuts, x + halo, "right")``.
+        """
+        xs = np.asarray(xs, dtype=np.float64)
+        lo = np.searchsorted(self.cuts, xs - self.halo, side="right")
+        hi = np.searchsorted(self.cuts, xs + self.halo, side="right")
+        return lo, hi
+
+    def shards_for_window(self, window: VoxelWindow) -> np.ndarray:
+        """Shard ids owning events that can reach ``window``'s voxels.
+
+        Widens the window's domain-x extent by one halo (voxel centers
+        are what get stamped, but the window edge bound with the halo
+        already covers every reaching event).
+        """
+        d = self.grid.domain
+        x_lo = d.x0 + window.x0 * d.sres - self.halo
+        x_hi = d.x0 + window.x1 * d.sres + self.halo
+        lo = int(np.searchsorted(self.cuts, x_lo, side="right"))
+        hi = int(np.searchsorted(self.cuts, x_hi, side="right"))
+        return np.arange(lo, hi + 1, dtype=np.int64)
+
+
+def plan_shards(
+    grid: GridSpec, coords: np.ndarray, n_shards: int
+) -> ShardPlan:
+    """Build a :class:`ShardPlan` with event-balanced cuts.
+
+    Thin wrapper over :func:`repro.core.regions.plan_serving_shards`; the
+    halo defaults to one spatial bandwidth, the kernel support.
+    """
+    cuts = plan_serving_shards(grid, np.asarray(coords, dtype=np.float64),
+                               n_shards)
+    return ShardPlan(grid, cuts)

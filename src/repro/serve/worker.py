@@ -1,0 +1,322 @@
+"""Shard-owning worker processes for the sharded serving tier.
+
+Each worker process owns one shard's events behind a private
+:class:`~repro.serve.index.BucketIndex` (and, in live mode, a private
+:class:`~repro.core.incremental.IncrementalSTKDE`) and answers requests
+over a duplex pipe.  Workers compute **unnormalised partial sums**
+(``norm=1.0``): only the coordinator knows the window's total weight, so
+it applies the ``1 / (W hs^2 ht)`` prefactor after gathering — which is
+also what makes the partition exact, since the per-shard partials are
+plain kernel sums over disjoint event subsets.
+
+The protocol is a synchronous request/reply over ``(op, payload)`` tuples,
+answered with ``("ok", result)`` or ``("err", message)``.  The
+coordinator-side :class:`ShardWorker` waits on *both* the pipe and the
+process sentinel, so a worker dying mid-request surfaces as a clear
+:class:`RuntimeError` instead of a hang — the fault contract the
+fault-path tests pin.
+
+Everything a worker needs is passed through the spawn-safe
+:func:`_worker_main` entry point (module-level, picklable arguments:
+grid spec, kernel *name*, index/incremental tuning).  The ``spawn`` start
+method is used unconditionally: it is the only method available
+everywhere and it guarantees workers never inherit the coordinator's
+(possibly multi-threaded) state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from multiprocessing.connection import Connection, wait
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from ..core.grid import GridSpec, VoxelWindow
+from ..core.incremental import IncrementalSTKDE
+from ..core.instrument import WorkCounter
+from ..core.kernels import get_kernel
+from .engine import direct_region, direct_sum
+from .index import BucketIndex
+
+__all__ = ["ShardWorker"]
+
+#: Seconds a closing coordinator waits for a worker to exit gracefully
+#: before escalating to terminate().
+_CLOSE_GRACE = 5.0
+
+
+class _WorkerState:
+    """One worker's shard-local serving state (inside the process)."""
+
+    def __init__(
+        self,
+        grid: GridSpec,
+        kernel_name: str,
+        merge_cap: Optional[int],
+        t_slab,
+    ) -> None:
+        self.grid = grid
+        self.kernel = get_kernel(kernel_name)
+        self.merge_cap = merge_cap
+        self.t_slab = t_slab
+        self.counter = WorkCounter()
+        # Static mode: coords/weights snapshot.  Live mode: incremental
+        # estimator (index synced against its tracked batches).
+        self.coords = np.empty((0, 3), dtype=np.float64)
+        self.weights: Optional[np.ndarray] = None
+        self.inc: Optional[IncrementalSTKDE] = None
+        self.index: Optional[BucketIndex] = None
+
+    # -- shared helpers -------------------------------------------------
+    def _live_refresh(self) -> None:
+        """Re-sync the index and coords cache after a live mutation."""
+        assert self.inc is not None
+        if self.index is None:
+            self.index = BucketIndex(
+                self.grid, merge_segment_cap=self.merge_cap
+            )
+        self.index.sync(self.inc.live_batches, counter=self.counter)
+        self.coords = self.inc.live_coords
+
+    def weight(self) -> float:
+        """This shard's share of the estimator's total weight ``W``."""
+        if self.inc is not None:
+            return float(self.inc.n)
+        if self.weights is not None:
+            return float(self.weights.sum())
+        return float(self.coords.shape[0])
+
+    def min_t(self) -> float:
+        """Earliest live event time (``inf`` when the shard is empty)."""
+        if self.coords.shape[0] == 0:
+            return float("inf")
+        return float(self.coords[:, 2].min())
+
+    def gauges(self) -> Tuple[int, float, float]:
+        """``(events, weight, min_t)`` — the coordinator's routing state."""
+        return int(self.coords.shape[0]), self.weight(), self.min_t()
+
+    # -- ops ------------------------------------------------------------
+    def op_static(self, payload) -> Tuple[int, float, float]:
+        coords, weights = payload
+        self.coords = np.ascontiguousarray(coords, dtype=np.float64)
+        self.weights = (
+            None if weights is None
+            else np.ascontiguousarray(weights, dtype=np.float64)
+        )
+        self.index = BucketIndex(
+            self.grid, self.coords, self.weights,
+            counter=self.counter, merge_segment_cap=self.merge_cap,
+        )
+        return self.gauges()
+
+    def _ensure_live(self) -> IncrementalSTKDE:
+        if self.inc is None:
+            self.inc = IncrementalSTKDE(
+                self.grid, kernel=self.kernel,
+                t_slab_voxels=self.t_slab,
+            )
+        return self.inc
+
+    def op_add(self, payload) -> Tuple[int, float, float]:
+        inc = self._ensure_live()
+        if payload.shape[0]:
+            inc.add(payload)
+        self._live_refresh()
+        return self.gauges()
+
+    def op_remove(self, payload) -> Tuple[int, float, float]:
+        inc = self._ensure_live()
+        if payload.shape[0]:
+            inc.remove(payload)
+        self._live_refresh()
+        return self.gauges()
+
+    def op_slide(self, payload):
+        coords, t_horizon = payload
+        inc = self._ensure_live()
+        retired = inc.slide_window(coords, t_horizon)
+        self._live_refresh()
+        return (retired,) + self.gauges()
+
+    def op_query_points(self, payload) -> np.ndarray:
+        if self.index is None:
+            return np.zeros(payload.shape[0], dtype=np.float64)
+        # norm=1.0: an unnormalised partial the coordinator scales.
+        return direct_sum(
+            self.index, payload, self.kernel, 1.0, self.counter
+        )
+
+    def op_query_region(self, payload) -> np.ndarray:
+        window = VoxelWindow(*payload)
+        result = direct_region(
+            self.grid, self.kernel, self.coords, window, 1.0,
+            self.counter, weights=self.weights,
+        )
+        return result.data
+
+    def op_stats(self, _payload) -> dict:
+        return {
+            "events": int(self.coords.shape[0]),
+            "weight": self.weight(),
+            "work": self.counter.as_dict(),
+        }
+
+
+def _worker_main(
+    conn: Connection,
+    grid: GridSpec,
+    kernel_name: str,
+    merge_cap: Optional[int],
+    t_slab,
+) -> None:
+    """Worker process entry point: serve requests until ``close``/EOF."""
+    state = _WorkerState(grid, kernel_name, merge_cap, t_slab)
+    ops = {
+        "static": state.op_static,
+        "add": state.op_add,
+        "remove": state.op_remove,
+        "slide": state.op_slide,
+        "query_points": state.op_query_points,
+        "query_region": state.op_query_region,
+        "stats": state.op_stats,
+    }
+    while True:
+        try:
+            op, payload = conn.recv()
+        except EOFError:
+            break  # coordinator went away: exit quietly
+        if op == "close":
+            conn.send(("ok", None))
+            break
+        if op == "crash":
+            # Test hook: die without replying, as a segfaulting or
+            # OOM-killed worker would.
+            os._exit(1)
+        try:
+            handler = ops[op]
+        except KeyError:
+            conn.send(("err", f"unknown op {op!r}"))
+            continue
+        try:
+            conn.send(("ok", handler(payload)))
+        except Exception as exc:  # surface, don't kill the worker
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+    conn.close()
+
+
+class ShardWorker:
+    """Coordinator-side handle to one shard-owning worker process."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        grid: GridSpec,
+        kernel_name: str,
+        *,
+        merge_cap: Optional[int] = 16,
+        t_slab="auto",
+        ctx: Optional[mp.context.BaseContext] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        ctx = ctx if ctx is not None else mp.get_context("spawn")
+        self._conn, child = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=_worker_main,
+            args=(child, grid, kernel_name, merge_cap, t_slab),
+            name=f"shard-worker-{shard_id}",
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()  # the child's end lives in the child only
+        self._closed = False
+
+    @property
+    def alive(self) -> bool:
+        return not self._closed and self._proc.is_alive()
+
+    def send_op(self, op: str, payload: Any = None) -> None:
+        """Fire one request without waiting (pair with :meth:`recv_reply`).
+
+        The coordinator scatters a batch by sending to every contacted
+        worker first and only then gathering, so the workers compute
+        their partials concurrently.
+        """
+        if self._closed:
+            raise RuntimeError(
+                f"shard worker {self.shard_id} is closed"
+            )
+        try:
+            self._conn.send((op, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise RuntimeError(
+                f"shard worker {self.shard_id} died (pipe closed while "
+                f"sending {op!r})"
+            ) from exc
+
+    def recv_reply(self, op: str) -> Any:
+        """Block for one reply to a previously sent request.
+
+        Waits on the reply pipe *and* the process sentinel, so a worker
+        that dies mid-request raises a :class:`RuntimeError` naming the
+        shard instead of blocking forever.
+        """
+        while True:
+            ready = wait([self._conn, self._proc.sentinel])
+            if self._conn in ready:
+                try:
+                    tag, result = self._conn.recv()
+                except (EOFError, OSError):
+                    # EOF or a reset: the worker's end is gone.
+                    self._proc.join()
+                    raise RuntimeError(
+                        f"shard worker {self.shard_id} died mid-request "
+                        f"({op!r}; exit code {self._proc.exitcode})"
+                    ) from None
+                if tag == "err":
+                    raise RuntimeError(
+                        f"shard worker {self.shard_id} failed {op!r}: "
+                        f"{result}"
+                    )
+                return result
+            # Sentinel fired with no reply pending: the process is gone.
+            self._proc.join()
+            raise RuntimeError(
+                f"shard worker {self.shard_id} died mid-request ({op!r}; "
+                f"exit code {self._proc.exitcode})"
+            )
+
+    def request(self, op: str, payload: Any = None) -> Any:
+        """Send one request and block for its reply."""
+        self.send_op(op, payload)
+        return self.recv_reply(op)
+
+    def close(self) -> None:
+        """Shut the worker down (graceful close, then terminate)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._proc.is_alive():
+                self._conn.send(("close", None))
+                # Drain the ack if the worker is still healthy.
+                if self._conn.poll(_CLOSE_GRACE):
+                    try:
+                        self._conn.recv()
+                    except EOFError:
+                        pass
+        except (BrokenPipeError, OSError):
+            pass  # already dead: nothing to hand-shake with
+        self._proc.join(_CLOSE_GRACE)
+        if self._proc.is_alive():  # pragma: no cover - stuck worker
+            self._proc.terminate()
+            self._proc.join()
+        self._conn.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
