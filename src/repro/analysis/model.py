@@ -134,6 +134,17 @@ class MachineModel:
         (pickle + pipe transfer, both directions averaged) — the
         per-row marginal cost a scattered query batch and its gathered
         partials pay on top of ``c_msg``.
+    c_qsample:
+        Seconds per candidate row drawn and evaluated by the approximate
+        backend (:func:`repro.serve.engine.approx_sum`): weighted run
+        draw, uniform row pick, gather, masked tabulation and the
+        estimator update, amortised over the sample.  Probed by
+        :func:`repro.serve.calibrate.calibrate_serving`.
+    c_qbound:
+        Seconds per (query x candidate run) contribution bound the
+        approximate backend prices its sampling distribution with —
+        charged ``9 * segments`` per query, the O(runs) fixed cost the
+        sampler pays before any draw.
     """
 
     c_mem: float
@@ -150,6 +161,8 @@ class MachineModel:
     c_qrow: float = 0.0
     c_msg: float = 0.0
     c_qser: float = 0.0
+    c_qsample: float = 0.0
+    c_qbound: float = 0.0
 
     @classmethod
     def calibrate(cls, seed: int = 0) -> "MachineModel":
@@ -276,7 +289,7 @@ class MachineModel:
         return cls(
             c_mem=1e-9, c_point=1e-7, c_cell=2e-9, c_batch=1e-5,
             c_pair=2e-9, c_tile=1e-6, c_lookup=5e-8, c_qgroup=5e-6,
-            c_qcohort=5e-6, c_qprobe=1e-6,
+            c_qcohort=5e-6, c_qprobe=1e-6, c_qsample=1e-8, c_qbound=4e-9,
         )
 
 
@@ -486,6 +499,41 @@ class CostModel:
             + groups * m.c_qgroup
             + n_queries * m.c_point
             + total_candidates * m.c_pair
+        )
+
+    def predict_approx_query(
+        self,
+        n_queries: int,
+        total_candidates: int,
+        eps: float,
+        n_segments: int = 1,
+    ) -> float:
+        """Predicted seconds for the ε-budgeted importance sampler.
+
+        The sampler's cost shape (:func:`repro.serve.engine.approx_sum`):
+        one batch dispatch, a ``9 * segments`` run-bound sweep per query
+        (``c_qbound`` each — the O(runs) price of building the sampling
+        distribution), then the sample itself at ``c_qsample`` per drawn
+        row.  The expected sample size follows the variance-driven stop
+        rule ``~ C / eps^2`` (C fitted to the doubling-round overshoot of
+        the measured sampler), capped at the average candidate count —
+        past that the engine falls back to the exact gather, so the
+        approximate backend never prices above O(candidates).  Sublinear
+        in candidate count exactly where the true engine is.
+        """
+        m = self.machine
+        # Uncalibrated fallbacks mirror the measured rate ratios (a drawn
+        # row costs ~5 direct pairs: RNG draws, searchsorted routing and
+        # the scattered gather; a run bound ~2: clamp distances + proxy).
+        sample_rate = m.c_qsample if m.c_qsample > 0.0 else 5.0 * m.c_pair
+        bound_rate = m.c_qbound if m.c_qbound > 0.0 else 2.0 * m.c_pair
+        avg_cand = total_candidates / max(1, n_queries)
+        s_per_q = min(avg_cand, 16.0 / (eps * eps))
+        return (
+            m.c_batch
+            + n_queries * 9.0 * max(1, n_segments) * bound_rate
+            + n_queries * s_per_q * sample_rate
+            + n_queries * m.c_point
         )
 
     def predict_slide(

@@ -219,6 +219,34 @@ def check_all(results_dir: Path) -> List[ShapeCheck]:
     checks.append(ShapeCheck("sharded_serving",
                              "workers row skipped-or-equivalent (rtol=1e-12), cpu_count recorded", ok))
 
+    # Approximate tier (PR 7): every eps row must carry a *measured* p95
+    # relative error sitting within its requested budget and a fixed-seed
+    # reproducibility flag; the sampler must beat the exact direct sum on
+    # the dense batch somewhere in the sweep (measured, not extrapolated);
+    # and the calibrated planner must route the eps=0.1 dense batch to
+    # the approx backend on its own.
+    rows = load_experiment(results_dir, "query_serving")
+    ok = None
+    if rows is not None:
+        a_rows = [r for r in rows if r.get("path") == "approx-tier"]
+        if a_rows:
+            ok = (
+                all(
+                    r.get("rel_err_within_eps", False)
+                    and r.get("p95_rel_err", float("inf")) <= r.get("eps", 0)
+                    and r.get("reproducible_fixed_seed", False)
+                    for r in a_rows
+                )
+                and any(r.get("approx_speedup", 0) > 1.0 for r in a_rows)
+                and all(
+                    r.get("planner_choice") == "approx"
+                    for r in a_rows if r.get("eps") == 0.1
+                )
+                and any(r.get("eps") == 0.1 for r in a_rows)
+            )
+    checks.append(ShapeCheck("approx_tier",
+                             "p95 rel err within every eps; sampler beats exact; planner routes approx", ok))
+
     # Figure 15: Flu never won by DR; some REP/SCHED win on PollenUS.
     rows = load_experiment(results_dir, "fig15_best")
     ok = None

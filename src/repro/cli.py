@@ -15,8 +15,10 @@ Subcommands
 ``query``
     Serve point / slice / region density queries from a CSV of events
     through :class:`repro.serve.DensityService` (direct kernel sums or
-    volume lookups, planner-chosen by default).  ``--workers N`` routes
-    the same queries through the multi-process sharded tier.
+    volume lookups, planner-chosen by default).  ``--eps`` attaches a
+    per-request error budget that admits the approximate sampling tier;
+    ``--workers N`` routes the same queries through the multi-process
+    sharded tier.
 ``serve``
     Multi-process sharded serving
     (:class:`repro.serve.ShardedDensityService`): shard-owning worker
@@ -136,6 +138,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .core.grid import GridSpec
     from .serve import DensityService, ShardedDensityService
 
+    if args.eps is not None and args.queries is None:
+        raise SystemExit(
+            "--eps applies to --queries only (slice/region extracts "
+            "are exact)"
+        )
+    if getattr(args, "backend", None) == "approx" and args.eps is None:
+        raise SystemExit("--backend approx needs an --eps error budget")
     pts = load_points_csv(args.points)
     domain = infer_domain(
         pts, sres=args.sres, tres=args.tres, hs=args.hs, ht=args.ht
@@ -177,7 +186,9 @@ def _run_query_ops(args: argparse.Namespace, service, grid) -> int:
         # is actually the planner's to choose.
         plans: list = []
         plan_out = plans if args.backend == "auto" else None
-        dens = service.query_points(q.coords, plan_out=plan_out)
+        dens = service.query_points(
+            q.coords, eps=args.eps, seed=args.seed, plan_out=plan_out
+        )
         if plans:
             print(f"plan: {plans[-1].describe()}")
         if args.out:
@@ -306,14 +317,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--out", default=None,
                        help="write densities CSV (--queries) or .npy "
                             "(--slice/--region)")
+        p.add_argument("--eps", type=float, default=None, metavar="EPS",
+                       help="relative error budget for --queries: admits "
+                            "the importance-sampling approximate tier "
+                            "where the planner prices it below the exact "
+                            "plans (default: serve exactly)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="sampler seed for --eps (same batch, budget "
+                            "and seed is bit-reproducible)")
         p.add_argument("--stats", action="store_true",
                        help="print a JSON blob of serving stats (cache "
                             "hit/miss ratios, index segments, planner "
-                            "decisions, per-worker gauges)")
+                            "decisions, approximate-tier realised error, "
+                            "per-worker gauges)")
 
     p = sub.add_parser("query", help="serve density queries from a CSV of events")
     add_query_io_args(p)
-    p.add_argument("--backend", default="auto", choices=("auto", "direct", "lookup"))
+    p.add_argument("--backend", default="auto",
+                   choices=("auto", "direct", "lookup", "approx"))
     p.add_argument("--workers", type=_parse_workers, default=None, metavar="N",
                    help="serve through N shard-owning worker processes "
                         "(multi-process scatter/gather; 'auto' = CPU count)")

@@ -111,6 +111,18 @@ class WorkCounter:
         Event/query/result rows serialized across the process boundary
         by the sharded coordinator — what the cost model's per-row
         serialization rate (``c_qser``) prices.
+    ``queries_exact``
+        Point-query rows answered by an exact backend (direct sum or
+        volume lookup) — the denominator of the serving tier's
+        exact/approximate traffic mix.
+    ``queries_approx``
+        Point-query rows answered by the ε-budgeted importance sampler
+        (:func:`repro.serve.engine.approx_sum`).
+    ``sample_rows_drawn``
+        Candidate rows drawn (with replacement) by the approximate
+        backend across all queries — the sublinear-work gauge: compare
+        against the exact path's candidate count to see what the error
+        budget bought.
 
     The batching statistics are bookkeeping (like ``points_processed``):
     they are excluded from :meth:`total_ops` and :meth:`flop_estimate`.
@@ -136,6 +148,9 @@ class WorkCounter:
     index_rows_compacted: int = 0
     shard_messages: int = 0
     shard_rows_shipped: int = 0
+    queries_exact: int = 0
+    queries_approx: int = 0
+    sample_rows_drawn: int = 0
 
     def merge(self, other: "WorkCounter") -> "WorkCounter":
         """Accumulate another counter into this one (returns self)."""
@@ -159,6 +174,9 @@ class WorkCounter:
         self.index_rows_compacted += other.index_rows_compacted
         self.shard_messages += other.shard_messages
         self.shard_rows_shipped += other.shard_rows_shipped
+        self.queries_exact += other.queries_exact
+        self.queries_approx += other.queries_approx
+        self.sample_rows_drawn += other.sample_rows_drawn
         return self
 
     def total_ops(self) -> int:
@@ -205,6 +223,9 @@ class WorkCounter:
             "index_rows_compacted": self.index_rows_compacted,
             "shard_messages": self.shard_messages,
             "shard_rows_shipped": self.shard_rows_shipped,
+            "queries_exact": self.queries_exact,
+            "queries_approx": self.queries_approx,
+            "sample_rows_drawn": self.sample_rows_drawn,
         }
 
     def copy(self) -> "WorkCounter":
@@ -245,6 +266,9 @@ class _NullCounter(WorkCounter):
             "index_rows_compacted",
             "shard_messages",
             "shard_rows_shipped",
+            "queries_exact",
+            "queries_approx",
+            "sample_rows_drawn",
         ):
             return 0
         return object.__getattribute__(self, name)

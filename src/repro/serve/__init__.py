@@ -7,7 +7,8 @@ volumes or the raw events:
 * :class:`~repro.serve.index.BucketIndex` — ``hs x hs x ht`` bucket index
   enabling O(neighbours) direct kernel sums;
 * :mod:`~repro.serve.engine` — vectorised batch execution (direct sums,
-  trilinear lookups, slice/region extraction over region-buffer views);
+  trilinear lookups, ε-budgeted importance-sampled sums, slice/region
+  extraction over region-buffer views);
 * :class:`~repro.serve.planner.QueryPlanner` — prices direct-sum vs
   volume-lookup through the Section 6.5 cost model, per batch;
 * :class:`~repro.serve.cache.QueryCache` — version-keyed LRU over results,
@@ -25,6 +26,7 @@ from .cache import QueryCache, digest_queries
 from .calibrate import calibrate_ipc, calibrate_serving
 from .engine import (
     RegionResult,
+    approx_sum,
     direct_region,
     direct_sum,
     direct_sum_grouped,
@@ -49,6 +51,7 @@ __all__ = [
     "ShardPlan",
     "ShardWorker",
     "ShardedDensityService",
+    "approx_sum",
     "calibrate_ipc",
     "calibrate_serving",
     "digest_queries",

@@ -29,6 +29,15 @@ into ``repro.serve``:
     (:meth:`BucketIndex.sync`'s merge policy) — what
     :meth:`~repro.analysis.model.CostModel.predict_merge` charges to
     decide when consolidation pays.
+``c_qsample``
+    Seconds per candidate row drawn by the approximate backend
+    (:func:`~repro.serve.engine.approx_sum`): slope of the sampler over
+    two pinned draw counts on a dense fixture, per drawn row (the row
+    counts come from the sampler's own ``stats_out``).
+``c_qbound``
+    Seconds per (query x run) contribution bound: slope of the sampler
+    between a single-segment and a many-segment index at a fixed draw
+    count — the sampling distribution's O(runs) setup per extra segment.
 
 The sharded serving tier adds two process-boundary rates, probed by
 :func:`calibrate_ipc`:
@@ -62,7 +71,7 @@ import numpy as np
 from ..analysis.model import MachineModel
 from ..core.grid import DomainSpec, GridSpec
 from ..core.kernels import get_kernel
-from .engine import direct_sum, direct_sum_grouped, sample_volume
+from .engine import approx_sum, direct_sum, direct_sum_grouped, sample_volume
 from .index import BucketIndex
 
 __all__ = ["calibrate_serving", "calibrate_ipc"]
@@ -117,8 +126,8 @@ def calibrate_serving(
 
     Starts from ``machine`` (or a fresh write-side
     :meth:`MachineModel.calibrate`) and fills ``c_lookup`` / ``c_qgroup``
-    / ``c_qcohort`` / ``c_qprobe`` from micro-probes of the actual
-    serving code paths.
+    / ``c_qcohort`` / ``c_qprobe`` / ``c_qrow`` / ``c_qsample`` /
+    ``c_qbound`` from micro-probes of the actual serving code paths.
     """
     machine = machine if machine is not None else MachineModel.calibrate(seed)
     rng = np.random.default_rng(seed)
@@ -202,6 +211,49 @@ def calibrate_serving(
         (t_multi - t_single) / max(groups * (n_segs - 1), 1), 1e-12
     )
 
+    # Approximate-tier rates.  A dense fixture — wide bandwidth, queries
+    # in the central cell so every one sees the full 27-cell candidate
+    # set — keeps the sampler in its sampling regime (no exact
+    # fallbacks), and a slack eps with a pinned ``min_sample`` makes the
+    # draw count deterministic (one round, immediate convergence): the
+    # slope over two pinned sizes is the pure per-drawn-row rate, free of
+    # stop-rule noise.  The per-bound rate is the slope between a single-
+    # and a many-segment index at a fixed draw count — the sampling
+    # distribution's setup cost per extra run.
+    g_dense = GridSpec(DomainSpec.from_voxels(48, 48, 48), hs=16.0, ht=16.0)
+    dense_events = rng.uniform(0, 48.0, size=(4096, 3))
+    idx_dense = BucketIndex(g_dense, dense_events)
+    idx_dense_multi = BucketIndex(g_dense)
+    for s in range(n_segs):
+        idx_dense_multi.add_segment(s, dense_events[s::n_segs])
+
+    def approx_probe(
+        index: BucketIndex, qs_probe: np.ndarray, min_sample: int
+    ) -> Tuple[float, dict]:
+        best = math.inf
+        stats: dict = {}
+        for _ in range(3):
+            st: dict = {}
+            t0 = time.perf_counter()
+            approx_sum(index, qs_probe, kern, 1.0, eps=1e6, seed=seed,
+                       min_sample=min_sample, stats_out=st)
+            dt = time.perf_counter() - t0
+            if dt < best:
+                best, stats = dt, st
+        return best, stats
+
+    qs_sample = rng.uniform(16.0, 32.0, size=(128, 3))
+    qs_bound = rng.uniform(16.0, 32.0, size=(1024, 3))
+    approx_probe(idx_dense, qs_sample, 64)  # warm the sampler code path
+    t_s_small, st_s_small = approx_probe(idx_dense, qs_sample, 256)
+    t_s_large, st_s_large = approx_probe(idx_dense, qs_sample, 2048)
+    d_rows = st_s_large["sample_rows_drawn"] - st_s_small["sample_rows_drawn"]
+    c_qsample = max((t_s_large - t_s_small) / max(d_rows, 1), 1e-12)
+    t_b_one, st_b_one = approx_probe(idx_dense, qs_bound, 64)
+    t_b_multi, st_b_multi = approx_probe(idx_dense_multi, qs_bound, 64)
+    d_bounds = st_b_multi["bounds_evaluated"] - st_b_one["bounds_evaluated"]
+    c_qbound = max((t_b_multi - t_b_one) / max(d_bounds, 1), 1e-12)
+
     # Row-movement rate of index maintenance: time the real merge path
     # (member-major row copy + cells merge-sort, no re-bucketing) over a
     # many-segment index, per row.
@@ -218,4 +270,5 @@ def calibrate_serving(
     return dataclasses.replace(
         machine, c_lookup=c_lookup, c_qgroup=c_qgroup,
         c_qcohort=c_qcohort, c_qprobe=c_qprobe, c_qrow=c_qrow,
+        c_qsample=c_qsample, c_qbound=c_qbound,
     )

@@ -55,9 +55,12 @@ off the serving path: trailing gaps are truncated and high segments are
 relocated into low gaps until the debt falls under
 :attr:`dead_row_budget` — work proportional to the rows retired since
 the last sync, never an O(live) sweep inside a ``remove_segment`` on the
-query path.  A full compaction remains only as a rare safety valve
-(fragmentation, or heavy retirement with no syncs), so memory stays
-bounded under any retirement pattern.
+query path.  A segment too large for any single gap is relocated in
+**split spans** (member-boundary splits for consolidated segments,
+arbitrary splits otherwise), so a fragmented tail no longer cliffs into
+a full compaction; the O(live) compact survives only as a rare safety
+valve (a member larger than every gap, or heavy retirement with no
+syncs), so memory stays bounded under any retirement pattern.
 
 Query batches are grouped by cell (:meth:`group_queries`) so concurrent
 queries landing in the same neighbourhood share one candidate gather, and
@@ -633,6 +636,95 @@ class BucketIndex:
         seg.row_hi = dest + n
         self._free_rows(rows)
 
+    def _relocate_split(self, seg: _Segment, counter: WorkCounter) -> bool:
+        """Relocate a segment into *several* gap spans, lowest-first.
+
+        Whole-segment relocation wedges when no single gap fits the
+        segment — the fragmented-tail shape that used to force a full
+        O(live) compaction.  Splitting sidesteps the wedge: a simple
+        segment's rows break at any boundary, a consolidated segment's
+        at **member** boundaries (each member's interval must stay
+        contiguous for :meth:`_retire_member`'s ``[lo, hi)`` filter and
+        :meth:`consolidate_segments`' rank remap), and chunks pack into
+        the lowest gaps in ascending order — so rows keep their
+        ascending insertion order and the cell-sorted permutation is
+        remapped by rank exactly as in :meth:`_relocate_segment`.  Every
+        committed plan places all rows strictly below the segment's
+        current ``row_hi`` (a gap can never contain the segment's top
+        live row), so each move strictly lowers it.  Returns ``False``
+        when the gaps below the segment cannot hold it.
+        """
+        row_hi = seg.row_hi
+        spans: List[Tuple[int, int]] = []  # (dest_start, rows_packed)
+        if seg.members is None:
+            remaining = seg.n
+            for g in self._gaps:
+                if remaining == 0:
+                    break
+                take = min(g[1], remaining, row_hi - g[0])
+                if take <= 0:
+                    continue
+                spans.append((g[0], take))
+                remaining -= take
+            if remaining:
+                return False
+        else:
+            mem = sorted(
+                (m for m in seg.members if m[2]), key=lambda m: m[1]
+            )
+            sizes = [int(m[2]) for m in mem]
+            mem_dest: List[int] = []
+            k = 0
+            for g in self._gaps:
+                if k >= len(sizes):
+                    break
+                room = min(g[1], row_hi - g[0])
+                packed = 0
+                while k < len(sizes) and sizes[k] <= room - packed:
+                    mem_dest.append(g[0] + packed)
+                    packed += sizes[k]
+                    k += 1
+                if packed:
+                    spans.append((g[0], packed))
+            if k < len(sizes):
+                return False
+        # Commit: consume the planned span off each gap's low end.
+        for dest, cnt in spans:
+            i = bisect.bisect_left([g[0] for g in self._gaps], dest)
+            g = self._gaps[i]
+            if g[1] == cnt:
+                self._gaps.pop(i)
+            else:
+                g[0] += cnt
+                g[1] -= cnt
+        self._dead -= seg.n
+        o = self._order[seg.order_base : seg.order_base + seg.n]
+        rows = np.sort(o)
+        new_rows = (
+            np.concatenate(
+                [np.arange(d, d + c, dtype=np.int64) for d, c in spans]
+            )
+            if spans else np.empty(0, dtype=np.int64)
+        )
+        self._coords[new_rows] = self._coords[rows]
+        if self._weights is not None:
+            self._weights[new_rows] = self._weights[rows]
+        self._order[seg.order_base : seg.order_base + seg.n] = (
+            new_rows[np.searchsorted(rows, o)]
+        )
+        start = spans[0][0] if spans else seg.start
+        if seg.members is not None:
+            it = iter(mem_dest)
+            for m in mem:
+                m[1] = next(it) - start
+            for m in seg.members:
+                if not m[2]:
+                    m[1] = 0
+        seg.start = start
+        seg.row_hi = (spans[-1][0] + spans[-1][1]) if spans else start
+        self._free_rows(rows)
+        return True
+
     def _truncate_tail(self) -> None:
         """Reclaim trailing dead rows by lowering the high-water mark."""
         hi = max((s.row_hi for s in self._segments.values()), default=0)
@@ -655,13 +747,17 @@ class BucketIndex:
 
         Trailing gaps are truncated for free; then the highest-placed
         segments are relocated into the lowest fitting gaps until the
-        debt is under budget.  Each relocation strictly lowers the
-        storage high-water mark or defragments gaps toward that end, so
-        the work is proportional to the rows retired since the last sync
-        — never a full sweep on the fast path.  When fragmentation wedges
-        relocation (no whole segment fits a lower gap) a full compaction
-        restores the invariant, so the budget bound genuinely holds
-        after every sync.
+        debt is under budget.  A segment no single gap can hold is
+        **split** across several spans (:meth:`_relocate_split`) —
+        member-boundary splits for consolidated segments, arbitrary for
+        simple ones — so a fragmented tail under a large consolidated
+        segment no longer wedges relocation into the old full-compact
+        cliff.  Each relocation strictly lowers the storage high-water
+        mark, so the work is proportional to the rows retired since the
+        last sync — never a full sweep on the fast path.  A full
+        compaction survives only as a last-resort safety valve (e.g. a
+        single member larger than every gap below it), so the budget
+        bound genuinely holds after every sync.
         """
         self._truncate_tail()
         for _ in range(64):
@@ -676,6 +772,11 @@ class BucketIndex:
                 if dest is not None:
                     self._dead -= seg.n
                     self._relocate_segment(seg, dest)
+                    self.rows_compacted += seg.n
+                    counter.index_rows_compacted += seg.n
+                    moved = True
+                    break
+                if self._relocate_split(seg, counter):
                     self.rows_compacted += seg.n
                     counter.index_rows_compacted += seg.n
                     moved = True

@@ -7,6 +7,13 @@ The serving layer has two physical plans for every logical query (see
 * **volume-lookup** costs O(1) per query *after* an O(n * stamp + voxels)
   materialisation (already paid when the service holds a fresh volume).
 
+A third plan exists only when the request carries an error budget
+(``eps`` — ``None`` keeps every default exact): **approx** answers by the
+ε-budgeted importance sampler (:func:`repro.serve.engine.approx_sum`),
+O(runs + 1/ε²) per query — sublinear in candidate count, priced by
+:meth:`~repro.analysis.model.CostModel.predict_approx_query` against the
+two exact plans per batch.
+
 Which wins is exactly the kind of combinatorial question the paper's
 Section 6.5 model answers for the compute strategies, so the planner
 reuses :class:`repro.analysis.model.CostModel` — same calibrated machine
@@ -73,9 +80,14 @@ class ScatterPlan:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """The planner's verdict for one query batch."""
+    """The planner's verdict for one query batch.
 
-    backend: str  # "direct" | "lookup"
+    ``approx_seconds`` is the sampler's estimate when the batch carried an
+    error budget (``eps``); infinite otherwise, so exact requests can
+    never route to the approximate tier.
+    """
+
+    backend: str  # "direct" | "lookup" | "approx"
     kind: str  # "points" | "region"
     n_queries: int
     est_candidates: int  # total candidate pairs a direct plan would touch
@@ -83,19 +95,27 @@ class QueryPlan:
     lookup_seconds: float
     volume_ready: bool
     reason: str
+    approx_seconds: float = float("inf")
+    eps: Optional[float] = None
 
     @property
     def speedup(self) -> float:
-        """Predicted advantage of the chosen backend over the other."""
-        lo = min(self.direct_seconds, self.lookup_seconds)
-        hi = max(self.direct_seconds, self.lookup_seconds)
-        return hi / max(lo, 1e-12)
+        """Predicted advantage of the chosen backend over the best rival."""
+        costs = sorted(
+            [self.direct_seconds, self.lookup_seconds, self.approx_seconds]
+        )[:2]
+        return costs[1] / max(costs[0], 1e-12)
 
     def describe(self) -> str:
+        approx = (
+            f" vs approx(eps={self.eps:g}) {self.approx_seconds * 1e3:.3f} ms"
+            if self.eps is not None
+            else ""
+        )
         return (
             f"{self.kind}[{self.n_queries}] -> {self.backend}  "
             f"(direct {self.direct_seconds * 1e3:.3f} ms vs lookup "
-            f"{self.lookup_seconds * 1e3:.3f} ms, volume "
+            f"{self.lookup_seconds * 1e3:.3f} ms{approx}, volume "
             f"{'ready' if self.volume_ready else 'cold'}; {self.reason})"
         )
 
@@ -118,10 +138,16 @@ class QueryPlanner:
         queries: np.ndarray,
         *,
         volume_ready: bool,
+        eps: Optional[float] = None,
         force: Optional[str] = None,
         force_reason: Optional[str] = None,
     ) -> QueryPlan:
-        """Plan a point-query batch against the given index."""
+        """Plan a point-query batch against the given index.
+
+        ``eps`` opens the approximate arm: the sampler is priced against
+        both exact plans and wins only where its O(runs + 1/ε²) shape
+        beats them.  ``eps=None`` (the default) never routes approximate.
+        """
         q = np.asarray(queries, dtype=np.float64)
         m = q.shape[0]
         if m:
@@ -137,8 +163,16 @@ class QueryPlanner:
             n_segments=index.segment_count,
         )
         lookup = self.model.predict_volume_lookup(m, volume_ready)
+        approx = (
+            self.model.predict_approx_query(
+                m, cand, eps, n_segments=index.segment_count
+            )
+            if eps is not None
+            else float("inf")
+        )
         return self._verdict("points", m, cand, direct, lookup,
-                             volume_ready, force, force_reason)
+                             volume_ready, force, force_reason,
+                             approx=approx, eps=eps)
 
     def plan_region(
         self,
@@ -222,13 +256,20 @@ class QueryPlanner:
         volume_ready: bool,
         force: Optional[str],
         force_reason: Optional[str] = None,
+        approx: float = float("inf"),
+        eps: Optional[float] = None,
     ) -> QueryPlan:
         if force is not None:
-            if force not in ("direct", "lookup"):
+            allowed = ("direct", "lookup", "approx") if eps is not None \
+                else ("direct", "lookup")
+            if force not in allowed:
                 raise ValueError(
-                    f"backend must be 'direct' or 'lookup', got {force!r}"
+                    f"backend must be one of {allowed}, got {force!r}"
                 )
             backend, reason = force, (force_reason or "forced by caller")
+        elif approx < min(direct, lookup):
+            backend = "approx"
+            reason = "sampler meets the eps budget below both exact plans"
         elif direct <= lookup:
             backend = "direct"
             reason = (
@@ -252,4 +293,6 @@ class QueryPlanner:
             lookup_seconds=lookup,
             volume_ready=volume_ready,
             reason=reason,
+            approx_seconds=approx,
+            eps=eps,
         )

@@ -10,10 +10,16 @@ choosing the physical plan per batch:
   no volume, honours event weights);
 * **volume-lookup** — trilinear sample (points) or zero-copy view
   (slices/regions) of a lazily materialised volume (O(1) per query after
-  the build).
+  the build);
+* **approx** — ε-budgeted importance sampling over the index's CSR runs
+  (:func:`~repro.serve.engine.approx_sum`), available only when the
+  request carries an error budget (``query_points(..., eps=0.1)``);
+  ``eps=None`` — the default everywhere — keeps the service exact and
+  bit-identical to a service without the approximate tier.
 
-The :class:`~repro.serve.planner.QueryPlanner` prices both through the
-Section 6.5 cost model; ``backend="direct"``/``"lookup"`` pins the choice.
+The :class:`~repro.serve.planner.QueryPlanner` prices the plans through
+the Section 6.5 cost model; ``backend="direct"``/``"lookup"`` (or
+``"approx"`` alongside an ``eps``) pins the choice.
 Results are cached in a version-keyed LRU (:class:`~repro.serve.cache
 .QueryCache`): every mutation of a live source bumps its ``version``
 (``add``/``remove``/``slide_window``), which both re-keys and eagerly
@@ -43,6 +49,7 @@ from ..parallel.executors import resolve_shard_count, run_threaded_stamping
 from .cache import QueryCache, digest_queries
 from .engine import (
     RegionResult,
+    approx_sum,
     direct_region,
     direct_sum,
     region_view,
@@ -108,9 +115,10 @@ class DensityService:
         counter: Optional[WorkCounter] = None,
         index_merge_cap: Union[int, str, None] = 16,
     ) -> None:
-        if backend not in ("auto", "direct", "lookup"):
+        if backend not in ("auto", "direct", "lookup", "approx"):
             raise ValueError(
-                f"backend must be 'auto', 'direct' or 'lookup', got {backend!r}"
+                f"backend must be 'auto', 'direct', 'lookup' or 'approx', "
+                f"got {backend!r}"
             )
         if isinstance(index_merge_cap, str) and index_merge_cap != "auto":
             raise ValueError(
@@ -159,8 +167,13 @@ class DensityService:
         self._planner: Optional[QueryPlanner] = None
         self._live_coords: Optional[np.ndarray] = None
         self._synced_version: Optional[int] = None
-        self._backend_calls: Dict[str, int] = {"direct": 0, "lookup": 0}
+        self._backend_calls: Dict[str, int] = {
+            "direct": 0, "lookup": 0, "approx": 0,
+        }
         self._plan_decisions: Dict[str, int] = {}
+        # Realised-vs-requested ε accounting of the approximate tier.
+        self._eps_requested_sum = 0.0
+        self._approx_stats: Dict[str, float] = {}
         self._volume_builds = 0
         self._volume_build_backend: Optional[str] = None
 
@@ -386,20 +399,24 @@ class DensityService:
         return self._planner
 
     def _resolve_backend(
-        self, backend: Optional[str]
+        self, backend: Optional[str], eps: Optional[float] = None
     ) -> Tuple[Optional[str], Optional[str]]:
         """``(pinned_backend, why)``; ``(None, None)`` = planner's choice.
 
         Weighted events are no longer pinned to the direct path: the
         engine's weighted stamp mode materialises ``sum w_i k / (W hs^2
         ht)`` volumes, so the planner prices both backends for them too.
+        ``"approx"`` is pinnable only alongside an ``eps`` — without a
+        budget there is no approximate plan to force.
         """
         choice = backend if backend is not None else self.backend
         if choice == "auto":
             return None, None
-        if choice not in ("direct", "lookup"):
+        allowed = ("direct", "lookup", "approx") if eps is not None \
+            else ("direct", "lookup")
+        if choice not in allowed:
             raise ValueError(
-                f"backend must be 'auto', 'direct' or 'lookup', got {choice!r}"
+                f"backend must be 'auto' or one of {allowed}, got {choice!r}"
             )
         return choice, "forced by caller"
 
@@ -411,37 +428,54 @@ class DensityService:
         queries: np.ndarray,
         *,
         backend: Optional[str] = None,
+        eps: Optional[float] = None,
+        seed: int = 0,
         plan_out: Optional[list] = None,
     ) -> np.ndarray:
         """Densities at ``(m, 3)`` query locations.
 
-        ``plan_out``, when a list, receives the :class:`QueryPlan` used —
-        observability without changing the return type.
+        ``eps`` is the per-request relative error budget: ``None`` (the
+        default) serves exactly; a positive value admits the approximate
+        importance-sampling backend wherever the planner prices it below
+        both exact plans (``seed`` fixes its sample stream — same batch,
+        same budget, same seed is bit-reproducible).  ``plan_out``, when
+        a list, receives the :class:`QueryPlan` used — observability
+        without changing the return type.
         """
         self._sync()
         q = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
         if q.ndim != 2 or q.shape[1] != 3:
             raise ValueError(f"expected (m, 3) queries, got {q.shape}")
+        if eps is not None and not float(eps) > 0.0:
+            raise ValueError(f"eps must be positive or None, got {eps!r}")
         if q.shape[0] == 0:
             return np.empty(0, dtype=np.float64)
         if self._inc is not None:
             self._point_batches_since_sync += 1
             self._point_rows_since_sync += q.shape[0]
-        force, force_reason = self._resolve_backend(backend)
+        force, force_reason = self._resolve_backend(backend, eps)
         # Cache before planning: a hit must not pay the planner's O(n)
         # estimates.  Off voxel centers the two backends differ (exact vs
         # interpolated), so auto mode keys its own entries — a repeated
         # auto query always returns the same answer within a version,
-        # never a pinned call's value from the other physical plan.
+        # never a pinned call's value from the other physical plan.  The
+        # error-budget policy is part of the key: an exact request can
+        # never alias an approximate result for the same batch (nor one
+        # sampled under a different budget or seed).
         digest = digest_queries(q)
         cache_tag = force if force is not None else "auto"
-        key = QueryCache.make_key(self.version, "points", cache_tag, digest)
+        eps_key: Tuple = (
+            ("exact",) if eps is None else ("eps", float(eps), int(seed))
+        )
+        key = QueryCache.make_key(
+            self.version, "points", cache_tag, digest, *eps_key
+        )
         cached = self.cache.get(key)
         if cached is not None and plan_out is None:
             return cached
         plan = self.planner().plan_points(
             self.index(), q, volume_ready=self._volume is not None,
-            force=force, force_reason=force_reason,
+            eps=eps, force=force, force_reason=force_reason,
         ) if force is None or plan_out is not None else None
         if plan is not None:
             self._record_plan(plan)
@@ -450,13 +484,22 @@ class DensityService:
         if cached is not None:
             return cached
         chosen = plan.backend if plan is not None else force
-        if chosen == "direct":
+        if chosen == "approx":
+            out = approx_sum(
+                self.index(), q, self.kernel, self._norm(), self.counter,
+                eps=float(eps), seed=seed, stats_out=self._approx_stats,
+            )
+            self.counter.queries_approx += q.shape[0]
+            self._eps_requested_sum += float(eps) * q.shape[0]
+        elif chosen == "direct":
             out = direct_sum(
                 self.index(), q, self.kernel, self._norm(), self.counter
             )
+            self.counter.queries_exact += q.shape[0]
         else:
             out = sample_volume(self.materialize().data, self.grid, q)
             out = self._patch_off_domain(q, out)
+            self.counter.queries_exact += q.shape[0]
         self._backend_calls[chosen] += 1
         out.flags.writeable = False
         self.cache.put(key, out, out.nbytes)
@@ -572,6 +615,9 @@ class DensityService:
             "index_segments_merged": c.index_segments_merged,
             "index_rows_compacted": c.index_rows_compacted,
             "query_cohorts": c.query_cohorts,
+            "queries_exact": c.queries_exact,
+            "queries_approx": c.queries_approx,
+            "sample_rows_drawn": c.sample_rows_drawn,
         }
         if self._inc is not None:
             # The live source's own slide gauges (slab subtractions vs
@@ -579,6 +625,30 @@ class DensityService:
             ic = self._inc.counter
             work["slab_buffers_retired"] = ic.slab_buffers_retired
             work["slab_restamp_points"] = ic.slab_restamp_points
+        # Realised-vs-requested ε of the approximate tier: the mean
+        # requested budget against the mean realised relative standard
+        # error the sampler's own stop rule recorded per query.
+        aq = int(self._approx_stats.get("queries", 0))
+        approx = {
+            "queries": aq,
+            "eps_requested_mean": (
+                self._eps_requested_sum / c.queries_approx
+                if c.queries_approx else None
+            ),
+            "eps_realised_mean": (
+                self._approx_stats.get("rel_se_sum", 0.0) / aq
+                if aq else None
+            ),
+            "sample_rows_drawn": int(
+                self._approx_stats.get("sample_rows_drawn", 0)
+            ),
+            "candidate_rows": int(
+                self._approx_stats.get("candidate_rows", 0)
+            ),
+            "exact_fallbacks": int(
+                self._approx_stats.get("exact_fallbacks", 0)
+            ),
+        }
         return {
             "version": self.version,
             "events": int(self._coords().shape[0]),
@@ -591,6 +661,7 @@ class DensityService:
             "index_merge_cap": self.index_merge_cap,
             "cache": cache,
             "cache_hit_ratio": (cache["hits"] / lookups) if lookups else None,
+            "approx": approx,
             "work": work,
             "index": (
                 self._index.stats() if self._index is not None else None
@@ -847,13 +918,27 @@ class ShardedDensityService:
         queries: np.ndarray,
         *,
         backend: Optional[str] = None,
+        eps: Optional[float] = None,
+        seed: int = 0,
         plan_out: Optional[list] = None,
     ) -> np.ndarray:
-        """Densities at ``(m, 3)`` query locations (scatter/gather)."""
+        """Densities at ``(m, 3)`` query locations (scatter/gather).
+
+        ``eps`` threads the per-request error budget down to the workers:
+        each shard answers its scattered rows with an *unnormalised
+        partial estimate* (exact when ``eps`` is ``None``, importance-
+        sampled otherwise).  Ownership is disjoint, so partial
+        Hansen–Hurwitz estimates over disjoint event subsets add exactly
+        like exact partials — unbiasedness and the combined variance
+        budget survive the gather, the same re-association argument as
+        the sharded exact path.
+        """
         self._check_open()
         q = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
         if q.ndim != 2 or q.shape[1] != 3:
             raise ValueError(f"expected (m, 3) queries, got {q.shape}")
+        if eps is not None and not float(eps) > 0.0:
+            raise ValueError(f"eps must be positive or None, got {eps!r}")
         m = q.shape[0]
         if m == 0:
             return np.empty(0, dtype=np.float64)
@@ -872,14 +957,17 @@ class ShardedDensityService:
         chosen = plan.backend if plan is not None else force
         if chosen == "local":
             self._backend_calls["local"] += 1
-            return self._local_service().query_points(q)
+            return self._local_service().query_points(q, eps=eps, seed=seed)
         out = np.zeros(m, dtype=np.float64)
         sent = []
         for s in range(self.n_shards):
             rows = np.flatnonzero((lo <= s) & (s <= hi))
             if rows.size == 0:
                 continue
-            self._workers[s].send_op("query_points", q[rows])
+            self._workers[s].send_op(
+                "query_points",
+                (q[rows], None if eps is None else float(eps), int(seed)),
+            )
             self.counter.shard_messages += 1
             self.counter.shard_rows_shipped += int(rows.size)
             sent.append((s, rows))
@@ -889,6 +977,10 @@ class ShardedDensityService:
             self.counter.shard_rows_shipped += int(rows.size)
         out *= self._norm()
         self._backend_calls["sharded"] += 1
+        if eps is not None:
+            self.counter.queries_approx += m
+        else:
+            self.counter.queries_exact += m
         return out
 
     def query_slice(

@@ -37,7 +37,7 @@ from ..core.grid import GridSpec, VoxelWindow
 from ..core.incremental import IncrementalSTKDE
 from ..core.instrument import WorkCounter
 from ..core.kernels import get_kernel
-from .engine import direct_region, direct_sum
+from .engine import approx_sum, direct_region, direct_sum
 from .index import BucketIndex
 
 __all__ = ["ShardWorker"]
@@ -142,11 +142,20 @@ class _WorkerState:
         return (retired,) + self.gauges()
 
     def op_query_points(self, payload) -> np.ndarray:
+        queries, eps, seed = payload
         if self.index is None:
-            return np.zeros(payload.shape[0], dtype=np.float64)
+            return np.zeros(queries.shape[0], dtype=np.float64)
         # norm=1.0: an unnormalised partial the coordinator scales.
+        # Partial Hansen–Hurwitz estimates over this shard's (disjoint)
+        # events gather exactly like exact partials, so eps threads down
+        # unchanged; the coordinator's combined estimate stays unbiased.
+        if eps is not None:
+            return approx_sum(
+                self.index, queries, self.kernel, 1.0, self.counter,
+                eps=eps, seed=seed,
+            )
         return direct_sum(
-            self.index, payload, self.kernel, 1.0, self.counter
+            self.index, queries, self.kernel, 1.0, self.counter
         )
 
     def op_query_region(self, payload) -> np.ndarray:

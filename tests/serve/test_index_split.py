@@ -1,0 +1,227 @@
+"""Tests for span-splitting gap relocation in the bucket index.
+
+Whole-segment relocation wedges when no single gap fits a large
+consolidated segment — the fragmented-tail shape that used to force a
+full O(live) compaction.  These tests pin the replacement:
+``_relocate_split`` packs a segment into several gap spans (arbitrary
+split boundaries for simple segments, member boundaries for
+consolidated ones), the compaction-debt loop uses it before giving up,
+and every index invariant — exact densities against a cold rebuild,
+member retirement's contiguous-interval filter, re-consolidation —
+survives a split move.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DomainSpec, GridSpec, WorkCounter
+from repro.core.kernels import get_kernel
+from repro.serve.engine import direct_sum
+from repro.serve.index import BucketIndex
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(DomainSpec.from_voxels(32, 32, 32), hs=4.0, ht=4.0)
+
+
+def densities(idx, q):
+    return direct_sum(idx, q, get_kernel("epanechnikov"), 1.0)
+
+
+def cold_rebuild(grid, batches):
+    idx = BucketIndex(grid, merge_segment_cap=None)
+    for k, v in batches.items():
+        idx.add_segment(k, v)
+    return idx
+
+
+def probe_queries(rng, m=256):
+    return rng.uniform(0.0, 32.0, size=(m, 3))
+
+
+class TestRelocateSplit:
+    def _fragmented(self, grid, rng):
+        """A 300-row consolidated segment HIGH in storage above three
+        non-adjacent gaps (100 + 100 + 150 rows) none of which fits it.
+
+        Fillers occupy the hole the consolidation itself vacates, so the
+        gaps left after retirement genuinely cannot coalesce.
+        """
+        idx = BucketIndex(grid, merge_segment_cap=None)
+        bs = {i: rng.uniform(0.0, 32.0, size=(100, 3)) for i in range(6)}
+        for k, v in bs.items():
+            idx.add_segment(k, v)
+        idx.consolidate_segments([3, 4, 5])  # appended at the tail
+        f1 = rng.uniform(0.0, 32.0, size=(150, 3))
+        f2 = rng.uniform(0.0, 32.0, size=(150, 3))
+        idx.add_segment("f1", f1)  # fills [300, 450)
+        idx.add_segment("f2", f2)  # fills [450, 600)
+        bs["f1"] = f1
+        idx.remove_segment(0)     # gap [0, 100)
+        idx.remove_segment(2)     # gap [200, 300)
+        idx.remove_segment("f2")  # gap [450, 600)
+        bs.pop(0)
+        bs.pop(2)
+        return idx, bs
+
+    def test_consolidated_segment_splits_across_gaps(self, grid):
+        rng = np.random.default_rng(0)
+        idx, bs = self._fragmented(grid, rng)
+        seg = next(
+            s for s in idx._segments.values() if s.members is not None
+        )
+        old_hi = seg.row_hi
+        assert idx._take_gap(seg.n, limit=seg.row_hi - seg.n) is None
+        assert idx._relocate_split(seg, WorkCounter())
+        assert seg.row_hi < old_hi
+        q = probe_queries(rng)
+        np.testing.assert_allclose(
+            densities(idx, q), densities(cold_rebuild(grid, bs), q),
+            rtol=1e-12,
+        )
+
+    def test_member_retirement_after_split_move(self, grid):
+        """The member-boundary constraint exists for exactly this:
+        ``_retire_member``'s ``[lo, hi)`` interval filter must keep
+        working after the segment's rows scatter across spans."""
+        rng = np.random.default_rng(1)
+        idx, bs = self._fragmented(grid, rng)
+        seg = next(
+            s for s in idx._segments.values() if s.members is not None
+        )
+        assert idx._relocate_split(seg, WorkCounter())
+        n0 = idx.n
+        idx._retire_member(seg, 4, WorkCounter())
+        assert idx.n == n0 - 100
+        q = probe_queries(rng)
+        ref = {k: v for k, v in bs.items() if k != 4}
+        np.testing.assert_allclose(
+            densities(idx, q), densities(cold_rebuild(grid, ref), q),
+            rtol=1e-12,
+        )
+
+    def test_reconsolidation_after_split_move(self, grid):
+        rng = np.random.default_rng(2)
+        idx, bs = self._fragmented(grid, rng)
+        seg = next(
+            s for s in idx._segments.values() if s.members is not None
+        )
+        assert idx._relocate_split(seg, WorkCounter())
+        idx.consolidate_segments(list(idx._segments))
+        q = probe_queries(rng)
+        np.testing.assert_allclose(
+            densities(idx, q), densities(cold_rebuild(grid, bs), q),
+            rtol=1e-12,
+        )
+
+    def test_simple_segment_splits_at_arbitrary_boundaries(self, grid):
+        rng = np.random.default_rng(3)
+        idx = BucketIndex(grid, merge_segment_cap=None)
+        bs = {}
+        for i, n in enumerate((150, 90, 150, 250)):
+            bs[i] = rng.uniform(0.0, 32.0, size=(n, 3))
+            idx.add_segment(i, bs[i])
+        idx.remove_segment(0)
+        idx.remove_segment(2)  # gaps of 150 + 150 below the 250-row seg
+        seg = idx._segments[3]
+        assert idx._take_gap(seg.n, limit=seg.row_hi - seg.n) is None
+        old_hi = seg.row_hi
+        assert idx._relocate_split(seg, WorkCounter())
+        assert seg.row_hi < old_hi
+        q = probe_queries(rng)
+        ref = cold_rebuild(grid, {k: bs[k] for k in (1, 3)})
+        np.testing.assert_allclose(
+            densities(idx, q), densities(ref, q), rtol=1e-12
+        )
+
+    def test_returns_false_when_gaps_cannot_hold_segment(self, grid):
+        rng = np.random.default_rng(4)
+        idx = BucketIndex(grid, merge_segment_cap=None)
+        idx.add_segment("small", rng.uniform(0.0, 32.0, size=(10, 3)))
+        idx.add_segment("big", rng.uniform(0.0, 32.0, size=(500, 3)))
+        idx.remove_segment("small")  # only a 10-row gap below 500 rows
+        seg = idx._segments["big"]
+        assert not idx._relocate_split(seg, WorkCounter())
+        # Nothing mutated by the failed plan.
+        assert idx.dead_rows == 10
+        assert seg.n == 500
+
+
+class TestNoFullCompactCliff:
+    def test_churn_over_fragmented_tail_never_full_compacts(
+        self, grid, monkeypatch
+    ):
+        """Sustained slide-like churn with merging: dead rows stay under
+        budget every sync and the O(live) compact never fires."""
+        rng = np.random.default_rng(5)
+        compacts = []
+        orig = BucketIndex._compact
+
+        def spy(self):
+            compacts.append(1)
+            orig(self)
+
+        monkeypatch.setattr(BucketIndex, "_compact", spy)
+        idx = BucketIndex(grid, merge_segment_cap=4)
+        c = WorkCounter()
+        live = {}
+        seq = 0
+        for _ in range(8):
+            live[seq] = rng.uniform(0.0, 32.0, size=(200, 3))
+            seq += 1
+        idx.sync(list(live.items()), c)
+        for step in range(40):
+            for k in sorted(live)[:2]:
+                live.pop(k)
+            for _ in range(2):
+                live[seq] = rng.uniform(
+                    0.0, 32.0, size=(int(rng.integers(40, 400)), 3)
+                )
+                seq += 1
+            idx.sync(list(live.items()), c)
+            assert idx.dead_rows <= idx.dead_row_budget
+        assert not compacts
+        q = probe_queries(rng)
+        np.testing.assert_allclose(
+            densities(idx, q),
+            densities(cold_rebuild(grid, live), q),
+            rtol=1e-12,
+        )
+
+    def test_debt_paydown_uses_split_when_whole_wedges(self, grid):
+        """A paydown pass over a fragmented tail relocates by splitting
+        (rows_compacted grows by the moved segment, debt shrinks) rather
+        than falling through to the full-compact valve."""
+        rng = np.random.default_rng(6)
+        idx = BucketIndex(grid, merge_segment_cap=None)
+        bs = {}
+        # Alternating large-dead / small-live batches below one big live
+        # segment: total dead exceeds the budget and the gaps cannot
+        # coalesce, yet no single gap fits the big segment.
+        for i in range(10):
+            n = 400 if i % 2 == 0 else 50
+            bs[i] = rng.uniform(0.0, 32.0, size=(n, 3))
+            idx.add_segment(i, bs[i])
+        big = rng.uniform(0.0, 32.0, size=(450, 3))
+        idx.add_segment("big", big)
+        keep = {}
+        for i in range(10):
+            if i % 2:
+                keep[i] = bs[i]
+            else:
+                idx.remove_segment(i)
+        before = idx.rows_compacted
+        c = WorkCounter()
+        idx._pay_compaction_debt(c)
+        assert idx.dead_rows <= idx.dead_row_budget
+        assert idx.rows_compacted > before
+        q = probe_queries(rng)
+        ref = dict(keep)
+        ref["big"] = big
+        np.testing.assert_allclose(
+            densities(idx, q), densities(cold_rebuild(grid, ref), q),
+            rtol=1e-12,
+        )
