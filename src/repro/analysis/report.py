@@ -247,6 +247,44 @@ def check_all(results_dir: Path) -> List[ShapeCheck]:
     checks.append(ShapeCheck("approx_tier",
                              "p95 rel err within every eps; sampler beats exact; planner routes approx", ok))
 
+    # Traffic front end (PR 8): the coalescing row must carry a
+    # *measured* >= 4x throughput win over per-request dispatch with
+    # equivalent answers, and the open-loop sweep must record a p99 at
+    # every offered load, shed exactly nothing below the admission knee,
+    # and actually shed (not queue without bound) on the overload row.
+    rows = load_experiment(results_dir, "traffic")
+    ok = None
+    if rows is not None:
+        c_rows = [r for r in rows if r.get("path") == "coalesce"]
+        o_rows = [r for r in rows if r.get("path") == "open-loop"]
+        if c_rows and o_rows:
+            ok = (
+                all(
+                    r.get("measured", False)
+                    and r.get("coalesce_speedup", 0) >= 4.0
+                    and r.get("answers_match_rtol_1e9", False)
+                    for r in c_rows
+                )
+                and all(
+                    r.get("measured", False)
+                    and r.get("p99_ms", 0) > 0
+                    and "offered_rps" in r and "shed_rate" in r
+                    for r in o_rows
+                )
+                and all(
+                    r.get("shed", 1) == 0
+                    for r in o_rows if r.get("below_knee")
+                )
+                and any(r.get("below_knee") for r in o_rows)
+                and all(
+                    r.get("shed", 0) > 0
+                    for r in o_rows if not r.get("below_knee")
+                )
+                and any(not r.get("below_knee") for r in o_rows)
+            )
+    checks.append(ShapeCheck("traffic_frontend",
+                             "coalescing >= 4x per-request; p99 at every load; shed 0 below knee", ok))
+
     # Figure 15: Flu never won by DR; some REP/SCHED win on PollenUS.
     rows = load_experiment(results_dir, "fig15_best")
     ok = None

@@ -18,7 +18,11 @@ Subcommands
     volume lookups, planner-chosen by default).  ``--eps`` attaches a
     per-request error budget that admits the approximate sampling tier;
     ``--workers N`` routes the same queries through the multi-process
-    sharded tier.
+    sharded tier; ``--frontend`` serves through the asyncio
+    :class:`repro.serve.TrafficFrontend` (micro-batching coalescer,
+    priority lanes, cost-priced admission) with every query row its own
+    concurrent loopback client — port-free; ``--queries -`` streams
+    from stdin.
 ``serve``
     Multi-process sharded serving
     (:class:`repro.serve.ShardedDensityService`): shard-owning worker
@@ -171,6 +175,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
           f"grid {grid.Gx}x{grid.Gy}x{grid.Gt} "
           f"(backend={args.backend}, {tier})")
     try:
+        if getattr(args, "frontend", False):
+            return _run_frontend_ops(args, service, grid)
         return _run_query_ops(args, service, grid)
     finally:
         if isinstance(service, ShardedDensityService):
@@ -238,6 +244,97 @@ def _run_query_ops(args: argparse.Namespace, service, grid) -> int:
               f"messages={work['shard_messages']} "
               f"rows_shipped={work['shard_rows_shipped']}")
     return 0
+
+
+def _load_query_coords(path: str):
+    """Query locations for the frontend demo: a CSV path, or ``-`` to
+    stream ``x,y,t`` lines from stdin (the port-free serving loop)."""
+    import numpy as np
+
+    if path != "-":
+        return load_points_csv(path).coords
+    rows = []
+    for line in sys.stdin:
+        line = line.strip()
+        if not line or line[0].isalpha():  # blank / header line
+            continue
+        rows.append([float(v) for v in line.split(",")[:3]])
+    if not rows:
+        raise SystemExit("no x,y,t rows on stdin")
+    return np.asarray(rows, dtype=np.float64)
+
+
+def _run_frontend_ops(args: argparse.Namespace, service, grid) -> int:
+    """Serve the requested op through the asyncio traffic front end —
+    a port-free loopback demo: every query row is its own concurrent
+    in-process client, so the coalescer has real co-arriving traffic
+    to merge; slices/regions ride the cost-bounded bulk lane."""
+    import asyncio
+    import json
+
+    import numpy as np
+
+    from .serve import TrafficFrontend
+
+    async def run() -> int:
+        fe = TrafficFrontend(service)
+        await fe.start()
+        try:
+            if args.queries is not None:
+                coords = _load_query_coords(args.queries)
+                parts = await asyncio.gather(*(
+                    fe.query_points(
+                        coords[i:i + 1], eps=args.eps, seed=args.seed
+                    )
+                    for i in range(coords.shape[0])
+                ))
+                dens = np.concatenate(parts)
+                if args.out:
+                    np.savetxt(
+                        args.out,
+                        np.column_stack([coords, dens]),
+                        delimiter=",", header="x,y,t,density",
+                        comments="", fmt="%.17g",
+                    )
+                    print(f"{dens.size} densities written to {args.out}")
+                else:
+                    for row, d in zip(coords, dens):
+                        print(f"{row[0]:.6g},{row[1]:.6g},{row[2]:.6g},{d:.6e}")
+            elif args.slice is not None:
+                res = await fe.query_slice(args.slice)
+                sl = res.time_slice()
+                X, Y = np.unravel_index(int(np.argmax(sl)), sl.shape)
+                print(f"slice T={args.slice}: backend={res.backend} "
+                      f"max={sl.max():.4e} at voxel ({X},{Y}) "
+                      f"mean={sl.mean():.4e}")
+                if args.out:
+                    np.save(args.out, np.asarray(sl))
+                    print(f"slice written to {_npy_path(args.out)}")
+            elif args.region is not None:
+                res = await fe.query_region(tuple(args.region))
+                print(f"region {args.region}: backend={res.backend} "
+                      f"shape={res.data.shape} max={res.data.max():.4e} "
+                      f"mass={res.data.sum() * grid.domain.sres**2 * grid.domain.tres:.4e}")
+                if args.out:
+                    np.save(args.out, np.asarray(res.data))
+                    print(f"region written to {_npy_path(args.out)}")
+            else:
+                raise SystemExit(
+                    "one of --queries / --slice / --region is required"
+                )
+            blob = fe.frontend_stats()
+            print(f"frontend: {blob['batches']} batches for "
+                  f"{blob['coalesced_requests']} coalesced requests "
+                  f"(mean {blob['mean_batch_rows']:.1f} rows/batch, "
+                  f"p99 {blob['latency']['p99_ms']:.2f} ms, "
+                  f"shed {blob['shed']})")
+            if args.stats:
+                print(json.dumps(await fe.stats(), indent=2, default=str))
+        finally:
+            await fe.aclose()
+        return 0
+
+    return asyncio.run(run())
 
 
 def _cmd_select(args: argparse.Namespace) -> int:
@@ -329,7 +426,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print a JSON blob of serving stats (cache "
                             "hit/miss ratios, index segments, planner "
                             "decisions, approximate-tier realised error, "
-                            "per-worker gauges)")
+                            "per-worker gauges; with --frontend also the "
+                            "frontend blob: lane depths, batch histogram, "
+                            "latency percentiles, shed counts)")
+        p.add_argument("--frontend", action="store_true",
+                       help="serve through the asyncio traffic front end "
+                            "(micro-batching coalescer, priority lanes, "
+                            "cost-priced admission): each --queries row "
+                            "becomes its own concurrent loopback client, "
+                            "port-free; use '--queries -' to stream x,y,t "
+                            "lines from stdin")
 
     p = sub.add_parser("query", help="serve density queries from a CSV of events")
     add_query_io_args(p)

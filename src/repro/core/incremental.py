@@ -488,12 +488,66 @@ class IncrementalSTKDE:
             self._version += 1
         return retired
 
+    def _canonical_composition(self) -> Optional[np.ndarray]:
+        """The live caches summed in canonical order, or ``None``.
+
+        Each cached :class:`RegionBuffer` is a pure function of its
+        unit's coordinates — it was stamped into a fresh zeroed buffer at
+        add time and never mutated afterwards — so summing the caches
+        into a fresh zero volume in a *content-derived* order makes the
+        result a pure function of the live membership, independent of
+        the mutation history that produced it.  That is the bit-exact
+        warm-vs-cold contract: a long-slid window and a cold estimator
+        re-fed the same :attr:`live_batches` (one ``add`` per unit,
+        slabbing disabled so each unit re-stamps whole) compose the
+        identical buffer multiset in the identical order and produce
+        bit-equal volumes.  The order sorts by bbox window then a digest
+        of the unit's rows, so no accidental property of tracking order
+        (which *does* depend on history) leaks into the sum.
+
+        Only available when every live unit carries a cache and the
+        tracked rows account for every contributing event (out-of-band
+        ``remove`` of unknown rows leaves negative stamps only the
+        accumulator knows about); callers fall back to ``_acc``.
+        """
+        if not self._live:
+            return None
+        tracked = 0
+        for tb in self._live:
+            if tb.buffer is None:
+                return None
+            tracked += len(tb.coords)
+        if tracked != self._n:
+            return None
+
+        def key(tb: _TrackedBatch):
+            b = tb.buffer.window
+            return (b.x0, b.x1, b.y0, b.y1, b.t0, b.t1,
+                    len(tb.coords), tb.coords.tobytes())
+
+        data = np.zeros(self.grid.shape)
+        for tb in sorted(self._live, key=key):
+            tb.buffer.add_into(data)
+        return data
+
     def volume(self) -> Volume:
-        """The current normalised density volume (copy; O(volume))."""
+        """The current normalised density volume (copy; O(volume)).
+
+        When every live unit carries a region cache the volume is
+        composed from the caches in canonical order
+        (:meth:`_canonical_composition`) — bit-exactly reproducible from
+        the live membership alone, no matter how many slides produced
+        it.  Otherwise it reads the running accumulator (fp-equivalent,
+        not bit-canonical: subtraction order follows history).
+        """
         if self._n == 0:
             return Volume(np.zeros(self.grid.shape), self.grid)
         norm = self.grid.normalization(self._n)
-        data = self._acc * norm
+        data = self._canonical_composition()
+        if data is None:
+            data = self._acc * norm
+        else:
+            data *= norm
         # Float cancellation from removals can leave tiny negatives
         # (~1e-17); clamp exact-zero level noise only.
         np.maximum(data, 0.0, out=data)

@@ -23,12 +23,13 @@ volumes.
 
 from __future__ import annotations
 
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator
 
-__all__ = ["WorkCounter", "PhaseTimer", "null_counter"]
+__all__ = ["WorkCounter", "PhaseTimer", "LatencyHistogram", "null_counter"]
 
 
 @dataclass
@@ -123,6 +124,21 @@ class WorkCounter:
         backend across all queries — the sublinear-work gauge: compare
         against the exact path's candidate count to see what the error
         budget bought.
+    ``frontend_batches``
+        Cohort batches the async traffic front end
+        (:class:`repro.serve.frontend.TrafficFrontend`) dispatched to
+        the wrapped service — every flush of a coalescing bucket and
+        every bulk/mutation dispatch counts one.
+    ``frontend_coalesced``
+        Individual point-query requests that were folded into a shared
+        cohort batch by the coalescer.  ``frontend_coalesced /
+        frontend_batches`` is the mean batch size the hold window
+        actually bought — the amortisation gauge of the whole front
+        end.
+    ``frontend_shed``
+        Requests rejected by admission control with ``Overloaded`` —
+        the pending-work budget (priced in predicted cost seconds, not
+        request counts) was full.
 
     The batching statistics are bookkeeping (like ``points_processed``):
     they are excluded from :meth:`total_ops` and :meth:`flop_estimate`.
@@ -151,6 +167,9 @@ class WorkCounter:
     queries_exact: int = 0
     queries_approx: int = 0
     sample_rows_drawn: int = 0
+    frontend_batches: int = 0
+    frontend_coalesced: int = 0
+    frontend_shed: int = 0
 
     def merge(self, other: "WorkCounter") -> "WorkCounter":
         """Accumulate another counter into this one (returns self)."""
@@ -177,6 +196,9 @@ class WorkCounter:
         self.queries_exact += other.queries_exact
         self.queries_approx += other.queries_approx
         self.sample_rows_drawn += other.sample_rows_drawn
+        self.frontend_batches += other.frontend_batches
+        self.frontend_coalesced += other.frontend_coalesced
+        self.frontend_shed += other.frontend_shed
         return self
 
     def total_ops(self) -> int:
@@ -226,6 +248,9 @@ class WorkCounter:
             "queries_exact": self.queries_exact,
             "queries_approx": self.queries_approx,
             "sample_rows_drawn": self.sample_rows_drawn,
+            "frontend_batches": self.frontend_batches,
+            "frontend_coalesced": self.frontend_coalesced,
+            "frontend_shed": self.frontend_shed,
         }
 
     def copy(self) -> "WorkCounter":
@@ -269,6 +294,9 @@ class _NullCounter(WorkCounter):
             "queries_exact",
             "queries_approx",
             "sample_rows_drawn",
+            "frontend_batches",
+            "frontend_coalesced",
+            "frontend_shed",
         ):
             return 0
         return object.__getattribute__(self, name)
@@ -341,3 +369,93 @@ class PhaseTimer:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self.seconds.items()))
         return f"PhaseTimer({parts})"
+
+
+class LatencyHistogram:
+    """Log-bucketed latency accumulator with bounded memory.
+
+    Records durations (seconds) into geometrically spaced buckets from
+    ``lo`` to ``hi`` (defaults 1µs..100s) so a long-running service can
+    report p50/p95/p99 without retaining every sample.  Quantiles are
+    read from the bucket upper edges — for ``bins_per_decade=20`` the
+    edges are ~12% apart, which bounds the relative quantile error at
+    one bucket width.  Used by the traffic front end for per-request
+    latency, and by the load harness to summarise a run.
+    """
+
+    def __init__(
+        self,
+        lo: float = 1e-6,
+        hi: float = 100.0,
+        bins_per_decade: int = 20,
+    ) -> None:
+        if not (0 < lo < hi):
+            raise ValueError("need 0 < lo < hi")
+        self.lo = lo
+        self.hi = hi
+        self._log_lo = math.log(lo)
+        decades = math.log10(hi / lo)
+        self.n_bins = max(1, int(round(decades * bins_per_decade)))
+        self._scale = self.n_bins / (math.log(hi) - self._log_lo)
+        self.counts = [0] * (self.n_bins + 2)  # + underflow/overflow
+        self.total = 0
+        self.sum_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.total += 1
+        self.sum_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+        if seconds < self.lo:
+            self.counts[0] += 1
+        elif seconds >= self.hi:
+            self.counts[-1] += 1
+        else:
+            i = int((math.log(seconds) - self._log_lo) * self._scale)
+            self.counts[1 + min(i, self.n_bins - 1)] += 1
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        if other.n_bins != self.n_bins or other.lo != self.lo:
+            raise ValueError("cannot merge histograms with different bins")
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.total += other.total
+        self.sum_seconds += other.sum_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+        return self
+
+    def _edge(self, i: int) -> float:
+        """Upper edge of bucket ``i`` (1-based interior index)."""
+        return math.exp(self._log_lo + i / self._scale)
+
+    def quantile(self, q: float) -> float:
+        """Latency at quantile ``q`` in [0, 1] (0.0 when empty)."""
+        if self.total == 0:
+            return 0.0
+        target = q * self.total
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target and c:
+                if i == 0:
+                    return self.lo
+                if i == len(self.counts) - 1:
+                    return self.max_seconds
+                return self._edge(i)
+        return self.max_seconds
+
+    @property
+    def mean(self) -> float:
+        return self.sum_seconds / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Summary view (not the raw buckets) for stats blobs."""
+        return {
+            "count": self.total,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.quantile(0.50) * 1e3,
+            "p95_ms": self.quantile(0.95) * 1e3,
+            "p99_ms": self.quantile(0.99) * 1e3,
+            "max_ms": self.max_seconds * 1e3,
+        }

@@ -19,7 +19,11 @@ volumes or the raw events:
   :class:`~repro.serve.worker.ShardWorker` /
   :class:`~repro.serve.service.ShardedDensityService` — the
   multi-process sharded tier: shard-owning workers answering
-  scatter/gather fan-out (``repro serve --workers N``).
+  scatter/gather fan-out (``repro serve --workers N``);
+* :class:`~repro.serve.frontend.TrafficFrontend` — the asyncio traffic
+  front end: coalesces concurrent point requests into cohort batches,
+  schedules lanes by critical ratio, sheds past a cost-priced admission
+  budget (``repro serve --frontend``).
 """
 
 from .cache import QueryCache, digest_queries
@@ -34,6 +38,7 @@ from .engine import (
     sample_volume,
     slice_window,
 )
+from .frontend import Overloaded, TrafficFrontend
 from .index import BucketIndex
 from .planner import QueryPlan, QueryPlanner, ScatterPlan
 from .service import DensityService, ShardedDensityService
@@ -43,6 +48,7 @@ from .worker import ShardWorker
 __all__ = [
     "BucketIndex",
     "DensityService",
+    "Overloaded",
     "QueryCache",
     "QueryPlan",
     "QueryPlanner",
@@ -51,6 +57,7 @@ __all__ = [
     "ShardPlan",
     "ShardWorker",
     "ShardedDensityService",
+    "TrafficFrontend",
     "approx_sum",
     "calibrate_ipc",
     "calibrate_serving",

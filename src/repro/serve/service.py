@@ -191,6 +191,19 @@ class DensityService:
         return self._static_weights is not None
 
     @property
+    def events(self) -> int:
+        """Number of events currently served (live: the window's size)."""
+        return int(self._coords().shape[0])
+
+    @property
+    def source(self):
+        """The live :class:`IncrementalSTKDE` behind this service, or
+        ``None`` for static snapshots — how mutation-routing layers (the
+        traffic front end) reach ``slide_window`` without reaching into
+        privates."""
+        return self._inc
+
+    @property
     def volume_ready(self) -> bool:
         """Whether a materialised volume for the current version exists."""
         self._sync()

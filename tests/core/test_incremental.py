@@ -393,6 +393,104 @@ class TestTimeSlabbedCaches:
         assert 1 < len(inc.live_batches) <= 3
 
 
+class TestBitExactWarmCold:
+    """Carried satellite (PR 2): warm-vs-cold volume equivalence is now
+    *bit-exact*, not fp-level.  Every cached unit is a pure function of
+    its rows, and :meth:`IncrementalSTKDE.volume` composes the live
+    caches in a canonical content-derived order — so a long-slid warm
+    window and a cold estimator re-fed the same live membership produce
+    ``assert_array_equal`` volumes."""
+
+    def _feed(self, grid, rng, step, total_steps, win, n=18):
+        t_lo = step * grid.domain.gt / (total_steps + win)
+        t_hi = (step + 1) * grid.domain.gt / (total_steps + win)
+        return np.column_stack([
+            rng.uniform(0, grid.domain.gx, n),
+            rng.uniform(0, grid.domain.gy, n),
+            rng.uniform(t_lo, t_hi, n),
+        ])
+
+    def _slide_many(self, grid, rng, steps=20, win=6):
+        inc = IncrementalSTKDE(grid)
+        for step in range(steps):
+            batch = self._feed(grid, rng, step, steps, win)
+            horizon = max(0.0, (step - win) * grid.domain.gt / (steps + win))
+            inc.slide_window(batch, t_horizon=horizon)
+        return inc
+
+    @staticmethod
+    def _cold_replay(grid, warm):
+        """A fresh estimator fed the warm window's live units, one add per
+        unit with slabbing disabled so each re-stamps whole."""
+        cold = IncrementalSTKDE(grid, t_slab_voxels=None)
+        for _, coords in warm.live_batches:
+            cold.add(coords)
+        return cold
+
+    def test_warm_equals_cold_replay_bitwise(self, grid):
+        rng = np.random.default_rng(60)
+        warm = self._slide_many(grid, rng)
+        assert all(tb.buffer is not None for tb in warm._live)
+        cold = self._cold_replay(grid, warm)
+        np.testing.assert_array_equal(warm.volume().data, cold.volume().data)
+
+    def test_volume_is_pure_function_of_live_membership(self, grid):
+        """Two different mutation histories arriving at the same live
+        window serve bit-identical volumes: history cannot leak through
+        accumulation order."""
+        rng = np.random.default_rng(61)
+        warm = self._slide_many(grid, rng, steps=16, win=5)
+        # Second history: same final units, but added in reverse order
+        # after a churn of unrelated batches that were fully retired.
+        other = IncrementalSTKDE(grid)
+        churn = self._feed(grid, np.random.default_rng(99), 0, 16, 5)
+        other.add(churn)
+        other.slide_window(np.empty((0, 3)), t_horizon=grid.domain.gt)
+        assert other.n == 0
+        for _, coords in reversed(warm.live_batches):
+            other.add(coords)
+        np.testing.assert_array_equal(
+            warm.volume().data, other.volume().data
+        )
+
+    def test_composition_matches_accumulator_at_fp_level(self, grid):
+        """The canonical composition and the running accumulator read the
+        same density (fp-order differences only)."""
+        rng = np.random.default_rng(62)
+        warm = self._slide_many(grid, rng)
+        composed = warm.volume().data
+        acc = warm._acc * grid.normalization(warm.n)
+        np.maximum(acc, 0.0, out=acc)
+        np.testing.assert_allclose(composed, acc, rtol=1e-9, atol=1e-16)
+
+    def test_uncached_units_fall_back_to_accumulator(self, grid):
+        """A live unit without a cache (domain-wide batch) disables the
+        canonical composition; the accumulator read stays exact."""
+        rng = np.random.default_rng(63)
+        inc = IncrementalSTKDE(grid)
+        inc.add(self._feed(grid, rng, 0, 10, 4))
+        wide = make_points(grid, 40, seed=63)
+        inc.add(wide)
+        assert any(tb.buffer is None for tb in inc._live)
+        assert inc._canonical_composition() is None
+        live = PointSet(inc.live_coords)
+        np.testing.assert_allclose(
+            inc.volume().data, pb_sym(live, grid).data,
+            rtol=1e-12, atol=1e-16,
+        )
+
+    def test_out_of_band_unknown_removal_disables_composition(self, grid):
+        """Negative stamps only the accumulator knows about (remove() of
+        never-added rows) must not be dropped by the cache composition."""
+        rng = np.random.default_rng(64)
+        inc = IncrementalSTKDE(grid)
+        inc.add(self._feed(grid, rng, 0, 10, 4))
+        inc.add(self._feed(grid, rng, 1, 10, 4))
+        unknown = self._feed(grid, rng, 0, 10, 4, n=3)
+        inc.remove(unknown)  # tracked rows no longer account for _n
+        assert inc._canonical_composition() is None
+
+
 class TestWeightedInputsRejected:
     """Satellite: weighted PointSets must not silently drop weights into
     the unnormalised accumulator."""

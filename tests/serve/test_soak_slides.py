@@ -83,6 +83,18 @@ def test_soak_50_plus_tiny_batch_slides():
         inc.volume().data, expect.data, rtol=1e-12, atol=1e-15
     )
 
+    # Bit-exact warm-vs-cold (carried since PR 2, closed by the canonical
+    # cache composition): a cold estimator re-fed the warm window's live
+    # units — one add per unit, slabbing disabled so each re-stamps whole
+    # — serves the *identical* volume, to the last bit, after 55 slides.
+    assert all(tb.buffer is not None for tb in inc._live)
+    cold_inc = IncrementalSTKDE(grid, t_slab_voxels=None)
+    for _, coords in inc.live_batches:
+        cold_inc.add(coords)
+    np.testing.assert_array_equal(
+        inc.volume().data, cold_inc.volume().data
+    )
+
     # The serving answers ride the same contract: warm merged index vs a
     # cold service over the same estimator state.
     cold = DensityService(inc, backend="direct")
