@@ -62,6 +62,7 @@ __all__ = [
     "Prediction",
     "SlidePrediction",
     "MergePrediction",
+    "RecoveryPrediction",
     "select_strategy",
 ]
 
@@ -145,6 +146,12 @@ class MachineModel:
         approximate backend prices its sampling distribution with —
         charged ``9 * segments`` per query, the O(runs) fixed cost the
         sampler pays before any draw.
+    c_spawn:
+        Seconds to stand up one spawn-context worker process (fork-exec,
+        interpreter + import start, pipe handshake) — the fixed floor of
+        a supervised shard respawn, probed by
+        :func:`repro.serve.calibrate.calibrate_recovery` and charged
+        once per restart by :meth:`CostModel.predict_recovery`.
     """
 
     c_mem: float
@@ -163,6 +170,7 @@ class MachineModel:
     c_qser: float = 0.0
     c_qsample: float = 0.0
     c_qbound: float = 0.0
+    c_spawn: float = 0.0
 
     @classmethod
     def calibrate(cls, seed: int = 0) -> "MachineModel":
@@ -290,6 +298,7 @@ class MachineModel:
             c_mem=1e-9, c_point=1e-7, c_cell=2e-9, c_batch=1e-5,
             c_pair=2e-9, c_tile=1e-6, c_lookup=5e-8, c_qgroup=5e-6,
             c_qcohort=5e-6, c_qprobe=1e-6, c_qsample=1e-8, c_qbound=4e-9,
+            c_spawn=0.2,
         )
 
 
@@ -344,6 +353,24 @@ class MergePrediction:
     def pays_within(self, n_batches: float) -> bool:
         """Whether consolidation pays for itself within ``n_batches``."""
         return self.breakeven_batches <= n_batches
+
+
+@dataclass(frozen=True)
+class RecoveryPrediction:
+    """Predicted MTTR of one supervised shard respawn-and-replay.
+
+    ``spawn_seconds`` is the fixed process-standup floor (``c_spawn``),
+    ``ipc_seconds`` the replay's message round-trips and row
+    serialization, ``restamp_seconds`` the respawned worker re-stamping
+    its live events through the batched engine.  ``seconds`` is their
+    sum — what the faults bench compares against measured recovery wall
+    time.
+    """
+
+    seconds: float
+    spawn_seconds: float
+    ipc_seconds: float
+    restamp_seconds: float
 
 
 @dataclass(frozen=True)
@@ -750,6 +777,33 @@ class CostModel:
             n_segments=n_segments,
         )
         return ScatterGatherPrediction(ipc + compute, ipc, compute, P)
+
+    def predict_recovery(
+        self, n_rows: int, n_batches: int
+    ) -> RecoveryPrediction:
+        """Price one supervised shard respawn-and-replay (MTTR).
+
+        The recovery cost shape mirrors what
+        :class:`~repro.serve.supervisor.ShardSupervisor` actually does:
+        one spawn-context process standup (``c_spawn``), then the
+        mutation log replayed as ``n_batches`` request round-trips
+        (``c_msg`` each, ``c_qser`` per shipped row) into a worker that
+        re-stamps its ``n_rows`` live events through the batched engine
+        (:meth:`batch_cost` per replayed batch).  Backoff sleeps are
+        policy, not work, and are excluded — the bench reports them in
+        the measured column instead.
+        """
+        m = self.machine
+        batches = max(0, int(n_batches))
+        rows = max(0, int(n_rows))
+        spawn = m.c_spawn if m.c_spawn > 0.0 else 0.2
+        msg_rate = m.c_msg if m.c_msg > 0.0 else 1e-4
+        ser_rate = m.c_qser if m.c_qser > 0.0 else 16.0 * m.c_mem
+        ipc = 2.0 * batches * msg_rate + rows * ser_rate
+        restamp = batches * m.c_batch + rows * self.point_cost()
+        return RecoveryPrediction(
+            spawn + ipc + restamp, spawn, ipc, restamp
+        )
 
     def predict_materialize(self, P: Optional[int] = None) -> float:
         """Predicted seconds to materialise the volume for the lookup plan.

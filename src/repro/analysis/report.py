@@ -285,6 +285,47 @@ def check_all(results_dir: Path) -> List[ShapeCheck]:
     checks.append(ShapeCheck("traffic_frontend",
                              "coalescing >= 4x per-request; p99 at every load; shed 0 below knee", ok))
 
+    # Fault tolerance (PR 9): every MTTR row must be a *measured*
+    # recovery (positive wall time, real replayed state, at least one
+    # restart consumed) whose healed shard matched the cold rebuild at
+    # rtol=1e-12; the throughput row must record the availability dip;
+    # and the degraded row must return a coverage in (0, 1] with the
+    # degraded_queries gauge moving — a "degraded" read that silently
+    # reports full coverage fails the check.
+    rows = load_experiment(results_dir, "faults")
+    ok = None
+    if rows is not None:
+        m_rows = [r for r in rows if r.get("path") == "mttr"]
+        t_rows = [r for r in rows if r.get("path") == "recovery-throughput"]
+        d_rows = [r for r in rows if r.get("path") == "degraded"]
+        ok = (
+            bool(m_rows)
+            and all(
+                r.get("measured", False)
+                and r.get("mttr_seconds", 0) > 0
+                and r.get("state_rows", 0) > 0
+                and r.get("shard_restarts", 0) >= 1
+                and r.get("post_recovery_matches_cold_rtol_1e12", False)
+                for r in m_rows
+            )
+            and bool(t_rows)
+            and all(
+                r.get("recovery_query_seconds", 0) > 0
+                and r.get("qps_before", 0) > 0
+                and r.get("qps_after", 0) > 0
+                for r in t_rows
+            )
+            and bool(d_rows)
+            and all(
+                r.get("returned_partial", False)
+                and 0.0 < r.get("coverage", 0.0) <= 1.0
+                and r.get("degraded_queries_gauge", 0) > 0
+                for r in d_rows
+            )
+        )
+    checks.append(ShapeCheck("fault_tolerance",
+                             "MTTR measured + heals to rtol=1e-12; degraded coverage in (0,1]", ok))
+
     # Figure 15: Flu never won by DR; some REP/SCHED win on PollenUS.
     rows = load_experiment(results_dir, "fig15_best")
     ok = None

@@ -155,15 +155,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
     )
     grid = GridSpec(domain, hs=args.hs, ht=args.ht)
     workers = getattr(args, "workers", None)
+    if workers is None and getattr(args, "faults", None) is not None:
+        raise SystemExit(
+            "--faults injects into shard workers; add --workers N"
+        )
     if workers is not None:
         if args.backend not in ("auto", "sharded", "local"):
             raise SystemExit(
                 f"--backend {args.backend!r} is a single-process plan; "
                 f"with --workers use auto, sharded or local"
             )
+        fault_plan = None
+        faults = getattr(args, "faults", None)
+        if faults is not None:
+            from .serve import FaultPlan
+
+            if faults.startswith("@"):
+                with open(faults[1:], "r") as fh:
+                    faults = fh.read()
+            fault_plan = FaultPlan.from_json(faults)
         service = ShardedDensityService(
             pts, grid, workers=workers, kernel=args.kernel,
             backend=args.backend,
+            max_restarts=getattr(args, "max_restarts", 3),
+            request_timeout=getattr(args, "request_timeout", 30.0),
+            on_shard_failure=getattr(args, "on_shard_failure", "raise"),
+            fault_plan=fault_plan,
         )
         tier = f"{service.n_shards} shard workers"
     else:
@@ -437,6 +454,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "port-free; use '--queries -' to stream x,y,t "
                             "lines from stdin")
 
+    def add_fault_args(p):
+        p.add_argument("--max-restarts", type=int, default=3, metavar="K",
+                       help="per-shard restart budget before the shard is "
+                            "declared down (default 3; 0 disables recovery)")
+        p.add_argument("--request-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-request deadline on shard replies; a "
+                            "wedged worker is declared failed and respawned "
+                            "after this long (default 30)")
+        p.add_argument("--on-shard-failure", default="raise",
+                       choices=("raise", "partial"),
+                       help="point-query policy when a shard exhausts its "
+                            "restart budget: 'raise' a typed ShardDown, or "
+                            "serve 'partial' coverage-tagged results from "
+                            "the surviving shards (default raise)")
+        p.add_argument("--faults", default=None, metavar="JSON",
+                       help="fault-injection plan (JSON list of specs, or "
+                            "'@file' to read one) applied to the shard "
+                            "workers — the chaos harness; see "
+                            "repro.serve.FaultPlan")
+
     p = sub.add_parser("query", help="serve density queries from a CSV of events")
     add_query_io_args(p)
     p.add_argument("--backend", default="auto",
@@ -444,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_parse_workers, default=None, metavar="N",
                    help="serve through N shard-owning worker processes "
                         "(multi-process scatter/gather; 'auto' = CPU count)")
+    add_fault_args(p)
     p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser(
@@ -455,6 +494,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default="auto", choices=("auto", "sharded", "local"))
     p.add_argument("--workers", type=_parse_workers, default="auto", metavar="N",
                    help="worker process count = shard count ('auto' = CPU count)")
+    add_fault_args(p)
     p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser("select", help="cost-model strategy selection (Section 6.5)")

@@ -139,6 +139,22 @@ class WorkCounter:
         Requests rejected by admission control with ``Overloaded`` —
         the pending-work budget (priced in predicted cost seconds, not
         request counts) was full.
+    ``shard_restarts``
+        Worker processes respawned by the shard supervisor
+        (:class:`repro.serve.supervisor.ShardSupervisor`) after a death
+        or a wedged request deadline.
+    ``shard_replayed_batches``
+        Mutation-log entries replayed into respawned workers — the
+        recovery work gauge ``predict_recovery`` prices.
+    ``requests_retried``
+        Requests that failed against a dying worker and were completed
+        against its recovered replacement (queries re-sent once,
+        mutations completed by the replay itself).
+    ``degraded_queries``
+        Point-query rows answered from surviving shards only
+        (``on_shard_failure="partial"``) — every one of these returned
+        a coverage-tagged :class:`~repro.serve.errors.PartialResult`,
+        never a silently incomplete array.
 
     The batching statistics are bookkeeping (like ``points_processed``):
     they are excluded from :meth:`total_ops` and :meth:`flop_estimate`.
@@ -170,6 +186,10 @@ class WorkCounter:
     frontend_batches: int = 0
     frontend_coalesced: int = 0
     frontend_shed: int = 0
+    shard_restarts: int = 0
+    shard_replayed_batches: int = 0
+    requests_retried: int = 0
+    degraded_queries: int = 0
 
     def merge(self, other: "WorkCounter") -> "WorkCounter":
         """Accumulate another counter into this one (returns self)."""
@@ -199,6 +219,10 @@ class WorkCounter:
         self.frontend_batches += other.frontend_batches
         self.frontend_coalesced += other.frontend_coalesced
         self.frontend_shed += other.frontend_shed
+        self.shard_restarts += other.shard_restarts
+        self.shard_replayed_batches += other.shard_replayed_batches
+        self.requests_retried += other.requests_retried
+        self.degraded_queries += other.degraded_queries
         return self
 
     def total_ops(self) -> int:
@@ -251,6 +275,10 @@ class WorkCounter:
             "frontend_batches": self.frontend_batches,
             "frontend_coalesced": self.frontend_coalesced,
             "frontend_shed": self.frontend_shed,
+            "shard_restarts": self.shard_restarts,
+            "shard_replayed_batches": self.shard_replayed_batches,
+            "requests_retried": self.requests_retried,
+            "degraded_queries": self.degraded_queries,
         }
 
     def copy(self) -> "WorkCounter":
@@ -297,6 +325,10 @@ class _NullCounter(WorkCounter):
             "frontend_batches",
             "frontend_coalesced",
             "frontend_shed",
+            "shard_restarts",
+            "shard_replayed_batches",
+            "requests_retried",
+            "degraded_queries",
         ):
             return 0
         return object.__getattribute__(self, name)

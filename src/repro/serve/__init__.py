@@ -23,11 +23,26 @@ volumes or the raw events:
 * :class:`~repro.serve.frontend.TrafficFrontend` — the asyncio traffic
   front end: coalesces concurrent point requests into cohort batches,
   schedules lanes by critical ratio, sheds past a cost-priced admission
-  budget (``repro serve --frontend``).
+  budget (``repro serve --frontend``);
+* :class:`~repro.serve.supervisor.ShardSupervisor` /
+  :mod:`~repro.serve.errors` / :mod:`~repro.serve.faults` — the
+  self-healing layer: supervised respawn with replay-based recovery, a
+  typed fault surface (:class:`ShardFailed` / :class:`ShardTimeout` /
+  coverage-tagged :class:`PartialResult` degraded reads), and the
+  deterministic fault-injection harness (``REPRO_FAULTS``).
 """
 
 from .cache import QueryCache, digest_queries
-from .calibrate import calibrate_ipc, calibrate_serving
+from .calibrate import calibrate_ipc, calibrate_recovery, calibrate_serving
+from .errors import (
+    CircuitOpen,
+    PartialResult,
+    ServeError,
+    ShardDown,
+    ShardFailed,
+    ShardTimeout,
+)
+from .faults import FaultPlan, FaultSpec
 from .engine import (
     RegionResult,
     approx_sum,
@@ -43,23 +58,35 @@ from .index import BucketIndex
 from .planner import QueryPlan, QueryPlanner, ScatterPlan
 from .service import DensityService, ShardedDensityService
 from .shard import ShardPlan, plan_shards
+from .supervisor import ShardLog, ShardSupervisor
 from .worker import ShardWorker
 
 __all__ = [
     "BucketIndex",
+    "CircuitOpen",
     "DensityService",
+    "FaultPlan",
+    "FaultSpec",
     "Overloaded",
+    "PartialResult",
     "QueryCache",
     "QueryPlan",
     "QueryPlanner",
     "RegionResult",
     "ScatterPlan",
+    "ServeError",
+    "ShardDown",
+    "ShardFailed",
+    "ShardLog",
     "ShardPlan",
+    "ShardSupervisor",
+    "ShardTimeout",
     "ShardWorker",
     "ShardedDensityService",
     "TrafficFrontend",
     "approx_sum",
     "calibrate_ipc",
+    "calibrate_recovery",
     "calibrate_serving",
     "digest_queries",
     "direct_region",

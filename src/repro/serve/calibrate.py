@@ -53,6 +53,16 @@ The sharded serving tier adds two process-boundary rates, probed by
     slope of the same sweep — what every scattered query row and
     gathered partial pays on top of ``c_msg``.
 
+The self-healing tier adds one more, probed by
+:func:`calibrate_recovery`:
+
+``c_spawn``
+    Seconds to stand up one spawn-context worker process (fork-exec, a
+    fresh interpreter, module imports, the pipe handshake) — the fixed
+    floor of every supervised respawn, which
+    :meth:`~repro.analysis.model.CostModel.predict_recovery` adds to the
+    replay's IPC + restamp price to predict MTTR.
+
 :class:`~repro.serve.service.DensityService` runs this lazily the first
 time its planner is needed; callers with a pre-calibrated write-side
 model pass it in to extend rather than re-probe.
@@ -74,7 +84,36 @@ from ..core.kernels import get_kernel
 from .engine import approx_sum, direct_sum, direct_sum_grouped, sample_volume
 from .index import BucketIndex
 
-__all__ = ["calibrate_serving", "calibrate_ipc"]
+__all__ = ["calibrate_serving", "calibrate_ipc", "calibrate_recovery"]
+
+
+def _spawn_probe_target() -> None:
+    """No-op child: the probe times process standup, not work."""
+
+
+def calibrate_recovery(
+    machine: Optional[MachineModel] = None, seed: int = 0
+) -> MachineModel:
+    """Fill ``c_spawn``: measured cost of one spawn-context standup.
+
+    Starts a no-op process under the same ``spawn`` context the shard
+    workers use and times start-to-join, twice (the first spawn pays
+    one-time import caching; the best of two is the steady-state
+    respawn cost the supervisor actually sees).  Expensive as probes go
+    (~0.2–0.5 s): run explicitly by the faults bench and callers that
+    want :meth:`~repro.analysis.model.CostModel.predict_recovery`, not
+    by the service's lazy calibration.
+    """
+    machine = machine if machine is not None else MachineModel.calibrate(seed)
+    ctx = mp.get_context("spawn")
+    best = math.inf
+    for _ in range(2):
+        t0 = time.perf_counter()
+        proc = ctx.Process(target=_spawn_probe_target)
+        proc.start()
+        proc.join()
+        best = min(best, time.perf_counter() - t0)
+    return dataclasses.replace(machine, c_spawn=max(best, 1e-6))
 
 
 def calibrate_ipc(

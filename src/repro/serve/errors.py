@@ -1,0 +1,170 @@
+"""Typed fault surface for the serving tier.
+
+Every failure the serve layer can produce is a subclass of
+:class:`ServeError` (itself a ``RuntimeError``, so existing
+``except RuntimeError`` call sites keep working).  The hierarchy carries
+the routing facts a supervisor or front end needs to *act* on a fault —
+which shard, which op, whether a retry can possibly help — instead of
+forcing callers to parse exception strings:
+
+``ShardFailed``
+    A shard worker failed a request.  ``retryable=True`` means the
+    worker process itself is gone or unresponsive (respawn + replay can
+    recover it); ``retryable=False`` means the worker is healthy and the
+    *request* was bad (an application error replayed verbatim), or the
+    shard's restart budget is exhausted.
+
+``ShardTimeout``
+    The per-request deadline expired with the worker still alive — a
+    wedged (not dead) child.  Always retryable: the supervisor
+    terminates and respawns it.
+
+``ShardDown``
+    The restart budget is exhausted; the shard is declared down and
+    stays down for the service's lifetime.  Never retryable.
+
+``CircuitOpen``
+    The front end's per-shard circuit breaker is open: traffic touching
+    a recovering/down shard is shed (or deferred) instead of fanning the
+    underlying fault out to every coalesced client.
+
+Degraded reads return a :class:`PartialResult` — a ``float64`` ndarray
+subclass tagged with the mass-weighted ``coverage`` fraction and the
+failed shard ids, so a partial answer is *typed*, never silently wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ServeError",
+    "ShardFailed",
+    "ShardTimeout",
+    "ShardDown",
+    "CircuitOpen",
+    "PartialResult",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class for every typed fault the serve layer raises."""
+
+    #: Whether respawn-and-retry can possibly clear this fault.
+    retryable: bool = False
+
+
+class ShardFailed(ServeError):
+    """A shard worker failed a request (died, wedged, or errored).
+
+    The message always starts ``"shard worker <id>"`` and names the op,
+    so logs and string-matching callers see the same contract the typed
+    attributes carry.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        op: str,
+        detail: str = "",
+        *,
+        exitcode: Optional[int] = None,
+        retryable: bool = True,
+    ) -> None:
+        self.shard_id = int(shard_id)
+        self.op = str(op)
+        self.exitcode = exitcode
+        self.retryable = bool(retryable)
+        msg = f"shard worker {shard_id} failed {op!r}"
+        if detail:
+            msg += f": {detail}"
+        if exitcode is not None:
+            msg += f" (exit code {exitcode})"
+        super().__init__(msg)
+
+
+class ShardTimeout(ShardFailed):
+    """A request deadline expired with the worker process still alive.
+
+    The wedged child cannot be trusted to ever reply (the pipe protocol
+    is strictly request/reply), so recovery is the same as for a dead
+    worker: terminate, respawn, replay.
+    """
+
+    def __init__(self, shard_id: int, op: str, timeout: float) -> None:
+        self.timeout = float(timeout)
+        super().__init__(
+            shard_id, op,
+            f"no reply within {timeout:g}s (worker alive but wedged)",
+            retryable=True,
+        )
+
+
+class ShardDown(ShardFailed):
+    """The shard's restart budget is exhausted; it stays down."""
+
+    def __init__(
+        self, shard_id: int, op: str, detail: str = ""
+    ) -> None:
+        detail = detail or "shard is down (restart budget exhausted)"
+        super().__init__(shard_id, op, detail, retryable=False)
+
+
+class CircuitOpen(ServeError):
+    """The front end's breaker is shedding traffic to a broken shard."""
+
+    def __init__(
+        self, shard_ids: Tuple[int, ...], retry_after_s: float
+    ) -> None:
+        self.shard_ids = tuple(int(s) for s in shard_ids)
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(
+            f"circuit open for shard(s) {list(self.shard_ids)}; "
+            f"retry after {retry_after_s:.3f}s"
+        )
+
+
+class PartialResult(np.ndarray):
+    """Densities gathered from surviving shards only, coverage-tagged.
+
+    Behaves exactly like the ``float64`` array a healthy gather returns,
+    plus two attributes: ``coverage`` — the mass-weighted fraction of
+    the estimator's total event weight that contributed (``1.0`` means
+    complete) — and ``failed_shards``, the shard ids whose partials are
+    missing.  The values are a *lower bound* on the true densities: a
+    lost shard is a hole of exactly ``1 - coverage`` of the total mass.
+
+    Only degraded gathers return this type; complete answers stay plain
+    ``ndarray``, so ``isinstance(out, PartialResult)`` is the degraded
+    check.
+    """
+
+    def __new__(
+        cls,
+        values: np.ndarray,
+        coverage: float,
+        failed_shards: Tuple[int, ...] = (),
+    ) -> "PartialResult":
+        obj = np.asarray(values, dtype=np.float64).view(cls)
+        obj.coverage = float(coverage)
+        obj.failed_shards = tuple(int(s) for s in failed_shards)
+        return obj
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is None:
+            return
+        self.coverage = getattr(obj, "coverage", 1.0)
+        self.failed_shards = getattr(obj, "failed_shards", ())
+
+    @property
+    def degraded(self) -> bool:
+        return self.coverage < 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartialResult({np.asarray(self)!r}, "
+            f"coverage={self.coverage:.6g}, "
+            f"failed_shards={self.failed_shards})"
+        )

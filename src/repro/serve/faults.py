@@ -1,0 +1,186 @@
+"""Deterministic fault injection for the sharded serving tier.
+
+A :class:`FaultPlan` is a picklable list of :class:`FaultSpec` triggers
+that ride into the worker processes at spawn time.  Inside the child's
+request loop a :class:`FaultInjector` counts matching requests and fires
+each spec exactly once per process at its ``nth`` match:
+
+``crash``
+    ``os._exit(1)`` without replying — what a segfault or OOM kill looks
+    like from the coordinator's side (pipe EOF + sentinel).
+``wedge``
+    Sleep ``seconds`` (default one hour) without replying — the worker
+    stays *alive* but unresponsive, exercising the deadline path
+    (:class:`~repro.serve.errors.ShardTimeout`) rather than the
+    sentinel path.
+``drop``
+    Skip the reply but keep serving — a lost message.
+``delay``
+    Sleep ``seconds`` then serve normally — slow-shard latency.
+``error``
+    Reply ``("err", "injected fault")`` — an application-level error
+    from a healthy worker.
+
+Specs match on shard id and op (either may be ``None`` = any), and
+``nth`` counts *matching* requests, so "kill shard 1 on its 2nd query"
+is ``FaultSpec("crash", shard=1, op="query_points", nth=2)``.  By
+default a spec does not re-arm in respawned workers (the fault happened
+once); ``persist=True`` keeps it armed across respawns, which is how the
+tests exhaust a restart budget deterministically.
+
+Plans are env/CLI-injectable as JSON (``REPRO_FAULTS``)::
+
+    REPRO_FAULTS='[{"action":"crash","shard":1,"op":"slide","nth":2}]'
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+__all__ = ["FaultSpec", "FaultPlan", "FaultInjector", "FAULTS_ENV"]
+
+#: Environment variable holding a JSON-encoded fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+
+_ACTIONS = ("crash", "wedge", "drop", "delay", "error")
+
+#: Default wedge duration: long enough that only a deadline or a
+#: terminate() ends the request, short enough that SIGTERM still lands.
+_WEDGE_SECONDS = 3600.0
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault trigger (see module docstring)."""
+
+    action: str
+    shard: Optional[int] = None
+    op: Optional[str] = None
+    nth: int = 1
+    seconds: float = 0.0
+    persist: bool = False
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"action must be one of {_ACTIONS}, got {self.action!r}"
+            )
+        if self.nth < 1:
+            raise ValueError(f"nth must be >= 1, got {self.nth}")
+        if self.seconds < 0.0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+
+    def matches(self, shard_id: int, op: str) -> bool:
+        return (self.shard is None or self.shard == shard_id) and (
+            self.op is None or self.op == op
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, picklable set of fault triggers."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse a JSON list (or single object) of spec fields."""
+        raw = json.loads(text)
+        if isinstance(raw, Mapping):
+            raw = [raw]
+        if not isinstance(raw, list):
+            raise ValueError(
+                f"fault plan JSON must be a list of objects, got "
+                f"{type(raw).__name__}"
+            )
+        return cls(tuple(FaultSpec(**item) for item in raw))
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["FaultPlan"]:
+        """The plan in ``REPRO_FAULTS``, or ``None`` when unset/empty."""
+        environ = environ if environ is not None else os.environ
+        text = environ.get(FAULTS_ENV, "").strip()
+        if not text:
+            return None
+        return cls.from_json(text)
+
+    def to_json(self) -> str:
+        return json.dumps([asdict(s) for s in self.specs])
+
+    # -- lifecycle ------------------------------------------------------
+    def respawn_view(self) -> Optional["FaultPlan"]:
+        """The plan a *respawned* worker should run: persistent specs only.
+
+        One-shot faults already fired in the process they killed; without
+        this filter a crash spec would kill every respawn and no restart
+        budget could ever succeed.
+        """
+        kept = tuple(s for s in self.specs if s.persist)
+        return FaultPlan(kept) if kept else None
+
+    def injector(self, shard_id: int) -> "FaultInjector":
+        return FaultInjector(self, shard_id)
+
+
+class FaultInjector:
+    """Worker-side trigger state: counts matches, fires each spec once."""
+
+    def __init__(self, plan: FaultPlan, shard_id: int) -> None:
+        self._specs = [
+            s for s in plan.specs
+            if s.shard is None or s.shard == shard_id
+        ]
+        self._shard_id = int(shard_id)
+        self._counts: Dict[int, int] = {}
+        self._fired: set = set()
+
+    def on_request(self, op: str) -> Optional[FaultSpec]:
+        """Record one request; return the spec to fire now, if any."""
+        for i, spec in enumerate(self._specs):
+            if spec.op is not None and spec.op != op:
+                continue
+            self._counts[i] = self._counts.get(i, 0) + 1
+            if i in self._fired:
+                continue
+            if self._counts[i] == spec.nth:
+                self._fired.add(i)
+                return spec
+        return None
+
+
+def apply_fault(spec: FaultSpec, conn) -> bool:
+    """Execute a fired spec inside the worker loop.
+
+    Returns ``True`` when the request should still be served normally
+    (``delay``), ``False`` when the reply must be skipped (``drop``,
+    ``wedge``, ``error`` — the latter replies for itself).  ``crash``
+    never returns.
+    """
+    if spec.action == "crash":
+        os._exit(1)
+    if spec.action == "wedge":
+        time.sleep(spec.seconds or _WEDGE_SECONDS)
+        return False
+    if spec.action == "drop":
+        return False
+    if spec.action == "delay":
+        if spec.seconds:
+            time.sleep(spec.seconds)
+        return True
+    if spec.action == "error":
+        conn.send(("err", "injected fault"))
+        return False
+    raise AssertionError(f"unhandled fault action {spec.action!r}")

@@ -42,6 +42,17 @@ builds are both priced at what they will actually cost.  Past the
 budget the front end sheds with a typed :class:`Overloaded`
 (``overload="shed"``) or defers admission until capacity frees
 (``overload="defer"``).
+
+**Fault handling.**  Service failures resolve each coalesced future with
+the *typed* exception (never a bucket-wide cancel); a retryable
+:class:`~repro.serve.errors.ServeError` — a worker died and the
+supervisor below may already have recovered it — re-enqueues the batch
+exactly once within a bounded retry window.  A
+:class:`~repro.serve.errors.ShardFailed` additionally opens a per-shard
+circuit breaker: reads whose scatter span touches the broken shard are
+shed with :class:`~repro.serve.errors.CircuitOpen` (or deferred, per
+the ``overload`` policy) for a cooldown instead of piling onto a
+recovering worker, while traffic to healthy shards flows on.
 """
 
 from __future__ import annotations
@@ -56,6 +67,7 @@ import numpy as np
 from ..core.grid import VoxelWindow
 from ..core.instrument import LatencyHistogram, WorkCounter
 from .engine import RegionResult, slice_window
+from .errors import CircuitOpen, ServeError, ShardFailed
 
 __all__ = ["TrafficFrontend", "Overloaded"]
 
@@ -94,7 +106,7 @@ class _WorkItem:
     __slots__ = (
         "kind", "lane", "seq", "deadline", "est_seconds", "rows", "futs",
         "eps", "seed", "window", "backend", "chunks", "chunk_idx",
-        "chunk_results", "fut", "fn", "n_requests",
+        "chunk_results", "fut", "fn", "n_requests", "retried",
     )
 
     def __init__(self, kind: str, lane: str, seq: int, deadline: float,
@@ -104,6 +116,7 @@ class _WorkItem:
         self.seq = seq
         self.deadline = deadline
         self.est_seconds = est_seconds
+        self.retried = False
         # points lane
         self.rows: List[np.ndarray] = []
         self.futs: List[Tuple[asyncio.Future, slice, float]] = []
@@ -160,6 +173,16 @@ class TrafficFrontend:
         this, and the scheduler re-picks between chunks.
     bulk_deadline_ms / mutation_deadline_ms:
         Lane deadlines for the critical-ratio rule.
+    breaker_cooldown_ms:
+        How long a per-shard circuit breaker stays open after a
+        :class:`~repro.serve.errors.ShardFailed` surfaces from a
+        dispatch — new traffic touching that shard is shed
+        (:class:`~repro.serve.errors.CircuitOpen`) or deferred per the
+        overload policy while the shard recovers.
+    retry_window_ms:
+        Extra time past an item's lane deadline inside which a
+        *retryable* :class:`~repro.serve.errors.ServeError` re-enqueues
+        the read once (mutations never retry — double-apply risk).
     counter:
         Defaults to the wrapped service's :class:`WorkCounter`, so
         ``frontend_*`` gauges land next to the engine's own counters.
@@ -176,6 +199,8 @@ class TrafficFrontend:
         bulk_quantum_seconds: float = 0.025,
         bulk_deadline_ms: float = 2000.0,
         mutation_deadline_ms: float = 500.0,
+        breaker_cooldown_ms: float = 250.0,
+        retry_window_ms: float = 1000.0,
         counter: Optional[WorkCounter] = None,
     ) -> None:
         if max_batch < 1:
@@ -192,6 +217,8 @@ class TrafficFrontend:
         self.bulk_quantum = bulk_quantum_seconds
         self.bulk_deadline = bulk_deadline_ms / 1e3
         self.mutation_deadline = mutation_deadline_ms / 1e3
+        self.breaker_cooldown = breaker_cooldown_ms / 1e3
+        self.retry_window = retry_window_ms / 1e3
         self.counter = (
             counter if counter is not None
             else getattr(service, "counter", None) or WorkCounter()
@@ -209,6 +236,12 @@ class TrafficFrontend:
         self._drained: Optional[asyncio.Event] = None
         self._pending_cost = 0.0
         self._deferred = 0
+        self._retries = 0
+        # Per-shard circuit breakers: shard_id -> loop time the shard's
+        # recovery cooldown expires.  Opened when a dispatch surfaces a
+        # ShardFailed; traffic touching that shard is shed or deferred
+        # until the cooldown lapses.
+        self._breakers: Dict[int, float] = {}
         self._seq = 0
         self._closing = False
         self._started = False
@@ -382,6 +415,50 @@ class TrafficFrontend:
             self._space.set()
 
     # ------------------------------------------------------------------
+    # Per-shard circuit breakers
+    # ------------------------------------------------------------------
+    def _open_breakers(self, now: float) -> List[int]:
+        """Shard ids whose breakers are still open (expired ones lapse)."""
+        if not self._breakers:
+            return []
+        for s in [s for s, t in self._breakers.items() if t <= now]:
+            del self._breakers[s]
+        return sorted(self._breakers)
+
+    def _breaker_hits(
+        self, open_ids: List[int], xs: Optional[np.ndarray]
+    ) -> Tuple[int, ...]:
+        """Open breakers this request would actually touch.
+
+        With a sharded service and point coordinates, the plan's
+        ``scatter_spans`` says exactly which shards a query contacts;
+        anything else (regions, unsharded services) gates on any open
+        breaker — conservative, but correct.
+        """
+        plan = getattr(self.service, "plan", None)
+        if xs is None or plan is None or not hasattr(plan, "scatter_spans"):
+            return tuple(open_ids)
+        lo, hi = plan.scatter_spans(np.ascontiguousarray(xs))
+        return tuple(
+            s for s in open_ids if bool(np.any((lo <= s) & (s <= hi)))
+        )
+
+    async def _gate_breaker(self, xs: Optional[np.ndarray] = None) -> None:
+        """Shed or defer a request touching a shard under recovery."""
+        while True:
+            now = self._loop.time()
+            hit = self._breaker_hits(self._open_breakers(now), xs)
+            if not hit:
+                return
+            retry_after = max(self._breakers[s] for s in hit) - now
+            if self.overload == "shed":
+                self.counter.frontend_shed += 1
+                raise CircuitOpen(hit, retry_after)
+            await asyncio.sleep(max(retry_after, 0.0))
+            if self._closing:
+                raise RuntimeError("TrafficFrontend is closed")
+
+    # ------------------------------------------------------------------
     # Request surface
     # ------------------------------------------------------------------
     async def query_point(
@@ -409,6 +486,7 @@ class TrafficFrontend:
             raise ValueError(f"expected (m, 3) queries, got {q.shape}")
         if q.shape[0] == 0:
             return np.empty(0, dtype=np.float64)
+        await self._gate_breaker(q[:, 0])
         est = self._price_points(q.shape[0], eps)
         await self._admit("points", est)
         now = self._loop.time()
@@ -456,6 +534,7 @@ class TrafficFrontend:
         window = window.intersect(self.service.grid.full_window())
         if window.empty:
             raise ValueError(f"region window is empty on this grid: {window}")
+        await self._gate_breaker()
         est = self._price_region(window)
         await self._admit("region", est)
         now = self._loop.time()
@@ -526,6 +605,11 @@ class TrafficFrontend:
             "coalesced_requests": c.frontend_coalesced,
             "shed": c.frontend_shed,
             "deferred": self._deferred,
+            "retries": self._retries,
+            "open_breakers": (
+                self._open_breakers(self._loop.time())
+                if self._loop is not None else []
+            ),
             "mean_batch_rows": (
                 sum(k * v for k, v in self._batch_rows_hist.items())
                 / max(1, sum(self._batch_rows_hist.values()))
@@ -621,8 +705,42 @@ class TrafficFrontend:
                 self._fail_item(item, None)
                 raise
             except Exception as exc:  # route failures to the waiters
+                self._note_fault(exc)
+                if self._maybe_retry(item, exc):
+                    continue
                 self._fail_item(item, exc)
                 self._discharge(item.est_seconds)
+
+    def _note_fault(self, exc: Exception) -> None:
+        """Open the failed shard's breaker for one recovery cooldown."""
+        if isinstance(exc, ShardFailed) and self.breaker_cooldown > 0.0:
+            until = self._loop.time() + self.breaker_cooldown
+            sid = int(exc.shard_id)
+            self._breakers[sid] = max(self._breakers.get(sid, 0.0), until)
+
+    def _maybe_retry(self, item: _WorkItem, exc: Exception) -> bool:
+        """Re-enqueue a read once after a retryable fault.
+
+        Only reads retry: the supervisor has already respawned (or
+        budget-exhausted) the shard by the time the typed error surfaces
+        here, so one re-dispatch against the recovered worker is safe
+        and usually succeeds.  Mutations never retry — the coordinator
+        cannot know how much of a mutation landed before the fault, and
+        the supervisor's replay log already completes it exactly once.
+        """
+        if item.kind not in ("points", "region"):
+            return False
+        if not (isinstance(exc, ServeError) and exc.retryable):
+            return False
+        if item.retried or self._closing:
+            return False
+        if self._loop.time() > item.deadline + self.retry_window:
+            return False
+        item.retried = True
+        self._retries += 1
+        self.counter.requests_retried += 1
+        self._ready.append(item)
+        return True
 
     def _fail_item(self, item: _WorkItem, exc: Optional[Exception]) -> None:
         futs = [f for f, _, _ in item.futs]

@@ -57,8 +57,11 @@ from .engine import (
     slice_window,
 )
 from .index import BucketIndex
+from .errors import PartialResult
+from .faults import FaultPlan
 from .planner import QueryPlan, QueryPlanner, ScatterPlan
 from .shard import ShardPlan, plan_shards
+from .supervisor import ShardSupervisor
 from .worker import ShardWorker
 
 __all__ = ["DensityService", "ShardedDensityService"]
@@ -740,6 +743,27 @@ class ShardedDensityService:
         (:func:`~repro.serve.calibrate.calibrate_ipc` over
         :func:`~repro.serve.calibrate.calibrate_serving`) on first auto
         plan when omitted.
+    max_restarts:
+        Per-shard restart budget: how many times a dead or wedged
+        worker is respawned (with its state replayed from the
+        coordinator's mutation log) before the shard is declared down.
+    restart_backoff_s:
+        Base respawn backoff; attempt ``k`` waits ``2**k`` times this.
+    request_timeout:
+        Per-request deadline (seconds) on every worker round-trip, so a
+        wedged worker surfaces as a typed
+        :class:`~repro.serve.errors.ShardTimeout` (and is recovered)
+        instead of hanging the gather.  ``None`` waits forever.
+    fault_plan:
+        Optional :class:`~repro.serve.faults.FaultPlan` injected into
+        the workers (chaos testing); defaults to the plan in the
+        ``REPRO_FAULTS`` environment variable, if any.
+    on_shard_failure:
+        Default read policy when a shard stays failed after recovery:
+        ``"raise"`` (typed :class:`~repro.serve.errors.ShardFailed`) or
+        ``"partial"`` — gather the surviving shards and return a
+        coverage-tagged :class:`~repro.serve.errors.PartialResult`.
+        Overridable per call on :meth:`query_points`.
 
     Use as a context manager (or call :meth:`close`) so the worker pool
     is always torn down::
@@ -761,11 +785,21 @@ class ShardedDensityService:
         counter: Optional[WorkCounter] = None,
         index_merge_cap: Union[int, str, None] = 16,
         t_slab_voxels="auto",
+        max_restarts: int = 3,
+        restart_backoff_s: float = 0.05,
+        request_timeout: Optional[float] = 30.0,
+        fault_plan: Optional[FaultPlan] = None,
+        on_shard_failure: str = "raise",
     ) -> None:
         if backend not in ("auto", "sharded", "local"):
             raise ValueError(
                 f"backend must be 'auto', 'sharded' or 'local', "
                 f"got {backend!r}"
+            )
+        if on_shard_failure not in ("raise", "partial"):
+            raise ValueError(
+                f"on_shard_failure must be 'raise' or 'partial', "
+                f"got {on_shard_failure!r}"
             )
         self.grid = grid
         self.kernel = get_kernel(kernel)
@@ -796,20 +830,38 @@ class ShardedDensityService:
         # Workers' own merge policy stays fixed ("auto" adaptation is a
         # coordinator-side concern of the single-process service).
         worker_cap = 16 if index_merge_cap == "auto" else index_merge_cap
-        ctx = None  # each ShardWorker defaults to the spawn context
-        self._workers = [
-            ShardWorker(
+        self.on_shard_failure = on_shard_failure
+        if fault_plan is None:
+            fault_plan = FaultPlan.from_env()
+
+        def _spawn(s: int, fp: Optional[FaultPlan]) -> ShardWorker:
+            # ctx=None: each ShardWorker defaults to the spawn context.
+            return ShardWorker(
                 s, grid, self.kernel.name,
-                merge_cap=worker_cap, t_slab=t_slab_voxels, ctx=ctx,
+                merge_cap=worker_cap, t_slab=t_slab_voxels, ctx=None,
+                fault_plan=fp,
             )
-            for s in range(self.plan.n_shards)
-        ]
+
+        self._sup = ShardSupervisor(
+            self.plan.n_shards, _spawn,
+            counter=self.counter,
+            max_restarts=max_restarts,
+            backoff_s=restart_backoff_s,
+            request_timeout=request_timeout,
+            fault_plan=fault_plan,
+            gauges_cb=self._apply_gauges,
+        )
         # Coordinator routing state, refreshed from every mutation reply.
         self._shard_events = [0] * self.n_shards
         self._shard_weight = [0.0] * self.n_shards
         self._shard_min_t = [float("inf")] * self.n_shards
         if not self._live:
             self._distribute_static()
+
+    @property
+    def _workers(self):
+        """The live worker handles (owned and replaced by the supervisor)."""
+        return self._sup.workers
 
     # ------------------------------------------------------------------
     @property
@@ -851,13 +903,17 @@ class ShardedDensityService:
         coords = self._static_coords
         weights = self._static_weights
         parts = self.plan.partition(coords)
-        for s, worker in enumerate(self._workers):
+        sends = []
+        for s in range(self.n_shards):
             part_w = None if weights is None else weights[parts[s]]
-            worker.send_op("static", (coords[parts[s]], part_w))
+            payload = (coords[parts[s]], part_w)
+            self._sup.record(s, "static", payload)
+            sends.append((s, "static", payload))
             self.counter.shard_messages += 1
             self.counter.shard_rows_shipped += int(parts[s].size)
-        for s, worker in enumerate(self._workers):
-            self._apply_gauges(s, worker.recv_reply("static"))
+        results, _ = self._sup.scatter(sends, on_failure="raise")
+        for s in range(self.n_shards):
+            self._apply_gauges(s, results[s])
 
     # ------------------------------------------------------------------
     # Planner
@@ -934,6 +990,7 @@ class ShardedDensityService:
         eps: Optional[float] = None,
         seed: int = 0,
         plan_out: Optional[list] = None,
+        on_shard_failure: Optional[str] = None,
     ) -> np.ndarray:
         """Densities at ``(m, 3)`` query locations (scatter/gather).
 
@@ -945,8 +1002,27 @@ class ShardedDensityService:
         like exact partials — unbiasedness and the combined variance
         budget survive the gather, the same re-association argument as
         the sharded exact path.
+
+        ``on_shard_failure`` picks the degraded-read policy when a shard
+        stays failed after supervised recovery: ``"raise"`` surfaces the
+        typed :class:`~repro.serve.errors.ShardFailed`; ``"partial"``
+        returns the surviving shards' gather as a
+        :class:`~repro.serve.errors.PartialResult` whose ``coverage`` is
+        the mass-weighted fraction of total event weight that answered
+        (the missing shards are a hole of exactly ``1 - coverage`` of
+        the estimator's mass — a typed lower bound, never a silent
+        error).  ``None`` uses the service default.
         """
         self._check_open()
+        policy = (
+            self.on_shard_failure
+            if on_shard_failure is None else on_shard_failure
+        )
+        if policy not in ("raise", "partial"):
+            raise ValueError(
+                f"on_shard_failure must be 'raise' or 'partial', "
+                f"got {policy!r}"
+            )
         q = np.ascontiguousarray(np.asarray(queries, dtype=np.float64))
         if q.ndim != 2 or q.shape[1] != 3:
             raise ValueError(f"expected (m, 3) queries, got {q.shape}")
@@ -972,29 +1048,46 @@ class ShardedDensityService:
             self._backend_calls["local"] += 1
             return self._local_service().query_points(q, eps=eps, seed=seed)
         out = np.zeros(m, dtype=np.float64)
-        sent = []
+        sends = []
+        shard_rows: Dict[int, np.ndarray] = {}
         for s in range(self.n_shards):
             rows = np.flatnonzero((lo <= s) & (s <= hi))
             if rows.size == 0:
                 continue
-            self._workers[s].send_op(
-                "query_points",
+            sends.append((
+                s, "query_points",
                 (q[rows], None if eps is None else float(eps), int(seed)),
-            )
+            ))
+            shard_rows[s] = rows
             self.counter.shard_messages += 1
             self.counter.shard_rows_shipped += int(rows.size)
-            sent.append((s, rows))
-        for s, rows in sent:
-            partial = self._workers[s].recv_reply("query_points")
-            out[rows] += partial
-            self.counter.shard_rows_shipped += int(rows.size)
+        results, failed = self._sup.scatter(sends, on_failure=policy)
+        for s, partial in results.items():
+            out[shard_rows[s]] += partial
+            self.counter.shard_rows_shipped += int(shard_rows[s].size)
         out *= self._norm()
         self._backend_calls["sharded"] += 1
         if eps is not None:
             self.counter.queries_approx += m
         else:
             self.counter.queries_exact += m
+        if failed:
+            if not results:
+                # Nothing survived: there is no partial to return.
+                raise next(iter(failed.values()))
+            self.counter.degraded_queries += m
+            return PartialResult(
+                out, self._coverage(failed), sorted(failed)
+            )
         return out
+
+    def _coverage(self, failed) -> float:
+        """Mass-weighted surviving fraction for a degraded gather."""
+        total = float(sum(self._shard_weight))
+        if total <= 0.0:
+            return 1.0
+        lost = float(sum(self._shard_weight[s] for s in failed))
+        return max(0.0, 1.0 - lost / total)
 
     def query_slice(
         self, T: int, *, backend: Optional[str] = None
@@ -1028,12 +1121,14 @@ class ShardedDensityService:
         shards = self.plan.shards_for_window(window)
         wkey = (window.x0, window.x1, window.y0, window.y1,
                 window.t0, window.t1)
+        sends = []
         for s in shards:
-            self._workers[s].send_op("query_region", wkey)
+            sends.append((int(s), "query_region", wkey))
             self.counter.shard_messages += 1
+        results, _ = self._sup.scatter(sends, on_failure="raise")
         data = np.zeros(window.shape, dtype=np.float64)
         for s in shards:
-            part = self._workers[s].recv_reply("query_region")
+            part = results[int(s)]
             data += part
             self.counter.shard_rows_shipped += int(part.size)
         data *= self._norm()
@@ -1052,15 +1147,25 @@ class ShardedDensityService:
             )
 
     def _route_rows(self, op: str, coords: np.ndarray) -> int:
-        """Send ``op`` with each shard's owned rows to owners only."""
+        """Send ``op`` with each shard's owned rows to owners only.
+
+        Each routed batch is recorded into the supervisor's mutation log
+        *before* the send — the invariant replay-based recovery rests
+        on: a worker that dies mid-mutation is respawned and the replay
+        itself completes the mutation.
+        """
         parts = self.plan.partition(coords)
         contacted = [s for s in range(self.n_shards) if parts[s].size]
+        sends = []
         for s in contacted:
-            self._workers[s].send_op(op, coords[parts[s]])
+            payload = coords[parts[s]]
+            self._sup.record(s, op, payload)
+            sends.append((s, op, payload))
             self.counter.shard_messages += 1
             self.counter.shard_rows_shipped += int(parts[s].size)
+        results, _ = self._sup.scatter(sends, on_failure="raise")
         for s in contacted:
-            self._apply_gauges(s, self._workers[s].recv_reply(op))
+            self._apply_gauges(s, results[s])
         self._version += 1
         return len(contacted)
 
@@ -1107,13 +1212,17 @@ class ShardedDensityService:
             s for s in range(self.n_shards)
             if parts[s].size or self._shard_min_t[s] < t_horizon
         ]
+        sends = []
         for s in contacted:
-            self._workers[s].send_op("slide", (coords[parts[s]], t_horizon))
+            payload = (coords[parts[s]], t_horizon)
+            self._sup.record(s, "slide", payload)
+            sends.append((s, "slide", payload))
             self.counter.shard_messages += 1
             self.counter.shard_rows_shipped += int(parts[s].size)
+        results, _ = self._sup.scatter(sends, on_failure="raise")
         retired = 0
         for s in contacted:
-            reply = self._workers[s].recv_reply("slide")
+            reply = results[s]
             retired += int(reply[0])
             self._apply_gauges(s, reply[1:])
         self._version += 1
@@ -1134,12 +1243,20 @@ class ShardedDensityService:
         traffic.
         """
         self._check_open()
-        for worker in self._workers:
-            worker.send_op("stats")
-        per_worker = [w.recv_reply("stats") for w in self._workers]
+        sends = [(s, "stats", None) for s in range(self.n_shards)]
+        results, failed = self._sup.scatter(sends, on_failure="partial")
+        per_worker = [
+            results.get(s, {"down": True, "events": 0, "weight": 0.0})
+            for s in range(self.n_shards)
+        ]
         merged = self.counter.copy()
         for ws in per_worker:
-            merged.merge(WorkCounter(**ws["work"]))
+            if "work" in ws:
+                merged.merge(WorkCounter(**ws["work"]))
+        recovery = self._sup.stats()
+        recovery["down_shards"] = sorted(
+            set(recovery["down_shards"]) | set(failed)
+        )
         return {
             "version": self._version,
             "events": self.events,
@@ -1151,18 +1268,22 @@ class ShardedDensityService:
             "planner_decisions": dict(self._plan_decisions),
             "work": merged.as_dict(),
             "workers": per_worker,
+            "recovery": recovery,
             "local": (
                 self._local.stats() if self._local is not None else None
             ),
         }
 
-    def close(self) -> None:
-        """Shut every worker down (idempotent; errors don't leak workers)."""
+    def close(self, grace: Optional[float] = None) -> None:
+        """Shut every worker down (idempotent; errors don't leak workers).
+
+        Safe after any fault: dead workers are reaped without secondary
+        pipe errors, survivors get a graceful close within ``grace``.
+        """
         if self._closed:
             return
         self._closed = True
-        for worker in self._workers:
-            worker.close()
+        self._sup.close(grace=grace)
 
     def __enter__(self) -> "ShardedDensityService":
         return self
@@ -1173,7 +1294,7 @@ class ShardedDensityService:
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
             self.close()
-        except Exception:
+        except BaseException:
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

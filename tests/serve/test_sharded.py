@@ -262,18 +262,45 @@ class TestLiveEquivalence:
 
 
 # ---------------------------------------------------------------------------
-# Fault paths: dying workers must surface, never hang
+# Fault paths: dying workers must recover (or surface typed), never hang
 # ---------------------------------------------------------------------------
 class TestFaultPaths:
-    def test_worker_death_mid_request_raises_fast(self):
+    def test_worker_death_mid_request_recovers(self):
+        """A crash mid-query is absorbed: the supervisor respawns the
+        worker, replays its state, and the query answer is unchanged."""
         grid = make_grid((24, 24, 12))
         rng = np.random.default_rng(3)
         pts = PointSet(rng.uniform(0, span_of(grid), size=(100, 3)))
+        queries = rng.uniform(0, span_of(grid), size=(50, 3))
         svc = ShardedDensityService(pts, grid, workers=2, machine=NOMINAL)
+        try:
+            expect = svc.query_points(queries, backend="sharded")
+            svc._workers[1].send_op("crash")
+            t0 = time.perf_counter()
+            out = svc.query_points(queries, backend="sharded")
+            assert time.perf_counter() - t0 < 15.0  # recovered, not hung
+            np.testing.assert_allclose(out, expect, rtol=RTOL, atol=ATOL)
+            assert svc.counter.shard_restarts == 1
+            assert svc.counter.requests_retried == 1
+        finally:
+            svc.close()
+        svc.close()  # idempotent after a fault
+
+    def test_worker_death_without_budget_raises_typed(self):
+        """With a zero restart budget the old fail-fast contract holds,
+        now as a typed ShardFailed naming the shard and op."""
+        from repro.serve import ShardFailed
+
+        grid = make_grid((24, 24, 12))
+        rng = np.random.default_rng(3)
+        pts = PointSet(rng.uniform(0, span_of(grid), size=(100, 3)))
+        svc = ShardedDensityService(
+            pts, grid, workers=2, machine=NOMINAL, max_restarts=0
+        )
         try:
             svc._workers[1].send_op("crash")
             t0 = time.perf_counter()
-            with pytest.raises(RuntimeError, match="shard worker 1"):
+            with pytest.raises(ShardFailed, match="shard worker 1"):
                 svc.query_points(
                     rng.uniform(0, span_of(grid), size=(50, 3)),
                     backend="sharded",
