@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.analysis.model import CostModel, MachineModel
 from repro.core import DomainSpec, GridSpec, PointSet, WorkCounter
+from repro.core.backends import available_backends, get_backend
 from repro.core.incremental import IncrementalSTKDE
 from repro.core.stamping import stamp_batch
 from repro.core.kernels import get_kernel
@@ -488,6 +489,71 @@ def workers_scaling_row(grid: GridSpec, n: int, m: int, repeats: int,
     return row
 
 
+#: Backends the comparison table always names; absent ones get a
+#: ``skipped: true`` row with a reason — measured or skipped, never
+#: extrapolated.
+BACKEND_NAMES = ("numpy-ref", "numpy-fused", "numba")
+
+
+def compute_backend_rows(grid: GridSpec, n: int, m: int,
+                         repeats: int) -> list:
+    """One scattered direct-sum row per compute backend.
+
+    Same batch, same index — only the pair-evaluation backend changes,
+    so the column measures exactly the seam the planner's per-backend
+    unit costs price.  Every measured row carries an rtol=1e-12
+    equivalence flag against the ``numpy-ref`` answers; JIT compile time
+    is reported separately (``jit_warmup_seconds``), paid before timing.
+    """
+    kern = get_kernel("epanechnikov")
+    coords = make_coords(grid, n)
+    norm = grid.normalization(n)
+    index = BucketIndex(grid, coords)
+    rng = np.random.default_rng(9)
+    span = np.array([grid.domain.gx, grid.domain.gy, grid.domain.gt])
+    q = rng.uniform(0, span, size=(m, 3))
+
+    ref = direct_sum(index, q, kern, norm, compute="numpy-ref")
+    rows = []
+    t_ref = None
+    for name in BACKEND_NAMES:
+        if name not in available_backends():
+            rows.append({
+                "path": "compute-backends",
+                "backend": name,
+                "skipped": True,
+                "reason": f"backend {name!r} not importable in this "
+                          f"environment",
+            })
+            print(f"compute      backend {name:12s} skipped (not importable)")
+            continue
+        got = direct_sum(index, q, kern, norm, compute=name)  # warm JIT
+        t = best_of(lambda: direct_sum(index, q, kern, norm, compute=name),
+                    repeats)
+        if name == "numpy-ref":
+            t_ref = t
+        row = {
+            "path": "compute-backends",
+            "backend": name,
+            "skipped": False,
+            "n_events": n,
+            "n_queries": m,
+            "direct_seconds": t,
+            "speedup_vs_numpy_ref": (t_ref / t) if t_ref else None,
+            "equivalent_rtol_1e12": bool(
+                np.allclose(got, ref, rtol=1e-12, atol=1e-18)
+            ),
+            "jit_warmup_seconds": get_backend(name).warmup_seconds,
+        }
+        rows.append(row)
+        print(
+            f"compute      backend {name:12s} n={n} m={m}  {t:8.4f}s "
+            f"({row['speedup_vs_numpy_ref']:5.2f}x vs ref)  "
+            f"equiv={row['equivalent_rtol_1e12']}"
+        )
+    return rows
+
+
 def approx_tier_rows(n: int, m: int, eps_values, repeats: int,
                      machine: MachineModel) -> list:
     """Throughput-vs-eps sweep: importance sampler vs exact direct sum.
@@ -603,6 +669,8 @@ def main(argv=None) -> int:
     approx = approx_tier_rows(approx_n, approx_m, approx_eps, repeats, machine)
     rows.extend(approx)
     approx_01 = next(r for r in approx if r["eps"] == 0.1)
+    backend_rows = compute_backend_rows(grid, n, cohort_m, repeats)
+    rows.extend(backend_rows)
 
     acceptance = {
         "case": f"clustered n={n}, grid {'x'.join(map(str, GRID_VOXELS))}",
@@ -671,6 +739,19 @@ def main(argv=None) -> int:
         "approx_beats_direct_at_eps_0_1": approx_01["approx_speedup"] > 1.0,
         "approx_planner_picks_approx_at_eps_0_1":
             approx_01["planner_picks_approx"],
+        # Per-backend direct-sum columns: measured (or skipped with a
+        # reason) on the same scattered batch; every measured backend
+        # must agree with numpy-ref at rtol=1e-12.
+        "compute_backends_measured": [
+            r["backend"] for r in backend_rows if not r["skipped"]
+        ],
+        "compute_backends_skipped": [
+            r["backend"] for r in backend_rows if r["skipped"]
+        ],
+        "compute_backends_equivalent_rtol_1e12": all(
+            r["equivalent_rtol_1e12"]
+            for r in backend_rows if not r["skipped"]
+        ),
     }
     payload = {
         "benchmark": "query_serving",

@@ -63,7 +63,9 @@ def stamp_point_pb(
     counter.distance_tests += DX.size
     counter.spatial_evals += DX.size
     counter.temporal_evals += DX.size
-    counter.madds += int(inside.sum())
+    # Charged from the window shape (mask included), matching the engine's
+    # O(1) accounting rule — instrumentation never reduces the mask.
+    counter.madds += DX.size
 
 
 @register_algorithm("pb")

@@ -79,7 +79,9 @@ def accumulate_tile_legacy(
     counter.distance_tests += dx.size
     counter.spatial_evals += dx.size
     counter.temporal_evals += dx.size
-    counter.madds += int(inside.sum())
+    # Charged from the tile shape (mask included), matching the engine's
+    # O(1) accounting rule — instrumentation never reduces the mask.
+    counter.madds += dx.size
 
 
 def _voxel_chunk_coords(grid: GridSpec, flat_idx: np.ndarray):

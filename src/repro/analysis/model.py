@@ -27,10 +27,13 @@ memory budget, which is what rules DR out on sparse-huge instances.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import math
 import time
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+import typing
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -152,7 +155,21 @@ class MachineModel:
         a supervised shard respawn, probed by
         :func:`repro.serve.calibrate.calibrate_recovery` and charged
         once per restart by :meth:`CostModel.predict_recovery`.
+    backend_costs:
+        Per-compute-backend overrides of the scalar unit costs, keyed
+        ``{backend_name: {field_name: seconds}}`` — today ``c_pair``,
+        ``c_qcohort`` and ``c_qsample``, probed per registered backend by
+        :func:`repro.serve.calibrate.calibrate_serving`.  The flat scalar
+        fields describe the reference backend (``numpy-ref``); accessors
+        fall back to them for any backend or field without an override,
+        so an uncalibrated model prices every backend identically and
+        ``compute="auto"`` routing degrades to the default backend.
     """
+
+    #: Unit-cost fields a backend entry may override.
+    BACKEND_KEYED: typing.ClassVar[Tuple[str, ...]] = (
+        "c_pair", "c_qcohort", "c_qsample",
+    )
 
     c_mem: float
     c_point: float
@@ -171,6 +188,83 @@ class MachineModel:
     c_qsample: float = 0.0
     c_qbound: float = 0.0
     c_spawn: float = 0.0
+    backend_costs: Optional[Mapping[str, Mapping[str, float]]] = None
+
+    # ------------------------------------------------------------------
+    # Per-backend unit costs
+    # ------------------------------------------------------------------
+    def backend_cost(self, name: str, compute: Optional[str] = None) -> float:
+        """Unit cost ``name`` for compute backend ``compute``.
+
+        Falls back to the flat scalar field — which describes the
+        reference backend — when ``compute`` is ``None``, unprobed, or
+        the field has no override for it.
+        """
+        if compute is not None and self.backend_costs:
+            per = self.backend_costs.get(compute)
+            if per is not None and name in per:
+                return float(per[name])
+        return float(getattr(self, name))
+
+    def with_backend_costs(
+        self, costs: Mapping[str, Mapping[str, float]]
+    ) -> "MachineModel":
+        """A copy with per-backend overrides merged over existing ones."""
+        merged: Dict[str, Dict[str, float]] = {
+            k: dict(v) for k, v in (self.backend_costs or {}).items()
+        }
+        for backend, per in costs.items():
+            merged.setdefault(backend, {}).update(
+                {k: float(v) for k, v in per.items()}
+            )
+        return dataclasses.replace(self, backend_costs=merged)
+
+    def probed_backends(self) -> Tuple[str, ...]:
+        """Backend names carrying calibrated overrides, sorted."""
+        return tuple(sorted(self.backend_costs or ()))
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialize every unit cost (including backend overrides)."""
+        data = dataclasses.asdict(self)
+        if data.get("backend_costs") is not None:
+            data["backend_costs"] = {
+                k: dict(v) for k, v in data["backend_costs"].items()
+            }
+        return json.dumps(data, indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MachineModel":
+        """Rebuild from :meth:`to_json` output.
+
+        Tolerant of missing fields (older files predate newer unit
+        costs — they fall back to the field defaults) and of unknown
+        keys (newer files on older code), so persisted calibrations
+        survive schema drift in both directions.
+        """
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("calibration JSON must be an object")
+        names = {f.name for f in dataclasses.fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in names}
+        bc = kwargs.get("backend_costs")
+        if bc is not None:
+            kwargs["backend_costs"] = {
+                str(k): {str(f): float(x) for f, x in v.items()}
+                for k, v in bc.items()
+            }
+        return cls(**kwargs)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "MachineModel":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
 
     @classmethod
     def calibrate(cls, seed: int = 0) -> "MachineModel":
@@ -485,6 +579,7 @@ class CostModel:
         n_groups: Optional[int] = None,
         n_cohorts: Optional[int] = None,
         n_segments: int = 1,
+        compute: Optional[str] = None,
     ) -> float:
         """Predicted seconds to answer a point batch by direct kernel sums.
 
@@ -495,17 +590,19 @@ class CostModel:
         ``c_qprobe`` per (cell-group x index segment) CSR probe, a
         per-query residue at the per-point rate, and the (query,
         candidate) pairs at the shared tabulation's per-pair rate — the
-        direct analogue of :meth:`batch_cost` for reads.
+        direct analogue of :meth:`batch_cost` for reads.  ``compute``
+        prices the tabulation at that backend's calibrated
+        ``c_pair`` / ``c_qcohort`` rates (reference rates otherwise).
         """
         m = self.machine
         groups = n_queries if n_groups is None else n_groups
         cohorts = groups if n_cohorts is None else n_cohorts
         return (
             m.c_batch
-            + cohorts * m.c_qcohort
+            + cohorts * m.backend_cost("c_qcohort", compute)
             + groups * max(1, n_segments) * m.c_qprobe
             + n_queries * m.c_point
-            + total_candidates * m.c_pair
+            + total_candidates * m.backend_cost("c_pair", compute)
         )
 
     def predict_grouped_query(
@@ -534,6 +631,7 @@ class CostModel:
         total_candidates: int,
         eps: float,
         n_segments: int = 1,
+        compute: Optional[str] = None,
     ) -> float:
         """Predicted seconds for the ε-budgeted importance sampler.
 
@@ -552,7 +650,8 @@ class CostModel:
         # Uncalibrated fallbacks mirror the measured rate ratios (a drawn
         # row costs ~5 direct pairs: RNG draws, searchsorted routing and
         # the scattered gather; a run bound ~2: clamp distances + proxy).
-        sample_rate = m.c_qsample if m.c_qsample > 0.0 else 5.0 * m.c_pair
+        c_qsample = m.backend_cost("c_qsample", compute)
+        sample_rate = c_qsample if c_qsample > 0.0 else 5.0 * m.c_pair
         bound_rate = m.c_qbound if m.c_qbound > 0.0 else 2.0 * m.c_pair
         avg_cand = total_candidates / max(1, n_queries)
         s_per_q = min(avg_cand, 16.0 / (eps * eps))

@@ -247,6 +247,35 @@ def check_all(results_dir: Path) -> List[ShapeCheck]:
     checks.append(ShapeCheck("approx_tier",
                              "p95 rel err within every eps; sampler beats exact; planner routes approx", ok))
 
+    # Compute backends (PR 10): the per-backend direct-sum columns must
+    # name every registered backend: the reference row measured, every
+    # other row either honestly skipped (reason, no numbers) or measured
+    # with an rtol=1e-12 equivalence flag against numpy-ref.  Skipped
+    # rows carrying speedups, or measured rows without equivalence, fail.
+    rows = load_experiment(results_dir, "query_serving")
+    ok = None
+    if rows is not None:
+        b_rows = [r for r in rows if r.get("path") == "compute-backends"]
+        if b_rows:
+            names = {r.get("backend") for r in b_rows}
+            ok = {"numpy-ref", "numpy-fused", "numba"} <= names
+            for r in b_rows:
+                if "skipped" not in r:
+                    ok = False
+                elif r["skipped"]:
+                    if "reason" not in r or "speedup_vs_numpy_ref" in r:
+                        ok = False  # skipped rows must not carry numbers
+                elif not (
+                    r.get("equivalent_rtol_1e12", False)
+                    and r.get("direct_seconds", 0) > 0
+                ):
+                    ok = False
+            ref = [r for r in b_rows if r.get("backend") == "numpy-ref"]
+            if not (ref and not ref[0].get("skipped", True)):
+                ok = False
+    checks.append(ShapeCheck("compute_backends",
+                             "per-backend rows skipped-or-equivalent (rtol=1e-12), numpy-ref measured", ok))
+
     # Traffic front end (PR 8): the coalescing row must carry a
     # *measured* >= 4x throughput win over per-request dispatch with
     # equivalent answers, and the open-loop sweep must record a p99 at

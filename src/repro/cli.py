@@ -41,6 +41,7 @@ from . import parallel  # noqa: F401  (registers parallel algorithms)
 from .algorithms.base import available_algorithms, get_algorithm
 from .analysis.metrics import phase_breakdown
 from .analysis.model import select_strategy
+from .core.backends import available_backends
 from .core.stkde import STKDE
 from .data.datasets import SCALES, get_instance, instance_names, iter_instances
 from .data.io import load_points_csv, load_volume, save_volume
@@ -154,6 +155,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
         pts, sres=args.sres, tres=args.tres, hs=args.hs, ht=args.ht
     )
     grid = GridSpec(domain, hs=args.hs, ht=args.ht)
+    # Machine-model persistence: an explicit --calibration-file (or the
+    # REPRO_CALIBRATION env var) loads saved unit costs, or calibrates
+    # once and saves them there.  Without either, the service calibrates
+    # lazily on first plan, as before.
+    import os
+
+    from .serve.calibrate import CALIBRATION_ENV, resolve_machine_model
+
+    machine = None
+    calibration = getattr(args, "calibration_file", None)
+    if calibration is not None or os.environ.get(CALIBRATION_ENV):
+        machine = resolve_machine_model(calibration)
     workers = getattr(args, "workers", None)
     if workers is None and getattr(args, "faults", None) is not None:
         raise SystemExit(
@@ -176,7 +189,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             fault_plan = FaultPlan.from_json(faults)
         service = ShardedDensityService(
             pts, grid, workers=workers, kernel=args.kernel,
-            backend=args.backend,
+            backend=args.backend, compute=args.compute, machine=machine,
             max_restarts=getattr(args, "max_restarts", 3),
             request_timeout=getattr(args, "request_timeout", 30.0),
             on_shard_failure=getattr(args, "on_shard_failure", "raise"),
@@ -185,12 +198,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
         tier = f"{service.n_shards} shard workers"
     else:
         service = DensityService(
-            pts, grid, kernel=args.kernel, backend=args.backend
+            pts, grid, kernel=args.kernel, backend=args.backend,
+            compute=args.compute, machine=machine,
         )
         tier = "single process"
     print(f"serving n={pts.n}{' (weighted)' if pts.weighted else ''} on "
           f"grid {grid.Gx}x{grid.Gy}x{grid.Gt} "
-          f"(backend={args.backend}, {tier})")
+          f"(backend={args.backend}, compute={args.compute}, {tier})")
     try:
         if getattr(args, "frontend", False):
             return _run_frontend_ops(args, service, grid)
@@ -439,6 +453,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0,
                        help="sampler seed for --eps (same batch, budget "
                             "and seed is bit-reproducible)")
+        p.add_argument("--compute", default="numpy-ref",
+                       choices=("auto",) + available_backends(),
+                       help="pair-evaluation compute backend "
+                            "(repro.core.backends): 'numpy-ref' is the "
+                            "bit-exact default, 'auto' lets the planner "
+                            "route each batch to the cheapest calibrated "
+                            "backend; JIT backends appear here only when "
+                            "importable")
+        p.add_argument("--calibration-file", default=None, metavar="PATH",
+                       help="machine-model JSON: load the saved unit "
+                            "costs if PATH exists, else calibrate once "
+                            "and save them there (the REPRO_CALIBRATION "
+                            "env var sets a default path)")
         p.add_argument("--stats", action="store_true",
                        help="print a JSON blob of serving stats (cache "
                             "hit/miss ratios, index segments, planner "

@@ -1,0 +1,102 @@
+"""Pluggable compute backends for the pair-evaluation hot paths.
+
+The package exports a tiny registry: backends register under a name,
+callers resolve them with :func:`get_backend` (``None`` → the default
+``numpy-ref``, a :class:`ComputeBackend` instance passes through), and
+planners enumerate :func:`available_backends` to know what this machine
+can actually run.  The ``numba`` backend registers only when the package
+imports — absence is visible, never fatal.
+
+Adding a backend: subclass :class:`ComputeBackend`, implement the four
+primitives under the contracts in ``base.py`` (masks, rtol=1e-12 vs
+``numpy-ref``, O(1) logical accounting), then ``register_backend(lambda:
+MyBackend())``.  The parity suite in ``tests/core/test_backends.py`` runs
+every registered backend automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from .base import ComputeBackend
+from .numba_backend import HAVE_NUMBA, NumbaBackend
+from .numpy_fused import NumpyFusedBackend
+from .numpy_ref import NumpyRefBackend
+
+__all__ = [
+    "ComputeBackend",
+    "DEFAULT_BACKEND",
+    "HAVE_NUMBA",
+    "NumbaBackend",
+    "NumpyFusedBackend",
+    "NumpyRefBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: The default: bit-identical to the pre-seam code paths.
+DEFAULT_BACKEND = "numpy-ref"
+
+#: name -> factory.  Factories defer construction so that unavailable
+#: backends (numba without numba) never instantiate at import time.
+_FACTORIES: Dict[str, Callable[[], ComputeBackend]] = {}
+
+#: name -> constructed singleton (backends are stateless apart from
+#: warmup bookkeeping; sharing one instance per process keeps the JIT
+#: warmup paid once).
+_INSTANCES: Dict[str, ComputeBackend] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[], ComputeBackend], *, overwrite: bool = False
+) -> None:
+    """Register a backend factory under ``name``."""
+    if name in _FACTORIES and not overwrite:
+        raise ValueError(f"compute backend {name!r} already registered")
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the backends this process can construct, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(
+    name: Union[str, ComputeBackend, None] = None
+) -> ComputeBackend:
+    """Resolve a backend by name (idempotent on instances).
+
+    ``None`` resolves to :data:`DEFAULT_BACKEND`.  Unknown names raise
+    with the available set; ``"numba"`` in particular names the missing
+    package when the import guard tripped.
+    """
+    if isinstance(name, ComputeBackend):
+        return name
+    if name is None:
+        name = DEFAULT_BACKEND
+    inst = _INSTANCES.get(name)
+    if inst is not None:
+        return inst
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        if name == "numba" and not HAVE_NUMBA:
+            raise RuntimeError(
+                "compute backend 'numba' requires the numba package, "
+                "which is not importable in this environment; "
+                f"available: {', '.join(available_backends())}"
+            )
+        raise KeyError(
+            f"unknown compute backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    inst = factory()
+    _INSTANCES[name] = inst
+    return inst
+
+
+register_backend("numpy-ref", NumpyRefBackend)
+register_backend("numpy-fused", NumpyFusedBackend)
+if HAVE_NUMBA:  # pragma: no cover - exercised in the CI numba job
+    register_backend("numba", NumbaBackend)

@@ -1,0 +1,203 @@
+"""The compute-backend seam: pair-evaluation primitives behind one interface.
+
+Every hot path in the system funnels through a narrow waist of four
+primitives — the masked kernel product over broadcastable offset arrays,
+cohort table construction for the stamp modes, the cohort row sums of the
+query gather, and the sampled contribution evaluation of the approximate
+tier.  :class:`ComputeBackend` owns exactly that waist, so a compiled
+implementation accelerates stamping, VB/VB-DEC tiles, ``direct_sum`` and
+``approx_sum`` at once without any caller changing shape.
+
+Contracts every implementation must honour:
+
+* **Masks**: the cylinder condition is ``dx^2 + dy^2 < hs^2`` (strict) and
+  ``|dt| <= ht`` (closed) — identical to the legacy per-point paths.
+* **Equivalence**: results agree with the ``numpy-ref`` backend at
+  ``rtol=1e-12`` elementwise (the reference itself is bit-identical to the
+  pre-seam code by construction).  Reductions must either match the
+  reference's pairwise summation order or compensate (Kahan) so row sums
+  stay inside the pin.
+* **Accounting**: work counters report the *logical* operation counts —
+  identical across backends, charged in O(1) from array shapes (never by
+  reducing a mask), so instrumentation does not show up in the profile it
+  measures.  Each primitive invocation additionally records one dispatch
+  under the backend's name (``WorkCounter.backend_dispatches``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..grid import GridSpec
+from ..instrument import WorkCounter
+from ..kernels import KernelPair
+
+__all__ = ["ComputeBackend"]
+
+
+class ComputeBackend:
+    """Interface of a pair-evaluation backend.
+
+    Subclasses set :attr:`name` and implement the four primitives.  The
+    scatter/gather plumbing around them (slab planning, bincount scatter,
+    CSR run flattening, the Hansen–Hurwitz estimator arithmetic) stays in
+    the callers — it is index bookkeeping, not pair arithmetic, and keeping
+    it shared is what guarantees every backend answers the same candidate
+    sets in the same order.
+    """
+
+    #: Registry name (``"numpy-ref"``, ``"numpy-fused"``, ``"numba"``).
+    name: str = "abstract"
+
+    #: One-time compilation/warmup wall seconds this backend has paid
+    #: (JIT backends accumulate first-call compile times here so stats can
+    #: report warmup separately from steady-state service time).
+    warmup_seconds: float = 0.0
+
+    def supports(self, kernel: KernelPair) -> bool:
+        """Whether this backend can evaluate ``kernel`` natively.
+
+        Backends that compile a fixed set of kernels return ``False`` for
+        unknown (user-registered) pairs; callers then fall back to an
+        always-available backend for that call.
+        """
+        return True
+
+    # -- primitives ----------------------------------------------------
+
+    def masked_kernel_product(
+        self,
+        grid: GridSpec,
+        kernel: KernelPair,
+        DX: np.ndarray,
+        DY: np.ndarray,
+        DT: np.ndarray,
+        counter: WorkCounter,
+    ) -> np.ndarray:
+        """Masked ``k_s * k_t`` over broadcastable voxel/point offsets."""
+        raise NotImplementedError
+
+    def cohort_tables(
+        self,
+        grid: GridSpec,
+        kernel: KernelPair,
+        mode: str,
+        norm: float,
+        dx: np.ndarray,
+        dy: np.ndarray,
+        dt: np.ndarray,
+        counter: WorkCounter,
+    ) -> np.ndarray:
+        """Contribution cylinders ``(m, wx, wy, wt)`` for one cohort slab.
+
+        ``mode`` is one of :data:`repro.core.stamping.STAMP_MODES`; ``dx``
+        is ``(m, wx)``, ``dy`` ``(m, wy)``, ``dt`` ``(m, wt)`` per-axis
+        voxel-center offsets, ``norm`` the normalisation folded into the
+        tables exactly where the reference folds it.
+        """
+        raise NotImplementedError
+
+    def query_row_sums(
+        self,
+        grid: GridSpec,
+        kernel: KernelPair,
+        dx: np.ndarray,
+        dy: np.ndarray,
+        dt: np.ndarray,
+        weights: Optional[np.ndarray],
+        counter: WorkCounter,
+    ) -> np.ndarray:
+        """Per-query candidate sums for the direct-sum cohort gather.
+
+        ``dx/dy/dt`` are ``(Q, K)`` query-to-candidate offsets (or 1-D
+        ``(K,)`` for the sparse single-query path); ``weights`` the
+        already-gathered per-candidate weights of the same shape or
+        ``None``.  Returns ``(Q,)`` row sums (a 0-d array for 1-D input).
+        """
+        raise NotImplementedError
+
+    def sampled_contributions(
+        self,
+        grid: GridSpec,
+        kernel: KernelPair,
+        dx: np.ndarray,
+        dy: np.ndarray,
+        dt: np.ndarray,
+        weights: Optional[np.ndarray],
+        counter: WorkCounter,
+    ) -> np.ndarray:
+        """Per-draw weighted contributions for the importance sampler.
+
+        Elementwise: the masked kernel product with the gathered event
+        weights folded in (unit weights when ``weights is None``).  The
+        caller owns the Hansen–Hurwitz reweighting and the variance
+        bookkeeping — they are estimator arithmetic over these values.
+        """
+        raise NotImplementedError
+
+    # -- shared accounting ---------------------------------------------
+
+    def _charge_mode(
+        self,
+        counter: WorkCounter,
+        mode: str,
+        m: int,
+        wx: int,
+        wy: int,
+        wt: int,
+    ) -> None:
+        """Charge one cohort-table build with ``mode``'s logical profile.
+
+        The counts are the *mode's* cost profile (what the reference
+        evaluates), identical across backends and O(1) from the table
+        shape — backends that factorise or compile the evaluation still
+        charge the same logical work; their advantage shows up only in
+        the per-backend unit costs of the machine model.
+        """
+        cells = m * wx * wy * wt
+        disk_cells = m * wx * wy
+        bar_cells = m * wt
+        if mode == "sym":
+            counter.spatial_evals += disk_cells
+            counter.temporal_evals += bar_cells
+            counter.distance_tests += disk_cells + bar_cells
+            counter.madds += cells
+        elif mode == "pb":
+            counter.spatial_evals += cells
+            counter.temporal_evals += cells
+            counter.distance_tests += cells
+            counter.madds += cells
+        elif mode == "disk":
+            counter.spatial_evals += disk_cells
+            counter.temporal_evals += cells
+            counter.distance_tests += disk_cells + cells
+            counter.madds += cells
+        elif mode == "bar":
+            counter.spatial_evals += cells
+            counter.temporal_evals += bar_cells
+            counter.distance_tests += bar_cells + cells
+            counter.madds += cells
+        else:
+            from ..stamping import STAMP_MODES
+
+            raise ValueError(
+                f"unknown stamp mode {mode!r}; expected one of {STAMP_MODES}"
+            )
+        counter.add_dispatch(self.name)
+
+    def _charge_pairs(self, counter: WorkCounter, pairs: int) -> None:
+        """Charge one tabulation of ``pairs`` kernel-product pairs.
+
+        O(1): the logical counts come from array shapes, so charging costs
+        the same whether the counter records or discards.
+        """
+        counter.distance_tests += pairs
+        counter.spatial_evals += pairs
+        counter.temporal_evals += pairs
+        counter.madds += pairs
+        counter.add_dispatch(self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ComputeBackend {self.name}>"

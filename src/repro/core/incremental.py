@@ -135,6 +135,7 @@ class IncrementalSTKDE:
         t_slab_voxels: int | str | None = "auto",
         max_slabs: int = 16,
         machine=None,
+        compute: Optional[str] = None,
     ) -> None:
         if cache_fraction < 0.0:
             raise ValueError("cache_fraction must be >= 0")
@@ -153,6 +154,10 @@ class IncrementalSTKDE:
             raise ValueError("max_slabs must be >= 1")
         self.t_slab_voxels = t_slab_voxels
         self._machine = machine
+        #: Compute backend for every stamp this estimator issues
+        #: (:mod:`repro.core.backends`); ``None`` keeps the reference
+        #: backend, so defaults stay bit-identical.
+        self.compute = compute
         self._slab_model = None  # lazily-built CostModel for 'auto'
         self.max_slabs = int(max_slabs)
         self.grid = grid
@@ -232,12 +237,18 @@ class IncrementalSTKDE:
         buf = RegionBuffer(bbox)
         self.counter.init_writes += buf.cells
         self.counter.shard_bbox_cells += buf.cells
-        buf.stamp(self.grid, self.kernel, coords, 1.0, self.counter)
+        buf.stamp(
+            self.grid, self.kernel, coords, 1.0, self.counter,
+            compute=self.compute,
+        )
         self.counter.reduce_adds += buf.add_into(self._acc)
         return _TrackedBatch(self._new_batch_id(), coords, buf)
 
     def _stamp_uncached(self, coords: np.ndarray) -> _TrackedBatch:
-        stamp_batch(self._acc, self.grid, self.kernel, coords, 1.0, self.counter)
+        stamp_batch(
+            self._acc, self.grid, self.kernel, coords, 1.0, self.counter,
+            compute=self.compute,
+        )
         return _TrackedBatch(self._new_batch_id(), coords, None)
 
     def _stamp_tracked(self, coords: np.ndarray) -> List[_TrackedBatch]:
@@ -367,7 +378,8 @@ class IncrementalSTKDE:
                 f"cannot remove {len(coords)} events; only {self._n} present"
             )
         stamp_batch(
-            self._acc, self.grid, self.kernel, coords, -1.0, self.counter
+            self._acc, self.grid, self.kernel, coords, -1.0, self.counter,
+            compute=self.compute,
         )
         self._n -= len(coords)
         self._untrack(np.ascontiguousarray(coords, dtype=np.float64))
@@ -471,7 +483,8 @@ class IncrementalSTKDE:
                         f"cannot remove {len(old)} events; only {self._n} present"
                     )
                 stamp_batch(
-                    self._acc, self.grid, self.kernel, old, -1.0, self.counter
+                    self._acc, self.grid, self.kernel, old, -1.0,
+                    self.counter, compute=self.compute,
                 )
                 self._n -= len(old)
                 if len(kept):

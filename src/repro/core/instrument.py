@@ -26,7 +26,7 @@ from __future__ import annotations
 import math
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
 __all__ = ["WorkCounter", "PhaseTimer", "LatencyHistogram", "null_counter"]
@@ -46,7 +46,10 @@ class WorkCounter:
     ``distance_tests``
         Point-to-voxel distance tests (the dominant cost of VB).
     ``madds``
-        Multiply-accumulate operations into a density volume.
+        Multiply-accumulate operations into a density volume.  Charged
+        from array shapes (the full tabulated window, mask included) so
+        accounting stays O(1) per batch — instrumentation must never pay
+        a full-array reduction inside the loop it is profiling.
     ``init_writes``
         Voxels zero-initialised (counts every volume allocation, including
         replicas — this is DR's overhead).
@@ -155,9 +158,15 @@ class WorkCounter:
         (``on_shard_failure="partial"``) — every one of these returned
         a coverage-tagged :class:`~repro.serve.errors.PartialResult`,
         never a silently incomplete array.
+    ``backend_dispatches``
+        Per-compute-backend invocation counts (backend name → number of
+        primitive calls dispatched through it).  The observability handle
+        for ``compute="auto"`` routing: which backend actually ran each
+        tabulation.
 
     The batching statistics are bookkeeping (like ``points_processed``):
-    they are excluded from :meth:`total_ops` and :meth:`flop_estimate`.
+    they are excluded from :meth:`total_ops` and :meth:`flop_estimate`,
+    as is ``backend_dispatches`` (a dispatch is not a flop).
     """
 
     spatial_evals: int = 0
@@ -190,6 +199,13 @@ class WorkCounter:
     shard_replayed_batches: int = 0
     requests_retried: int = 0
     degraded_queries: int = 0
+    backend_dispatches: Dict[str, int] = field(default_factory=dict)
+
+    def add_dispatch(self, backend: str, n: int = 1) -> None:
+        """Record ``n`` primitive dispatches through ``backend`` (O(1))."""
+        self.backend_dispatches[backend] = (
+            self.backend_dispatches.get(backend, 0) + n
+        )
 
     def merge(self, other: "WorkCounter") -> "WorkCounter":
         """Accumulate another counter into this one (returns self)."""
@@ -223,6 +239,8 @@ class WorkCounter:
         self.shard_replayed_batches += other.shard_replayed_batches
         self.requests_retried += other.requests_retried
         self.degraded_queries += other.degraded_queries
+        for name, count in other.backend_dispatches.items():
+            self.add_dispatch(name, count)
         return self
 
     def total_ops(self) -> int:
@@ -279,6 +297,7 @@ class WorkCounter:
             "shard_replayed_batches": self.shard_replayed_batches,
             "requests_retried": self.requests_retried,
             "degraded_queries": self.degraded_queries,
+            "backend_dispatches": dict(self.backend_dispatches),
         }
 
     def copy(self) -> "WorkCounter":
@@ -290,6 +309,9 @@ class _NullCounter(WorkCounter):
 
     def merge(self, other: WorkCounter) -> WorkCounter:  # pragma: no cover
         return self
+
+    def add_dispatch(self, backend: str, n: int = 1) -> None:
+        pass
 
     def __setattr__(self, name: str, value) -> None:
         # Freeze at zero: attribute writes are dropped.  dataclass __init__
@@ -331,6 +353,10 @@ class _NullCounter(WorkCounter):
             "degraded_queries",
         ):
             return 0
+        if name == "backend_dispatches":
+            # Fresh throwaway dict: mutations by shared helpers are dropped,
+            # matching the zero-frozen scalar fields.
+            return {}
         return object.__getattribute__(self, name)
 
 

@@ -49,6 +49,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from .backends import ComputeBackend, get_backend
 from .grid import GridSpec, VoxelWindow
 from .instrument import WorkCounter, null_counter
 from .kernels import KernelPair
@@ -81,6 +82,7 @@ def accumulate_voxel_tile(
     kernel: KernelPair,
     norm: float,
     counter: Optional[WorkCounter] = None,
+    compute: "ComputeBackend | str | None" = None,
 ) -> None:
     """Accumulate one (voxel-chunk x point-block) tile onto a flat volume.
 
@@ -91,12 +93,17 @@ def accumulate_voxel_tile(
     masked (preserving the Theta(voxels * points) operation profile of
     Algorithm 1), summed over the point axis, and scattered in one indexed
     add.  Each call is one tile batch (``counter.tile_batches``).
+    ``compute`` selects the pair-evaluation backend (default ``numpy-ref``,
+    bit-identical to the pre-seam path).
     """
     counter = counter if counter is not None else null_counter()
+    backend = get_backend(compute)
     dx = cx[:, None] - px[None, :]
     dy = cy[:, None] - py[None, :]
     dt = ct[:, None] - pt[None, :]
-    contrib = masked_kernel_product(grid, kernel, dx, dy, dt, counter).sum(axis=1)
+    contrib = backend.masked_kernel_product(
+        grid, kernel, dx, dy, dt, counter
+    ).sum(axis=1)
     out_flat[vox_index] += contrib * norm
     counter.tile_batches += 1
 
@@ -114,6 +121,7 @@ def accumulate_voxel_tile_batch(
     kernel: KernelPair,
     norm: float,
     counter: Optional[WorkCounter] = None,
+    compute: "ComputeBackend | str | None" = None,
 ) -> None:
     """Accumulate a cohort of same-shape voxel tiles in one dispatch.
 
@@ -129,10 +137,13 @@ def accumulate_voxel_tile_batch(
     indexed add.  Each call is one tile batch (``counter.tile_batches``).
     """
     counter = counter if counter is not None else null_counter()
+    backend = get_backend(compute)
     dx = cx[:, :, None] - px[:, None, :]
     dy = cy[:, :, None] - py[:, None, :]
     dt = ct[:, :, None] - pt[:, None, :]
-    contrib = masked_kernel_product(grid, kernel, dx, dy, dt, counter).sum(axis=2)
+    contrib = backend.masked_kernel_product(
+        grid, kernel, dx, dy, dt, counter
+    ).sum(axis=2)
     out_flat[vox_index.ravel()] += contrib.ravel() * norm
     counter.tile_batches += 1
 
@@ -208,6 +219,7 @@ class RegionBuffer:
         mode: str = "sym",
         clip: Optional[VoxelWindow] = None,
         weights: Optional[np.ndarray] = None,
+        compute: "ComputeBackend | str | None" = None,
     ) -> None:
         """Stamp a point batch into the buffer through the engine.
 
@@ -215,12 +227,14 @@ class RegionBuffer:
         caller ``clip``); windows already inside the buffer are unchanged,
         so the accumulated values are bit-identical to stamping the same
         points into a full volume.  ``weights`` scales each point's
-        kernel product (the engine's weighted stamp mode).
+        kernel product (the engine's weighted stamp mode); ``compute``
+        selects the pair-evaluation backend.
         """
         clip_w = self.window if clip is None else self.window.intersect(clip)
         stamp_batch(
             self.data, grid, kernel, coords, norm, counter,
             mode=mode, clip=clip_w, vol_origin=self.origin, weights=weights,
+            compute=compute,
         )
 
     def add_into(

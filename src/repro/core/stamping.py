@@ -45,6 +45,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .backends import ComputeBackend, get_backend
 from .grid import GridSpec, VoxelWindow
 from .instrument import WorkCounter, null_counter
 from .kernels import KernelPair
@@ -119,15 +120,16 @@ def masked_kernel_product(
     rule by construction.  Callers fold the normalisation in wherever their
     legacy path did — elementwise ``(ks * kt) * norm`` is associative with
     the mask, so routing through this helper is bit-identical.
+
+    This is the reference-backend primitive (see
+    :mod:`repro.core.backends`); pass ``compute=`` to the engines above it
+    to route through a faster implementation.  Accounting is O(1) from the
+    tabulated shape — ``madds`` charges the full window, mask included,
+    matching every cohort mode (no per-call mask reduction).
     """
-    inside = ((DX * DX + DY * DY) < grid.hs * grid.hs) & (np.abs(DT) <= grid.ht)
-    ks = kernel.spatial(DX / grid.hs, DY / grid.hs)
-    kt = kernel.temporal(DT / grid.ht)
-    counter.distance_tests += DX.size
-    counter.spatial_evals += DX.size
-    counter.temporal_evals += DX.size
-    counter.madds += int(inside.sum())
-    return np.where(inside, ks * kt, 0.0)
+    return get_backend("numpy-ref").masked_kernel_product(
+        grid, kernel, DX, DY, DT, counter
+    )
 
 
 def _axis_offsets(origin: float, res: float, lo: np.ndarray, width: int,
@@ -141,97 +143,6 @@ def _axis_offsets(origin: float, res: float, lo: np.ndarray, width: int,
     idx = lo[:, None] + np.arange(width)[None, :]
     centers = origin + (idx + 0.5) * res
     return centers - pos[:, None]
-
-
-def _cohort_tables(
-    grid: GridSpec,
-    kernel: KernelPair,
-    mode: str,
-    norm: float,
-    dx: np.ndarray,
-    dy: np.ndarray,
-    dt: np.ndarray,
-    counter: WorkCounter,
-) -> np.ndarray:
-    """Contribution cylinders ``(m, wx, wy, wt)`` for one cohort slab.
-
-    Evaluates the same expressions, in the same order and with the same
-    inside masks, as the corresponding legacy per-point stamp; only the
-    leading batch axis is new.
-    """
-    m, wx = dx.shape
-    wy = dy.shape[1]
-    wt = dt.shape[1]
-    hs2 = grid.hs * grid.hs
-
-    if mode == "sym":
-        d2 = dx[:, :, None] ** 2 + dy[:, None, :] ** 2
-        inside_s = d2 < hs2
-        if kernel.spatial_radial is not None:
-            disk = kernel.spatial_radial(d2 * (1.0 / hs2))
-        else:
-            u = dx[:, :, None] / grid.hs
-            v = dy[:, None, :] / grid.hs
-            disk = kernel.spatial(
-                np.broadcast_to(u, d2.shape), np.broadcast_to(v, d2.shape)
-            )
-        disk *= norm
-        disk *= inside_s
-        w = dt / grid.ht
-        bar = kernel.temporal(w)
-        bar *= np.abs(dt) <= grid.ht
-        counter.spatial_evals += disk.size
-        counter.temporal_evals += bar.size
-        counter.distance_tests += disk.size + bar.size
-        counter.madds += m * wx * wy * wt
-        return disk[:, :, :, None] * bar[:, None, None, :]
-
-    shape = (m, wx, wy, wt)
-    if mode == "pb":
-        DX = np.broadcast_to(dx[:, :, None, None], shape)
-        DY = np.broadcast_to(dy[:, None, :, None], shape)
-        DT = np.broadcast_to(dt[:, None, None, :], shape)
-        out = masked_kernel_product(grid, kernel, DX, DY, DT, counter)
-        out *= norm  # in place: the product above is a fresh array
-        return out
-
-    if mode == "disk":
-        d2 = dx[:, :, None] ** 2 + dy[:, None, :] ** 2
-        inside_s = d2 < hs2
-        if kernel.spatial_radial is not None:
-            disk = kernel.spatial_radial(d2 * (1.0 / hs2))
-        else:
-            u = dx[:, :, None] / grid.hs
-            v = dy[:, None, :] / grid.hs
-            disk = kernel.spatial(
-                np.broadcast_to(u, d2.shape), np.broadcast_to(v, d2.shape)
-            )
-        disk *= norm
-        disk *= inside_s
-        DT = np.broadcast_to(dt[:, None, None, :], shape)
-        inside_t = np.abs(DT) <= grid.ht
-        kt = kernel.temporal(DT / grid.ht)
-        counter.spatial_evals += disk.size
-        counter.distance_tests += disk.size + DT.size
-        counter.temporal_evals += DT.size
-        counter.madds += DT.size
-        return disk[:, :, :, None] * np.where(inside_t, kt, 0.0)
-
-    if mode == "bar":
-        w = dt / grid.ht
-        bar = kernel.temporal(w)
-        bar *= np.abs(dt) <= grid.ht
-        DX = np.broadcast_to(dx[:, :, None, None], shape)
-        DY = np.broadcast_to(dy[:, None, :, None], shape)
-        inside_s = (DX * DX + DY * DY) < hs2
-        ks = kernel.spatial(DX / grid.hs, DY / grid.hs)
-        counter.temporal_evals += bar.size
-        counter.distance_tests += bar.size + DX.size
-        counter.spatial_evals += DX.size
-        counter.madds += DX.size
-        return np.where(inside_s, ks * norm, 0.0) * bar[:, None, None, :]
-
-    raise ValueError(f"unknown stamp mode {mode!r}; expected one of {STAMP_MODES}")
 
 
 def _scatter_slab(
@@ -299,6 +210,7 @@ def stamp_batch(
     vol_origin: Tuple[int, int, int] = (0, 0, 0),
     slab_cells: int = _SLAB_CELLS,
     weights: Optional[np.ndarray] = None,
+    compute: "ComputeBackend | str | None" = None,
 ) -> None:
     """Stamp a batch of points through the cohort-vectorised engine.
 
@@ -326,9 +238,16 @@ def stamp_batch(
         accumulates ``sum_i w_i * norm * k_s * k_t`` — the weighted
         estimator (callers normalise by total weight instead of ``n``).
         ``None`` keeps the unit-weight paths byte-for-byte unchanged.
+    compute:
+        Compute backend for the cohort tabulation — a name, a
+        :class:`~repro.core.backends.base.ComputeBackend` instance, or
+        ``None`` for the default ``numpy-ref`` (bit-identical to the
+        pre-seam engine).  Backends that cannot evaluate ``kernel``
+        natively fall back internally to an always-available path.
     """
     if mode not in STAMP_MODES:
         raise ValueError(f"unknown stamp mode {mode!r}; expected one of {STAMP_MODES}")
+    backend = get_backend(compute)
     counter = counter if counter is not None else null_counter()
     coords = np.asarray(coords, dtype=np.float64)
     n = coords.shape[0]
@@ -377,7 +296,7 @@ def stamp_batch(
             dx = _axis_offsets(dom.x0, dom.sres, X0[sel], cwx, coords[sel, 0])
             dy = _axis_offsets(dom.y0, dom.sres, Y0[sel], cwy, coords[sel, 1])
             dt = _axis_offsets(dom.t0, dom.tres, T0[sel], cwt, coords[sel, 2])
-            contrib = _cohort_tables(
+            contrib = backend.cohort_tables(
                 grid, kernel, mode, norm, dx, dy, dt, counter
             )
             if weights is not None:

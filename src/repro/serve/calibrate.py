@@ -73,18 +73,51 @@ from __future__ import annotations
 import dataclasses
 import math
 import multiprocessing as mp
+import os
 import time
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
 from ..analysis.model import MachineModel
+from ..core.backends import available_backends
 from ..core.grid import DomainSpec, GridSpec
 from ..core.kernels import get_kernel
 from .engine import approx_sum, direct_sum, direct_sum_grouped, sample_volume
 from .index import BucketIndex
 
-__all__ = ["calibrate_serving", "calibrate_ipc", "calibrate_recovery"]
+__all__ = [
+    "calibrate_serving",
+    "calibrate_ipc",
+    "calibrate_recovery",
+    "resolve_machine_model",
+]
+
+#: Environment variable naming a persisted calibration file
+#: (:meth:`MachineModel.to_json`); honoured by
+#: :func:`resolve_machine_model` and the CLI's ``--calibration-file``.
+CALIBRATION_ENV = "REPRO_CALIBRATION"
+
+
+def resolve_machine_model(
+    path: Optional[str] = None, *, seed: int = 0
+) -> MachineModel:
+    """A serving-calibrated machine model, persisted when a path is known.
+
+    Resolution order: an explicit ``path`` argument, then the
+    ``REPRO_CALIBRATION`` environment variable.  When the resolved file
+    exists it is loaded verbatim (no probes run — deterministic startup);
+    otherwise :func:`calibrate_serving` probes this machine and, if a
+    path was named, writes the result there so the next process skips
+    the probes.  With no path at all this is just ``calibrate_serving``.
+    """
+    target = path if path is not None else os.environ.get(CALIBRATION_ENV)
+    if target and os.path.exists(target):
+        return MachineModel.load(target)
+    machine = calibrate_serving(seed=seed)
+    if target:
+        machine.save(target)
+    return machine
 
 
 def _spawn_probe_target() -> None:
@@ -306,8 +339,76 @@ def calibrate_serving(
         best = min(best, time.perf_counter() - t0)
     c_qrow = max(best / max(len(events), 1), 1e-12)
 
-    return dataclasses.replace(
+    machine = dataclasses.replace(
         machine, c_lookup=c_lookup, c_qgroup=c_qgroup,
         c_qcohort=c_qcohort, c_qprobe=c_qprobe, c_qrow=c_qrow,
         c_qsample=c_qsample, c_qbound=c_qbound,
     )
+
+    # Per-backend unit costs: re-run the pair-dominated, cohort-dominated
+    # and sampler probes once per registered compute backend, pinned via
+    # the engines' ``compute=`` seam, so the planner's ``compute="auto"``
+    # argmin routes on rates measured through the code paths it prices.
+    # Each probe warms the backend first (for numba that warm call pays
+    # the JIT compile, so the timed calls measure steady state — warmup
+    # is reported separately via ``ComputeBackend.warmup_seconds``).
+    backend_costs: Dict[str, Dict[str, float]] = {}
+    qs_pair_small = rng.uniform(16.0, 32.0, size=(32, 3))
+    qs_pair_large = rng.uniform(16.0, 32.0, size=(256, 3))
+    pairs_small = int(idx_dense.candidate_counts(qs_pair_small).sum())
+    pairs_large = int(idx_dense.candidate_counts(qs_pair_large).sum())
+    qs_coh_small = rng.uniform(0, q_span, size=(64, 3))
+    qs_coh_large = rng.uniform(0, q_span, size=(1024, 3))
+    coh_small = idx.cohort_count(qs_coh_small)
+    coh_large = idx.cohort_count(qs_coh_large)
+    for name in available_backends():
+
+        def dsum(index: BucketIndex, qs_probe: np.ndarray) -> float:
+            best = math.inf
+            for _ in range(3):
+                t0 = time.perf_counter()
+                direct_sum(index, qs_probe, kern, 1.0, compute=name)
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        def asum(min_sample: int) -> Tuple[float, dict]:
+            best, stats = math.inf, {}
+            for _ in range(3):
+                st: dict = {}
+                t0 = time.perf_counter()
+                approx_sum(idx_dense, qs_sample, kern, 1.0, eps=1e6,
+                           seed=seed, min_sample=min_sample, stats_out=st,
+                           compute=name)
+                dt = time.perf_counter() - t0
+                if dt < best:
+                    best, stats = dt, st
+            return best, stats
+
+        dsum(idx_dense, qs_pair_small[:4])  # warm (pays any JIT compile)
+        t_p_small = dsum(idx_dense, qs_pair_small)
+        t_p_large = dsum(idx_dense, qs_pair_large)
+        c_pair_b = max(
+            (t_p_large - t_p_small) / max(pairs_large - pairs_small, 1),
+            1e-13,
+        )
+        dsum(idx, qs_coh_small[:8])  # warm the scattered cohort shape
+        t_k_small = dsum(idx, qs_coh_small)
+        t_k_large = dsum(idx, qs_coh_large)
+        c_qcohort_b = max(
+            (t_k_large - t_k_small) / max(coh_large - coh_small, 1), 1e-13
+        )
+        asum(64)  # warm the sampler path on this backend
+        t_a_small, st_a_small = asum(256)
+        t_a_large, st_a_large = asum(2048)
+        d_rows_b = (
+            st_a_large["sample_rows_drawn"] - st_a_small["sample_rows_drawn"]
+        )
+        c_qsample_b = max(
+            (t_a_large - t_a_small) / max(d_rows_b, 1), 1e-13
+        )
+        backend_costs[name] = {
+            "c_pair": c_pair_b,
+            "c_qcohort": c_qcohort_b,
+            "c_qsample": c_qsample_b,
+        }
+    return machine.with_backend_costs(backend_costs)

@@ -46,6 +46,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.backends import ComputeBackend, get_backend
 from ..core.grid import GridSpec, VoxelWindow
 from ..core.instrument import WorkCounter, null_counter
 from ..core.kernels import KernelPair
@@ -111,6 +112,7 @@ def direct_sum(
     *,
     slab_pairs: int = _QUERY_SLAB_PAIRS,
     skew_min_k: int = _SKEW_MIN_K,
+    compute: "ComputeBackend | str | None" = None,
 ) -> np.ndarray:
     """Exact STKDE at arbitrary query locations by direct kernel summation.
 
@@ -135,8 +137,13 @@ def direct_sum(
     gather instead: the same candidates in the same order through the
     same tabulation, so the fallback is bit-identical, it just avoids
     materialising ``(cells, K)`` index matrices for single rows.
+
+    ``compute`` selects the pair-evaluation backend
+    (:mod:`repro.core.backends`); the default ``numpy-ref`` is
+    bit-identical to the pre-seam path.
     """
     counter = counter if counter is not None else null_counter()
+    backend = get_backend(compute)
     q = _validate_queries(queries)
     m = q.shape[0]
     out = np.zeros(m, dtype=np.float64)
@@ -187,13 +194,11 @@ def direct_sum(
                 dx = q[qi, 0] - pts[:, 0]
                 dy = q[qi, 1] - pts[:, 1]
                 dt = q[qi, 2] - pts[:, 2]
-                contrib = masked_kernel_product(
-                    grid, kernel, dx, dy, dt, counter
+                out[qi] = backend.query_row_sums(
+                    grid, kernel, dx, dy, dt,
+                    weights[cand_row] if weights is not None else None,
+                    counter,
                 )
-                if weights is not None:
-                    out[qi] = (contrib * weights[cand_row]).sum()
-                else:
-                    out[qi] = contrib.sum()
             continue
         # Flatten the cohort's runs into one gather: runs are ordered
         # row-major per cell and each cell's lengths sum to exactly K, so
@@ -217,11 +222,11 @@ def direct_sum(
             dx = q[sel, 0][:, None] - pts[:, :, 0]
             dy = q[sel, 1][:, None] - pts[:, :, 1]
             dt = q[sel, 2][:, None] - pts[:, :, 2]
-            contrib = masked_kernel_product(grid, kernel, dx, dy, dt, counter)
-            if weights is not None:
-                out[sel] = (contrib * weights[rows]).sum(axis=1)
-            else:
-                out[sel] = contrib.sum(axis=1)
+            out[sel] = backend.query_row_sums(
+                grid, kernel, dx, dy, dt,
+                weights[rows] if weights is not None else None,
+                counter,
+            )
     out *= norm
     return out
 
@@ -356,6 +361,7 @@ def approx_sum(
     chunk_queries: int = 2048,
     slab_pairs: int = _QUERY_SLAB_PAIRS,
     stats_out: Optional[dict] = None,
+    compute: "ComputeBackend | str | None" = None,
 ) -> np.ndarray:
     """Approximate STKDE by bucket-level importance sampling over the index.
 
@@ -390,6 +396,7 @@ def approx_sum(
     if not eps > 0.0:
         raise ValueError(f"eps must be positive, got {eps}")
     counter = counter if counter is not None else null_counter()
+    backend = get_backend(compute)
     q = _validate_queries(queries)
     m = q.shape[0]
     out = np.zeros(m, dtype=np.float64)
@@ -480,9 +487,11 @@ def approx_sum(
                 dx = qc[rows, 0][:, None] - pts[:, :, 0]
                 dy = qc[rows, 1][:, None] - pts[:, :, 1]
                 dt = qc[rows, 2][:, None] - pts[:, :, 2]
-                contrib = masked_kernel_product(grid, kernel, dx, dy, dt, counter)
-                if weights is not None:
-                    contrib = contrib * weights[cand]
+                contrib = backend.sampled_contributions(
+                    grid, kernel, dx, dy, dt,
+                    weights[cand] if weights is not None else None,
+                    counter,
+                )
                 # v_j = contrib_j * w_j / p_j with p_j = (b_r / B) / L_r.
                 v = contrib * (tot[:, None] * Ls / bs)
                 sum_v[rows] += v.sum(axis=1)
@@ -522,11 +531,11 @@ def approx_sum(
             dxx = qc[qi, 0] - pts[:, 0]
             dyy = qc[qi, 1] - pts[:, 1]
             dtt = qc[qi, 2] - pts[:, 2]
-            contrib = masked_kernel_product(grid, kernel, dxx, dyy, dtt, counter)
-            if weights is not None:
-                out_c[qi] = (contrib * weights[cand_row]).sum()
-            else:
-                out_c[qi] = contrib.sum()
+            out_c[qi] = backend.query_row_sums(
+                grid, kernel, dxx, dyy, dtt,
+                weights[cand_row] if weights is not None else None,
+                counter,
+            )
         exact_total += len(exact_rows)
         out[c0 : c0 + mc] = out_c
 
@@ -646,6 +655,7 @@ def direct_region(
     norm: float,
     counter: Optional[WorkCounter] = None,
     weights: Optional[np.ndarray] = None,
+    compute: "ComputeBackend | str | None" = None,
 ) -> RegionResult:
     """Compute a region of density directly from the events.
 
@@ -663,7 +673,7 @@ def direct_region(
     counter.init_writes += buf.cells
     buf.stamp(
         grid, kernel, np.asarray(coords, dtype=np.float64), norm, counter,
-        weights=weights,
+        weights=weights, compute=compute,
     )
     buf.data.flags.writeable = False
     return RegionResult(window, buf.data, "direct")

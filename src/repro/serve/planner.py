@@ -34,6 +34,7 @@ from typing import Optional
 import numpy as np
 
 from ..analysis.model import CostModel
+from ..core.backends import DEFAULT_BACKEND, available_backends
 from ..core.grid import VoxelWindow
 from .index import BucketIndex
 
@@ -85,6 +86,12 @@ class QueryPlan:
     ``approx_seconds`` is the sampler's estimate when the batch carried an
     error budget (``eps``); infinite otherwise, so exact requests can
     never route to the approximate tier.
+
+    ``compute`` is the pair-evaluation backend the chosen plan should run
+    on (:mod:`repro.core.backends`).  A concrete request pins it; a
+    ``compute="auto"`` request lets the planner argmin over every
+    registered backend's calibrated unit costs — the default backend wins
+    ties, so an uncalibrated model never routes away from the reference.
     """
 
     backend: str  # "direct" | "lookup" | "approx"
@@ -97,6 +104,7 @@ class QueryPlan:
     reason: str
     approx_seconds: float = float("inf")
     eps: Optional[float] = None
+    compute: str = DEFAULT_BACKEND
 
     @property
     def speedup(self) -> float:
@@ -141,12 +149,20 @@ class QueryPlanner:
         eps: Optional[float] = None,
         force: Optional[str] = None,
         force_reason: Optional[str] = None,
+        compute: Optional[str] = None,
     ) -> QueryPlan:
         """Plan a point-query batch against the given index.
 
         ``eps`` opens the approximate arm: the sampler is priced against
         both exact plans and wins only where its O(runs + 1/ε²) shape
         beats them.  ``eps=None`` (the default) never routes approximate.
+
+        ``compute`` pins the pair-evaluation backend; ``"auto"`` prices
+        the kernel-summing plans at every registered backend's calibrated
+        unit costs and routes to the cheapest (the default backend wins
+        ties, so uncalibrated machines stay on the reference).  The
+        volume-lookup arm touches no pair kernels, so its price is
+        backend-independent.
         """
         q = np.asarray(queries, dtype=np.float64)
         m = q.shape[0]
@@ -156,23 +172,47 @@ class QueryPlanner:
             n_cohorts = int(np.unique(counts[counts > 0]).size)
         else:
             cand = n_cohorts = 0
-        direct = self.model.predict_direct_query(
-            m, cand,
-            n_groups=index.group_count(q),
-            n_cohorts=n_cohorts,
-            n_segments=index.segment_count,
-        )
-        lookup = self.model.predict_volume_lookup(m, volume_ready)
-        approx = (
-            self.model.predict_approx_query(
-                m, cand, eps, n_segments=index.segment_count
+        n_groups = index.group_count(q)
+        n_segments = index.segment_count
+
+        def price(backend_name: Optional[str]):
+            direct = self.model.predict_direct_query(
+                m, cand,
+                n_groups=n_groups,
+                n_cohorts=n_cohorts,
+                n_segments=n_segments,
+                compute=backend_name,
             )
-            if eps is not None
-            else float("inf")
-        )
+            approx = (
+                self.model.predict_approx_query(
+                    m, cand, eps, n_segments=n_segments,
+                    compute=backend_name,
+                )
+                if eps is not None
+                else float("inf")
+            )
+            return direct, approx
+
+        if compute == "auto":
+            # Argmin over registered backends on each kernel-summing
+            # plan's best arm; strict improvement over the default keeps
+            # ties (and uncalibrated models) on the reference backend.
+            chosen = DEFAULT_BACKEND
+            direct, approx = price(DEFAULT_BACKEND)
+            best = min(direct, approx)
+            for name in available_backends():
+                if name == DEFAULT_BACKEND:
+                    continue
+                d, a = price(name)
+                if min(d, a) < best:
+                    chosen, direct, approx, best = name, d, a, min(d, a)
+        else:
+            chosen = compute if compute is not None else DEFAULT_BACKEND
+            direct, approx = price(chosen)
+        lookup = self.model.predict_volume_lookup(m, volume_ready)
         return self._verdict("points", m, cand, direct, lookup,
                              volume_ready, force, force_reason,
-                             approx=approx, eps=eps)
+                             approx=approx, eps=eps, compute=chosen)
 
     def plan_region(
         self,
@@ -258,6 +298,7 @@ class QueryPlanner:
         force_reason: Optional[str] = None,
         approx: float = float("inf"),
         eps: Optional[float] = None,
+        compute: str = DEFAULT_BACKEND,
     ) -> QueryPlan:
         if force is not None:
             allowed = ("direct", "lookup", "approx") if eps is not None \
@@ -295,4 +336,5 @@ class QueryPlanner:
             reason=reason,
             approx_seconds=approx,
             eps=eps,
+            compute=compute,
         )

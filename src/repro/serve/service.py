@@ -40,6 +40,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from ..analysis.model import CostModel, MachineModel
+from ..core.backends import DEFAULT_BACKEND, available_backends, get_backend
 from ..core.grid import GridSpec, PointSet, Volume, VoxelWindow
 from ..core.incremental import IncrementalSTKDE
 from ..core.instrument import WorkCounter
@@ -113,6 +114,7 @@ class DensityService:
         *,
         kernel: str | KernelPair = "epanechnikov",
         backend: str = "auto",
+        compute: str = DEFAULT_BACKEND,
         cache: Optional[QueryCache] = None,
         machine: Optional[MachineModel] = None,
         counter: Optional[WorkCounter] = None,
@@ -123,6 +125,8 @@ class DensityService:
                 f"backend must be 'auto', 'direct', 'lookup' or 'approx', "
                 f"got {backend!r}"
             )
+        if compute != "auto":
+            get_backend(compute)  # fail fast on unknown/unavailable names
         if isinstance(index_merge_cap, str) and index_merge_cap != "auto":
             raise ValueError(
                 f"index_merge_cap must be an int, None or 'auto', "
@@ -130,6 +134,11 @@ class DensityService:
             )
         self.kernel = get_kernel(kernel)
         self.backend = backend
+        #: Pair-evaluation backend: a registered name pins every kernel
+        #: sum to that backend; ``"auto"`` lets the planner route each
+        #: batch to the cheapest calibrated backend.  The default keeps
+        #: every sum on the reference backend — bit-identical results.
+        self.compute = compute
         self._merge_cap_auto = index_merge_cap == "auto"
         self.index_merge_cap: Optional[int] = (
             16 if self._merge_cap_auto else index_merge_cap
@@ -174,6 +183,8 @@ class DensityService:
             "direct": 0, "lookup": 0, "approx": 0,
         }
         self._plan_decisions: Dict[str, int] = {}
+        # Per-backend tally of planner compute choices (kernel-sum plans).
+        self._compute_choices: Dict[str, int] = {}
         # Realised-vs-requested ε accounting of the approximate tier.
         self._eps_requested_sum = 0.0
         self._approx_stats: Dict[str, float] = {}
@@ -483,8 +494,11 @@ class DensityService:
         eps_key: Tuple = (
             ("exact",) if eps is None else ("eps", float(eps), int(seed))
         )
+        # The compute policy joins the key: backends agree only to
+        # rtol=1e-12, so a shared cache must never serve one backend's
+        # ulps for another's request.
         key = QueryCache.make_key(
-            self.version, "points", cache_tag, digest, *eps_key
+            self.version, "points", cache_tag, self.compute, digest, *eps_key
         )
         cached = self.cache.get(key)
         if cached is not None and plan_out is None:
@@ -492,6 +506,7 @@ class DensityService:
         plan = self.planner().plan_points(
             self.index(), q, volume_ready=self._volume is not None,
             eps=eps, force=force, force_reason=force_reason,
+            compute=self.compute,
         ) if force is None or plan_out is not None else None
         if plan is not None:
             self._record_plan(plan)
@@ -500,16 +515,26 @@ class DensityService:
         if cached is not None:
             return cached
         chosen = plan.backend if plan is not None else force
+        compute = (
+            plan.compute if plan is not None
+            else (self.compute if self.compute != "auto" else DEFAULT_BACKEND)
+        )
+        if chosen in ("approx", "direct"):
+            self._compute_choices[compute] = (
+                self._compute_choices.get(compute, 0) + 1
+            )
         if chosen == "approx":
             out = approx_sum(
                 self.index(), q, self.kernel, self._norm(), self.counter,
                 eps=float(eps), seed=seed, stats_out=self._approx_stats,
+                compute=compute,
             )
             self.counter.queries_approx += q.shape[0]
             self._eps_requested_sum += float(eps) * q.shape[0]
         elif chosen == "direct":
             out = direct_sum(
-                self.index(), q, self.kernel, self._norm(), self.counter
+                self.index(), q, self.kernel, self._norm(), self.counter,
+                compute=compute,
             )
             self.counter.queries_exact += q.shape[0]
         else:
@@ -616,6 +641,24 @@ class DensityService:
         key = f"{plan.kind}:{plan.backend}"
         self._plan_decisions[key] = self._plan_decisions.get(key, 0) + 1
 
+    def _compute_stats(self) -> Dict[str, object]:
+        """The ``compute`` observability blob: requested policy, registry
+        state, per-plan choices, actual dispatches, and JIT warmup —
+        warmup is one-time compile cost a backend paid on first touch,
+        reported separately so steady-state rates stay honest."""
+        warmup = {
+            name: get_backend(name).warmup_seconds
+            for name in available_backends()
+            if get_backend(name).warmup_seconds > 0.0
+        }
+        return {
+            "requested": self.compute,
+            "available": list(available_backends()),
+            "chosen": dict(self._compute_choices),
+            "dispatches": dict(self.counter.backend_dispatches),
+            "jit_warmup_seconds": warmup,
+        }
+
     def stats(self) -> Dict[str, object]:
         """Serving counters: cache behaviour, backend mix, builds, index
         segment gauges, slide-pipeline work (slab retirement, segment
@@ -674,6 +717,7 @@ class DensityService:
             "volume_build_backend": self._volume_build_backend,
             "backend_calls": dict(self._backend_calls),
             "planner_decisions": dict(self._plan_decisions),
+            "compute": self._compute_stats(),
             "index_merge_cap": self.index_merge_cap,
             "cache": cache,
             "cache_hit_ratio": (cache["hits"] / lookups) if lookups else None,
@@ -781,6 +825,7 @@ class ShardedDensityService:
         plan: Optional[ShardPlan] = None,
         kernel: str | KernelPair = "epanechnikov",
         backend: str = "auto",
+        compute: str = DEFAULT_BACKEND,
         machine: Optional[MachineModel] = None,
         counter: Optional[WorkCounter] = None,
         index_merge_cap: Union[int, str, None] = 16,
@@ -801,9 +846,18 @@ class ShardedDensityService:
                 f"on_shard_failure must be 'raise' or 'partial', "
                 f"got {on_shard_failure!r}"
             )
+        if compute != "auto":
+            get_backend(compute)  # fail fast on unknown/unavailable names
         self.grid = grid
         self.kernel = get_kernel(kernel)
         self.backend = backend
+        #: Pair-evaluation backend policy.  Workers are spawn-context
+        #: processes, so they receive the *name* and resolve it against
+        #: their own registry; ``"auto"`` is resolved per batch by the
+        #: coordinator (the workers hold no planner) and shipped with the
+        #: scattered rows.
+        self.compute = compute
+        self._compute_choices: Dict[str, int] = {}
         self.counter = counter if counter is not None else WorkCounter()
         self._machine = machine
         self._planner: Optional[QueryPlanner] = None
@@ -834,12 +888,16 @@ class ShardedDensityService:
         if fault_plan is None:
             fault_plan = FaultPlan.from_env()
 
+        # Workers stamp with a concrete backend: "auto" is a per-batch
+        # query-side decision, so stamping stays on the reference.
+        worker_compute = compute if compute != "auto" else DEFAULT_BACKEND
+
         def _spawn(s: int, fp: Optional[FaultPlan]) -> ShardWorker:
             # ctx=None: each ShardWorker defaults to the spawn context.
             return ShardWorker(
                 s, grid, self.kernel.name,
                 merge_cap=worker_cap, t_slab=t_slab_voxels, ctx=None,
-                fault_plan=fp,
+                fault_plan=fp, compute=worker_compute,
             )
 
         self._sup = ShardSupervisor(
@@ -945,6 +1003,28 @@ class ShardedDensityService:
         )
         return int(m * n * frac)
 
+    def _resolve_compute(self, m: int) -> str:
+        """Concrete pair-evaluation backend for one scattered batch.
+
+        ``"auto"`` argmins the direct-query predictor over every
+        registered backend at the coordinator (the workers hold no
+        planner); strict improvement over the default keeps uncalibrated
+        machines on the reference backend.
+        """
+        if self.compute != "auto":
+            return self.compute
+        model = self.planner().model
+        cand = self._est_candidates(m)
+        chosen = DEFAULT_BACKEND
+        best = model.predict_direct_query(m, cand, compute=DEFAULT_BACKEND)
+        for name in available_backends():
+            if name == DEFAULT_BACKEND:
+                continue
+            cost = model.predict_direct_query(m, cand, compute=name)
+            if cost < best:
+                chosen, best = name, cost
+        return chosen
+
     def _resolve_backend(self, backend: Optional[str]):
         choice = backend if backend is not None else self.backend
         if choice == "auto":
@@ -971,6 +1051,7 @@ class ShardedDensityService:
             src = PointSet(self._static_coords, self._static_weights)
             self._local = DensityService(
                 src, self.grid, kernel=self.kernel,
+                compute=self.compute,
                 machine=self._machine, counter=self.counter,
             )
         return self._local
@@ -1048,6 +1129,8 @@ class ShardedDensityService:
             self._backend_calls["local"] += 1
             return self._local_service().query_points(q, eps=eps, seed=seed)
         out = np.zeros(m, dtype=np.float64)
+        comp = self._resolve_compute(m)
+        self._compute_choices[comp] = self._compute_choices.get(comp, 0) + 1
         sends = []
         shard_rows: Dict[int, np.ndarray] = {}
         for s in range(self.n_shards):
@@ -1056,7 +1139,8 @@ class ShardedDensityService:
                 continue
             sends.append((
                 s, "query_points",
-                (q[rows], None if eps is None else float(eps), int(seed)),
+                (q[rows], None if eps is None else float(eps), int(seed),
+                 comp),
             ))
             shard_rows[s] = rows
             self.counter.shard_messages += 1
@@ -1266,6 +1350,14 @@ class ShardedDensityService:
             "shard_events": list(self._shard_events),
             "backend_calls": dict(self._backend_calls),
             "planner_decisions": dict(self._plan_decisions),
+            "compute": {
+                "requested": self.compute,
+                "available": list(available_backends()),
+                "chosen": dict(self._compute_choices),
+                # Dispatches merged across worker processes, so sharded
+                # backend traffic stays observable at the coordinator.
+                "dispatches": dict(merged.backend_dispatches),
+            },
             "work": merged.as_dict(),
             "workers": per_worker,
             "recovery": recovery,

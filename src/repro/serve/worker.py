@@ -65,11 +65,16 @@ class _WorkerState:
         kernel_name: str,
         merge_cap: Optional[int],
         t_slab,
+        compute: str = "numpy-ref",
     ) -> None:
         self.grid = grid
         self.kernel = get_kernel(kernel_name)
         self.merge_cap = merge_cap
         self.t_slab = t_slab
+        #: Backend *name* for stamping (resolved against this process's
+        #: own registry — backend singletons don't cross spawn).  Query
+        #: ops carry their backend per request instead.
+        self.compute = compute
         self.counter = WorkCounter()
         # Static mode: coords/weights snapshot.  Live mode: incremental
         # estimator (index synced against its tracked batches).
@@ -126,6 +131,7 @@ class _WorkerState:
             self.inc = IncrementalSTKDE(
                 self.grid, kernel=self.kernel,
                 t_slab_voxels=self.t_slab,
+                compute=self.compute,
             )
         return self.inc
 
@@ -151,7 +157,7 @@ class _WorkerState:
         return (retired,) + self.gauges()
 
     def op_query_points(self, payload) -> np.ndarray:
-        queries, eps, seed = payload
+        queries, eps, seed, compute = payload
         if self.index is None:
             return np.zeros(queries.shape[0], dtype=np.float64)
         # norm=1.0: an unnormalised partial the coordinator scales.
@@ -161,10 +167,11 @@ class _WorkerState:
         if eps is not None:
             return approx_sum(
                 self.index, queries, self.kernel, 1.0, self.counter,
-                eps=eps, seed=seed,
+                eps=eps, seed=seed, compute=compute,
             )
         return direct_sum(
-            self.index, queries, self.kernel, 1.0, self.counter
+            self.index, queries, self.kernel, 1.0, self.counter,
+            compute=compute,
         )
 
     def op_query_region(self, payload) -> np.ndarray:
@@ -191,9 +198,10 @@ def _worker_main(
     merge_cap: Optional[int],
     t_slab,
     fault_plan: Optional[FaultPlan] = None,
+    compute: str = "numpy-ref",
 ) -> None:
     """Worker process entry point: serve requests until ``close``/EOF."""
-    state = _WorkerState(grid, kernel_name, merge_cap, t_slab)
+    state = _WorkerState(grid, kernel_name, merge_cap, t_slab, compute)
     injector = (
         fault_plan.injector(shard_id) if fault_plan is not None else None
     )
@@ -247,6 +255,7 @@ class ShardWorker:
         t_slab="auto",
         ctx: Optional[mp.context.BaseContext] = None,
         fault_plan: Optional[FaultPlan] = None,
+        compute: str = "numpy-ref",
     ) -> None:
         self.shard_id = shard_id
         ctx = ctx if ctx is not None else mp.get_context("spawn")
@@ -255,7 +264,7 @@ class ShardWorker:
             target=_worker_main,
             args=(
                 child, shard_id, grid, kernel_name, merge_cap, t_slab,
-                fault_plan,
+                fault_plan, compute,
             ),
             name=f"shard-worker-{shard_id}",
             daemon=True,

@@ -1,0 +1,345 @@
+"""Backend parity property suite.
+
+Every registered compute backend must answer every pair-evaluation
+primitive with the same numbers as ``numpy-ref`` (rtol=1e-12), the same
+logical work counts, and one dispatch record per primitive call — across
+every stamp mode, weighted and unweighted, every registered kernel plus a
+``spatial_radial=None`` custom kernel, and the direct/cohort/approx query
+paths.  The suite parametrises over :func:`available_backends`, so the
+``numba`` cases appear exactly when the import guard passes and are
+absent (never failing) when it trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DomainSpec, GridSpec, WorkCounter
+from repro.core.backends import (
+    DEFAULT_BACKEND,
+    HAVE_NUMBA,
+    ComputeBackend,
+    available_backends,
+    get_backend,
+)
+from repro.core.instrument import null_counter
+from repro.core.kernels import KernelPair, available_kernels, get_kernel
+from repro.core.regions import accumulate_voxel_tile
+from repro.core.stamping import STAMP_MODES, masked_kernel_product, stamp_batch
+from repro.serve.engine import approx_sum, direct_sum
+from repro.serve.index import BucketIndex
+
+from tests.helpers import make_clustered_points, make_points
+
+RTOL = 1e-12
+ATOL = 1e-18
+
+BACKENDS = available_backends()
+FAST_BACKENDS = tuple(b for b in BACKENDS if b != DEFAULT_BACKEND)
+
+#: A non-radial, asymmetric kernel pair that is NOT in any registry —
+#: exercises the ``spatial_radial is None`` fallbacks (and, for numba,
+#: the ``supports() is False`` delegation).
+CUSTOM_KERNEL = KernelPair(
+    name="custom-nonradial",
+    spatial=lambda u, v: (1.0 - 0.5 * u) * (1.0 - 0.25 * v),
+    temporal=lambda w: 1.0 - 0.4 * w,
+    spatial_radial=None,
+)
+
+ALL_KERNELS = tuple(available_kernels()) + ("custom",)
+
+
+def kernel_of(name: str) -> KernelPair:
+    return CUSTOM_KERNEL if name == "custom" else get_kernel(name)
+
+
+@pytest.fixture
+def grid():
+    return GridSpec(DomainSpec.from_voxels(20, 18, 22), hs=2.9, ht=2.3)
+
+
+class TestRegistry:
+    def test_default_is_numpy_ref(self):
+        assert DEFAULT_BACKEND == "numpy-ref"
+        assert get_backend().name == "numpy-ref"
+        assert get_backend(None).name == "numpy-ref"
+
+    def test_always_available(self):
+        assert "numpy-ref" in BACKENDS
+        assert "numpy-fused" in BACKENDS
+
+    def test_idempotent_on_instances(self):
+        b = get_backend("numpy-fused")
+        assert get_backend(b) is b
+        assert get_backend("numpy-fused") is b  # process-wide singleton
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown compute backend"):
+            get_backend("cuda")
+
+    def test_numba_registration_matches_guard(self):
+        assert ("numba" in BACKENDS) == HAVE_NUMBA
+        if not HAVE_NUMBA:
+            with pytest.raises(RuntimeError, match="numba"):
+                get_backend("numba")
+
+    def test_supports_custom_kernel(self):
+        # Always-available backends take any kernel; numba only compiled.
+        assert get_backend("numpy-ref").supports(CUSTOM_KERNEL)
+        assert get_backend("numpy-fused").supports(CUSTOM_KERNEL)
+        if HAVE_NUMBA:
+            nb = get_backend("numba")
+            assert not nb.supports(CUSTOM_KERNEL)
+            assert nb.supports(get_kernel("epanechnikov"))
+
+
+class TestDispatchAccounting:
+    def test_counter_records_dispatches(self, grid):
+        c = WorkCounter()
+        kern = get_kernel("epanechnikov")
+        coords = make_points(grid, 30, seed=0).coords
+        vol = np.zeros(grid.shape)
+        stamp_batch(vol, grid, kern, coords, 1.0, c, mode="sym")
+        assert c.backend_dispatches.get("numpy-ref", 0) >= 1
+        # One dispatch per cohort *slab*; every cohort has at least one.
+        assert sum(c.backend_dispatches.values()) >= c.stamp_cohorts
+
+    def test_null_counter_drops_dispatches(self):
+        nc = null_counter()
+        nc.add_dispatch("numpy-ref", 5)
+        assert nc.backend_dispatches == {}
+
+    def test_merge_and_roundtrip(self):
+        a = WorkCounter()
+        a.add_dispatch("numpy-ref", 2)
+        b = WorkCounter()
+        b.add_dispatch("numpy-ref")
+        b.add_dispatch("numba", 3)
+        a.merge(b)
+        assert a.backend_dispatches == {"numpy-ref": 3, "numba": 3}
+        rt = WorkCounter(**a.as_dict())
+        assert rt.backend_dispatches == a.backend_dispatches
+        cp = a.copy()
+        cp.add_dispatch("numpy-ref")
+        assert a.backend_dispatches["numpy-ref"] == 3  # copy is independent
+
+    def test_o1_madds_from_shapes(self, grid):
+        """madds charges the tabulated window, mask included — no mask
+        reduction inside the hot path."""
+        c = WorkCounter()
+        kern = get_kernel("epanechnikov")
+        dx = np.linspace(-4.0, 4.0, 7)[None, :].repeat(3, axis=0)
+        masked_kernel_product(grid, kern, dx, dx, dx, c)
+        assert c.madds == dx.size
+        assert c.madds == c.distance_tests
+
+
+class TestStampParity:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    @pytest.mark.parametrize("mode", STAMP_MODES)
+    @pytest.mark.parametrize("kname", ALL_KERNELS)
+    def test_all_modes_all_kernels(self, grid, backend, mode, kname):
+        kern = kernel_of(kname)
+        coords = make_clustered_points(grid, 60, seed=3).coords
+        ref = np.zeros(grid.shape)
+        got = np.zeros(grid.shape)
+        c_ref = WorkCounter()
+        c_got = WorkCounter()
+        stamp_batch(ref, grid, kern, coords, 1.0, c_ref, mode=mode)
+        stamp_batch(got, grid, kern, coords, 1.0, c_got, mode=mode,
+                    compute=backend)
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
+        # Logical work counts are backend-independent.
+        for key in ("spatial_evals", "temporal_evals", "distance_tests",
+                    "madds", "stamp_cohorts"):
+            assert getattr(c_got, key) == getattr(c_ref, key), key
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_weighted_stamp(self, grid, backend):
+        kern = get_kernel("quartic")
+        pts = make_points(grid, 50, seed=4)
+        w = np.random.default_rng(7).uniform(0.2, 3.0, size=pts.n)
+        ref = np.zeros(grid.shape)
+        got = np.zeros(grid.shape)
+        stamp_batch(ref, grid, kern, pts.coords, 1.0, None, weights=w)
+        stamp_batch(got, grid, kern, pts.coords, 1.0, None, weights=w,
+                    compute=backend)
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
+
+    def test_default_stays_bit_identical(self, grid):
+        """compute=None routes to numpy-ref and must be *bit*-equal to the
+        explicit reference backend."""
+        kern = get_kernel("epanechnikov")
+        coords = make_points(grid, 60, seed=5).coords
+        a = np.zeros(grid.shape)
+        b = np.zeros(grid.shape)
+        stamp_batch(a, grid, kern, coords, 1.0, None, mode="sym")
+        stamp_batch(b, grid, kern, coords, 1.0, None, mode="sym",
+                    compute="numpy-ref")
+        assert np.array_equal(a, b)
+
+
+class TestMaskedProductParity:
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    @pytest.mark.parametrize("kname", ALL_KERNELS)
+    def test_tile_shapes(self, grid, backend, kname):
+        kern = kernel_of(kname)
+        rng = np.random.default_rng(11)
+        cx = rng.uniform(0, grid.domain.gx, size=40)
+        px = rng.uniform(0, grid.domain.gx, size=17)
+        dx = cx[:, None] - px[None, :]
+        dy = rng.uniform(-4, 4, size=(40, 17))
+        dt = rng.uniform(-4, 4, size=(40, 17))
+        ref = get_backend("numpy-ref").masked_kernel_product(
+            grid, kern, dx, dy, dt, WorkCounter()
+        )
+        got = get_backend(backend).masked_kernel_product(
+            grid, kern, dx, dy, dt, WorkCounter()
+        )
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_sparse_mask_first_path(self, grid, backend):
+        """Almost-everything-outside masks (the fused mask-first branch)."""
+        kern = get_kernel("epanechnikov")
+        rng = np.random.default_rng(13)
+        dx = rng.uniform(5.0, 50.0, size=(64, 128))  # far outside hs=2.9
+        dx[::9, ::17] = rng.uniform(-1.0, 1.0, size=dx[::9, ::17].shape)
+        dy = rng.uniform(-1.0, 1.0, size=dx.shape)
+        dt = rng.uniform(-6.0, 6.0, size=dx.shape)
+        ref = get_backend("numpy-ref").masked_kernel_product(
+            grid, kern, dx, dy, dt, WorkCounter()
+        )
+        got = get_backend(backend).masked_kernel_product(
+            grid, kern, dx, dy, dt, WorkCounter()
+        )
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_all_outside_returns_zeros(self, grid, backend):
+        kern = get_kernel("quartic")
+        dx = np.full((8, 9), 40.0)
+        out = get_backend(backend).masked_kernel_product(
+            grid, kern, dx, dx, dx, WorkCounter()
+        )
+        assert out.shape == dx.shape
+        assert not out.any()
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_voxel_tile_route(self, grid, backend):
+        kern = get_kernel("epanechnikov")
+        rng = np.random.default_rng(17)
+        vox = np.arange(30, dtype=np.int64)
+        cx = rng.uniform(0, grid.domain.gx, size=30)
+        cy = rng.uniform(0, grid.domain.gy, size=30)
+        ct = rng.uniform(0, grid.domain.gt, size=30)
+        px = rng.uniform(0, grid.domain.gx, size=12)
+        py = rng.uniform(0, grid.domain.gy, size=12)
+        pt = rng.uniform(0, grid.domain.gt, size=12)
+        ref = np.zeros(grid.n_voxels)
+        got = np.zeros(grid.n_voxels)
+        accumulate_voxel_tile(ref, vox, cx, cy, ct, px, py, pt, grid, kern,
+                              0.5, WorkCounter())
+        accumulate_voxel_tile(got, vox, cx, cy, ct, px, py, pt, grid, kern,
+                              0.5, WorkCounter(), compute=backend)
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
+
+
+class TestQueryParity:
+    @pytest.fixture
+    def served(self, grid):
+        pts = make_clustered_points(grid, 400, seed=21)
+        idx = BucketIndex(grid, pts.coords)
+        d = grid.domain
+        rng = np.random.default_rng(23)
+        q = np.column_stack([
+            rng.uniform(0, d.gx, size=120),
+            rng.uniform(0, d.gy, size=120),
+            rng.uniform(0, d.gt, size=120),
+        ]) + [d.x0, d.y0, d.t0]
+        return idx, q
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    @pytest.mark.parametrize("kname", ALL_KERNELS)
+    def test_direct_sum(self, served, backend, kname):
+        idx, q = served
+        kern = kernel_of(kname)
+        ref = direct_sum(idx, q, kern, 0.01, WorkCounter())
+        got = direct_sum(idx, q, kern, 0.01, WorkCounter(), compute=backend)
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_direct_sum_weighted(self, grid, backend):
+        pts = make_clustered_points(grid, 300, seed=31)
+        w = np.random.default_rng(37).uniform(0.1, 5.0, size=pts.n)
+        idx = BucketIndex(grid, pts.coords, w)
+        q = pts.coords[:50]
+        kern = get_kernel("epanechnikov")
+        ref = direct_sum(idx, q, kern, 1.0 / w.sum(), WorkCounter())
+        got = direct_sum(idx, q, kern, 1.0 / w.sum(), WorkCounter(),
+                         compute=backend)
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_direct_sum_skewed_cohort(self, grid, backend):
+        """One dense cluster probed by a few queries: the sparse 1-D path."""
+        rng = np.random.default_rng(41)
+        coords = np.tile([[5.0, 5.0, 5.0]], (3000, 1)) + rng.uniform(
+            -0.4, 0.4, size=(3000, 3)
+        )
+        idx = BucketIndex(grid, coords)
+        q = np.array([[5.0, 5.0, 5.0], [5.2, 4.9, 5.1]])
+        kern = get_kernel("quartic")
+        ref = direct_sum(idx, q, kern, 1e-3, WorkCounter(), skew_min_k=256)
+        got = direct_sum(idx, q, kern, 1e-3, WorkCounter(), skew_min_k=256,
+                         compute=backend)
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_approx_sum_same_seed(self, served, backend):
+        """Identical draws (same seed, same stream order) + elementwise
+        parity of the sampled contributions → identical stop decisions."""
+        idx, q = served
+        kern = get_kernel("epanechnikov")
+        ref = approx_sum(idx, q, kern, 0.01, WorkCounter(), eps=0.2, seed=9)
+        got = approx_sum(idx, q, kern, 0.01, WorkCounter(), eps=0.2, seed=9,
+                         compute=backend)
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
+
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_query_counts_backend_independent(self, served, backend):
+        idx, q = served
+        kern = get_kernel("epanechnikov")
+        c_ref = WorkCounter()
+        c_got = WorkCounter()
+        direct_sum(idx, q, kern, 0.01, c_ref)
+        direct_sum(idx, q, kern, 0.01, c_got, compute=backend)
+        for key in ("spatial_evals", "temporal_evals", "distance_tests",
+                    "madds", "query_cohorts"):
+            assert getattr(c_got, key) == getattr(c_ref, key), key
+        assert sum(c_got.backend_dispatches.values()) == sum(
+            c_ref.backend_dispatches.values()
+        )
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not importable")
+class TestNumbaSpecific:
+    def test_warmup_recorded_separately(self, grid):
+        nb = get_backend("numba")
+        kern = get_kernel("epanechnikov")
+        rng = np.random.default_rng(51)
+        dx = rng.uniform(-3, 3, size=(16, 32))
+        nb.query_row_sums(grid, kern, dx, dx, dx, None, WorkCounter())
+        assert nb.warmup_seconds > 0.0
+
+    def test_custom_kernel_falls_back(self, grid):
+        nb = get_backend("numba")
+        coords = make_points(grid, 20, seed=53).coords
+        ref = np.zeros(grid.shape)
+        got = np.zeros(grid.shape)
+        stamp_batch(ref, grid, CUSTOM_KERNEL, coords, 1.0, None, mode="sym")
+        stamp_batch(got, grid, CUSTOM_KERNEL, coords, 1.0, None, mode="sym",
+                    compute="numba")
+        np.testing.assert_allclose(got, ref, rtol=RTOL, atol=ATOL)
